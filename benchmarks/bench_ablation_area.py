@@ -1,0 +1,44 @@
+"""Ablation bench: miniaturization (section 1 claims).
+
+"System miniaturization increases also sensor response and requires small
+samples."  Sweeping the working-electrode area shows (a) the diffusive
+settling time dropping quadratically with the electrode length scale and
+(b) the absolute current (and hence the sample volume needed to sustain
+it) shrinking with area, while the area-normalized sensitivity stays put.
+"""
+
+from repro.core.registry import build_sensor, spec_by_id
+from repro.electrodes.geometry import ElectrodeGeometry
+
+
+def run() -> dict:
+    sensor = build_sensor(spec_by_id("glucose/this-work"))
+    areas_mm2 = (13.0, 2.0, 0.25, 0.05)
+    results = {}
+    for area_mm2 in areas_mm2:
+        geometry = ElectrodeGeometry.from_area(area_mm2 * 1e-6)
+        settle_s = geometry.steady_state_time_s()
+        current_a = (sensor.layer.steady_state_current(0.5e-3, area_mm2 * 1e-6))
+        results[area_mm2] = {
+            "settling_s": settle_s,
+            "current_at_0p5mM_a": current_a,
+        }
+    return results
+
+
+def test_ablation_area(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for area_mm2, values in results.items():
+        print(f"  {area_mm2:6.2f} mm^2: settle {values['settling_s']:8.1f} s, "
+              f"i(0.5 mM) {values['current_at_0p5mM_a'] * 1e9:10.2f} nA")
+
+    areas = sorted(results, reverse=True)  # big -> small
+    settles = [results[a]["settling_s"] for a in areas]
+    currents = [results[a]["current_at_0p5mM_a"] for a in areas]
+
+    # Smaller electrodes settle faster (quadratically in length scale).
+    assert all(a > b for a, b in zip(settles, settles[1:]))
+    assert settles[0] / settles[-1] > 100.0
+    # Current scales linearly with area -> smaller samples suffice.
+    assert all(a > b for a, b in zip(currents, currents[1:]))

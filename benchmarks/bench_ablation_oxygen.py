@@ -1,0 +1,55 @@
+"""Ablation bench: oxygen limitation of the oxidase sensors.
+
+The implantable-operation perspective of the paper (sections 1 / 2.5):
+oxidases need dissolved O2 as co-substrate.  Sweeping the oxygen level
+from beaker to subcutaneous-tissue conditions shows the ping-pong
+signature — the mid-range signal and linear range collapse while the
+initial slope survives — and how an oxygen-permeable membrane recovers
+part of the loss.
+"""
+
+from repro.enzymes.catalog import GLUCOSE_OXIDASE
+from repro.enzymes.oxygen import (
+    AIR_SATURATED_O2_MOLAR,
+    TISSUE_O2_MOLAR,
+    OxygenDependence,
+)
+
+
+def run() -> dict:
+    naked = OxygenDependence(enzyme=GLUCOSE_OXIDASE)
+    membraned = OxygenDependence(enzyme=GLUCOSE_OXIDASE,
+                                 oxygen_permeability=3.0)
+    conditions = {
+        "O2-saturated buffer": 1.0e-3,
+        "air-saturated buffer": AIR_SATURATED_O2_MOLAR,
+        "venous blood": 0.05e-3,
+        "subcutaneous tissue": TISSUE_O2_MOLAR,
+    }
+    results = {}
+    for name, oxygen in conditions.items():
+        results[name] = {
+            "oxygen_molar": oxygen,
+            "midrange_retention": naked.midrange_retention(oxygen),
+            "linear_upper_mm": naked.apparent_linear_upper(oxygen) * 1e3,
+            "membraned_retention": membraned.midrange_retention(oxygen),
+        }
+    return results
+
+
+def test_ablation_oxygen(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, values in results.items():
+        print(f"  {name:<22} O2 {values['oxygen_molar'] * 1e3:5.2f} mM: "
+              f"signal x{values['midrange_retention']:.2f}, "
+              f"linear to {values['linear_upper_mm']:6.2f} mM "
+              f"(membrane: x{values['membraned_retention']:.2f})")
+
+    beaker = results["air-saturated buffer"]
+    tissue = results["subcutaneous tissue"]
+    # Tissue oxygen collapses both the mid-range signal and the range.
+    assert tissue["midrange_retention"] < 0.3 * beaker["midrange_retention"]
+    assert tissue["linear_upper_mm"] < 0.3 * beaker["linear_upper_mm"]
+    # An O2-permeable membrane recovers a useful fraction.
+    assert tissue["membraned_retention"] > 1.5 * tissue["midrange_retention"]

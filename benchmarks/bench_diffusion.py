@@ -1,0 +1,53 @@
+"""Bench: diffusion-engine validation and throughput.
+
+Micro-benchmarks of the finite-difference substrate with accuracy
+assertions against the closed-form laws (Cottrell, Randles-Sevcik): the
+solver must stay both fast and correct.
+"""
+
+import numpy as np
+
+from repro.chem.cottrell import cottrell_current
+from repro.chem.diffusion import DiffusionGrid1D, ElectrodeDiffusionSystem
+from repro.chem.randles_sevcik import peak_current_reversible
+from repro.chem.species import FERRICYANIDE
+from repro.constants import FARADAY
+
+
+def test_crank_nicolson_cottrell(benchmark):
+    def run() -> float:
+        grid = DiffusionGrid1D.for_transient(7e-10, 1.0, 500, 1e-3)
+        fluxes = grid.run(500)
+        return FARADAY * 1e-6 * fluxes[-1]
+
+    simulated = benchmark(run)
+    analytic = cottrell_current(1.0, 1, 1e-6, 1e-3, 7e-10)
+    assert abs(simulated - analytic) / analytic < 5e-3
+
+
+def test_cv_engine_randles_sevcik(benchmark):
+    from repro.techniques.cyclic_voltammetry import CyclicVoltammetry
+
+    def run() -> float:
+        cv = CyclicVoltammetry(0.6, -0.2, 0.05, sampling_rate_hz=400.0)
+        record = cv.simulate_solution_couple(
+            FERRICYANIDE.with_rate_enhancement(50.0), 1e-3, 0.0, 7e-6)
+        forward = record.current_a[: record.time_s.size // 2]
+        return float(abs(forward.min()))
+
+    simulated = benchmark.pedantic(run, rounds=3, iterations=1)
+    analytic = peak_current_reversible(1, 7e-6, FERRICYANIDE.diffusion_ox,
+                                       1e-3, 0.05)
+    assert abs(simulated - analytic) / analytic < 0.05
+
+
+def test_explicit_stepper_throughput(benchmark):
+    system = ElectrodeDiffusionSystem(FERRICYANIDE, 1e-6, 1e-3, 0.0,
+                                      10.0, 2000)
+    potentials = np.linspace(0.5, -0.3, 2000)
+
+    def run() -> float:
+        currents = system.run(potentials)
+        return float(currents[-1])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Bench: figure-equivalent calibration curves for all seven own sensors.
+
+Each developed sensor's signal-vs-concentration curve: linear at low
+concentration, bending over past the published range (Michaelis-Menten).
+"""
+
+import numpy as np
+
+from repro.core.registry import TABLE1_SPECS
+from repro.experiments.figures import calibration_curve_figure
+
+
+def run() -> list:
+    return [calibration_curve_figure(spec, n_points=8, seed=17)
+            for spec in TABLE1_SPECS]
+
+
+def test_figure_calibration_curves(benchmark):
+    figures = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(figures) == 7
+
+    for spec, figure in zip(TABLE1_SPECS, figures):
+        signals = figure["signals_a"]
+        concentrations = figure["concentrations_molar"]
+        # Monotone response.
+        assert signals[-1] > signals[0], spec.sensor_id
+        # Saturation: last-segment slope below first-segment slope.
+        # Wide two-segment spans keep the slope estimates out of the
+        # per-point noise (the smallest-range sensors sit near their LOD).
+        first = ((signals[2] - signals[0])
+                 / (concentrations[2] - concentrations[0]))
+        last = ((signals[-1] - signals[-3])
+                / (concentrations[-1] - concentrations[-3]))
+        assert last < 0.9 * first, spec.sensor_id
+        print(f"{spec.sensor_id:26s} initial slope "
+              f"{first:.3e} A/M, final slope {last:.3e} A/M")
+        __ = np.asarray(signals)

@@ -1,0 +1,36 @@
+"""Bench: figure-equivalent chronoamperometric staircase (section 3.1).
+
+"The working electrode potential is set at +650 mV and the current
+variation is recorded" — successive equal glucose additions produce a
+monotone staircase whose step heights shrink as Michaelis-Menten saturation
+sets in.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import chrono_staircase_figure
+
+
+def run() -> dict:
+    return chrono_staircase_figure("glucose/this-work", n_additions=8,
+                                   step_duration_s=20.0, seed=11)
+
+
+def test_figure_chrono_staircase(benchmark):
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    current = figure["acquired_current_a"]
+    n_steps = len(figure["concentrations_molar"])
+    n_per_step = current.size // n_steps
+    plateaus = np.array([current[(k + 1) * n_per_step - 1]
+                         for k in range(n_steps)])
+
+    print("\nstaircase plateaus [nA]:",
+          np.array2string(plateaus * 1e9, precision=2))
+
+    # Monotone staircase...
+    assert np.all(np.diff(plateaus) > 0)
+    # ...with shrinking increments (saturation bend).
+    increments = np.diff(plateaus)
+    assert increments[-1] < increments[0]
+    # Potential held at +650 mV throughout.
+    assert np.all(figure["record"].potential_v == 0.65)

@@ -1,0 +1,40 @@
+"""Bench: figure-equivalent grouped comparison chart (Table 2 rollup).
+
+The cross-sensor comparison the paper's discussion walks through: grouped
+sensitivity and LOD bars for all 18 sensors, regenerated from the full
+pipeline.
+"""
+
+from repro.experiments.figures import comparison_chart
+from repro.experiments.table2 import run_table2
+
+
+def run() -> dict:
+    rows = run_table2(seed=7)
+    return {"rows": rows, "chart": comparison_chart(rows)}
+
+
+def test_figure_comparison_chart(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    chart = result["chart"]
+
+    assert set(chart) == {"glucose", "lactate", "glutamate", "cyp"}
+    assert sum(len(entries) for entries in chart.values()) == 18
+
+    print()
+    for group, entries in chart.items():
+        print(f"[{group}]")
+        for label, sensitivity, lod in entries:
+            bar = "#" * max(1, min(60, int(sensitivity ** 0.5)))
+            print(f"  {label:<34} {sensitivity:9.2f} uA/mM/cm^2 "
+                  f"LOD {lod:7.2f} uM  {bar}")
+
+    # Spot shape checks across groups: CYP sensors deliver the largest
+    # sensitivities of the whole table (their Km are tiny), while the
+    # CNT/mineral-oil lactate paste [41] is the weakest of all 18.
+    flat = [(label, s) for entries in chart.values()
+            for label, s, __ in entries]
+    top_label = max(flat, key=lambda item: item[1])[0]
+    bottom_label = min(flat, key=lambda item: item[1])[0]
+    assert "CYP" in top_label
+    assert "mineral oil" in bottom_label

@@ -1,0 +1,38 @@
+"""Bench: figure-equivalent cyclic-voltammogram family (section 3.1).
+
+"A linear-sweep potential is applied forward and backward ... the
+hysteresis plot gives qualitative and quantitative information ... the
+peak height is proportional to drug concentration."
+"""
+
+import numpy as np
+
+from repro.experiments.figures import cv_family_figure
+
+
+def run() -> dict:
+    return cv_family_figure("cyp/cyclophosphamide", n_levels=6, seed=13)
+
+
+def test_figure_cv_family(benchmark):
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    levels = np.array(figure["levels_molar"])
+    heights = np.array(figure["peak_heights_a"])
+
+    print("\nCP levels [uM]:", np.array2string(levels * 1e6, precision=1))
+    print("peak heights [uA]:", np.array2string(heights * 1e6, precision=3))
+
+    # Peak height grows with concentration...
+    assert np.all(np.diff(heights) > 0)
+    # ...approximately linearly in the low range (r > 0.99).
+    r = np.corrcoef(levels, heights)[0, 1]
+    assert r > 0.99
+
+    # Every voltammogram shows hysteresis: forward and backward branches
+    # of the cycle differ (the CNT film's capacitive envelope).
+    for __, record in figure["voltammograms"]:
+        n = record.current_a.size
+        forward = record.current_a[: n // 2]
+        backward = record.current_a[n // 2:][::-1]
+        m = min(forward.size, backward.size)
+        assert not np.allclose(forward[:m], backward[:m], rtol=1e-3)

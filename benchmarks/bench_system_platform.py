@@ -1,0 +1,55 @@
+"""Bench: system-integration study (sections 1 and 2.5).
+
+Regenerates the platform-based-design arguments: the reference biosensing
+node composes validly, heterogeneous technology partitioning beats a
+single-node SoC, the Guiducci-style 3-D stack is geometrically feasible
+with a disposable biolayer, and the platform NRE crossover arrives within
+a handful of derivative products.
+"""
+
+from repro.system.blocks import STANDARD_BLOCKS
+from repro.system.composition import reference_biosensor_node
+from repro.system.nre import platform_vs_custom_crossover
+from repro.system.scaling import homogeneous_vs_heterogeneous
+from repro.system.stack3d import guiducci_stack
+
+
+def run() -> dict:
+    design = reference_biosensor_node()
+    stack = guiducci_stack()
+    scaling = homogeneous_vs_heterogeneous(STANDARD_BLOCKS)
+    nre = platform_vs_custom_crossover(
+        [b.kind.value for b in STANDARD_BLOCKS], 180.0)
+    return {
+        "design": design,
+        "stack": stack,
+        "scaling": scaling,
+        "nre": nre,
+    }
+
+
+def test_system_platform_study(benchmark):
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    design = result["design"]
+    stack = result["stack"]
+    scaling = result["scaling"]
+    nre = result["nre"]
+
+    print("\n" + design.summary())
+    print(f"3-D stack: footprint {stack.footprint_mm2:.1f} mm^2, "
+          f"{stack.total_tsvs()} TSVs, "
+          f"thickness {stack.total_thickness_um():.0f} um, "
+          f"replaceable fraction {stack.replacement_cost_fraction():.0%}")
+    print(f"scaling: homogeneous best {scaling['homogeneous_node_nm']:.0f} nm "
+          f"at ${scaling['homogeneous_cost_usd']:.2f}, heterogeneous "
+          f"${scaling['heterogeneous_cost_usd']:.2f} "
+          f"(saving x{scaling['saving_ratio']:.2f})")
+    print(f"NRE: full-custom ${nre['full_custom_nre_usd'] / 1e6:.2f}M per "
+          f"product, platform crossover at "
+          f"{nre['crossover_products']:.0f} products")
+
+    assert design.analog_fraction() > 0.5
+    assert stack.is_feasible()
+    assert len(stack.disposable_layers()) == 1
+    assert scaling["saving_ratio"] > 1.0
+    assert nre["crossover_products"] <= 10

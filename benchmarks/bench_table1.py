@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 1 (features of the developed biosensors)."""
+
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    print("\n" + result["text"])
+    assert result["matches"], "generated Table 1 differs from the paper"
+    assert len(result["rows"]) == len(PAPER_TABLE1) == 7

@@ -1,0 +1,45 @@
+"""Bench: Table 2, CYP drug-sensor section (4 sensors, cyclic voltammetry).
+
+Shape claims (paper section 3.2.4): sensitivity ordering arachidonic acid
+(1140) > Ftorafur (883) > ifosfamide (160) > cyclophosphamide (102), all
+with micromolar-or-better detection limits — the numbers motivating the
+"personalized therapy" application.
+"""
+
+from repro.core.validation import ranking_matches, within_factor
+from repro.experiments.table2 import rows_to_text, run_table2
+
+EXPECTED_ORDER = [
+    "cyp/arachidonic-acid",
+    "cyp/ftorafur",
+    "cyp/ifosfamide",
+    "cyp/cyclophosphamide",
+]
+
+PAPER_LOD_UM = {
+    "cyp/arachidonic-acid": 0.4,
+    "cyp/ftorafur": 0.7,
+    "cyp/ifosfamide": 2.0,
+    "cyp/cyclophosphamide": 2.0,
+}
+
+
+def run() -> dict:
+    return run_table2(groups=["cyp"], seed=7)
+
+
+def test_table2_cyp(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + rows_to_text(rows))
+
+    sensitivities = {sid: row.measured_sensitivity
+                     for sid, row in rows.items()}
+    assert ranking_matches(sensitivities, EXPECTED_ORDER)
+
+    for sensor_id, row in rows.items():
+        assert within_factor(row.measured_sensitivity,
+                             row.spec.paper_sensitivity, 1.25)
+        # LODs land within sampling scatter of the published values.
+        assert within_factor(row.measured_lod_um,
+                             PAPER_LOD_UM[sensor_id], 3.0)
+        assert row.measured_lod_um < 10.0  # micromolar-class detection

@@ -1,0 +1,38 @@
+"""Bench: Table 2, glucose section (5 sensors).
+
+Shape claims (paper section 3.2.1): our MWCNT/Nafion + GOD sensor shows the
+best sensitivity AND the best limit of detection among the CNT+GOD sensors;
+the sensitivity ordering is [42] < [49] < [55] < [18] < this work.
+"""
+
+from repro.core.validation import ranking_matches, within_factor
+from repro.experiments.table2 import rows_to_text, run_table2
+
+EXPECTED_ORDER = [
+    "glucose/this-work",   # 55.5
+    "glucose/hua2012",     # 23.5
+    "glucose/wang2003",    # 14.2
+    "glucose/tsai2005",    # 4.7
+    "glucose/ryu2010",     # 4.05
+]
+
+
+def run() -> dict:
+    return run_table2(groups=["glucose"], seed=7)
+
+
+def test_table2_glucose(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + rows_to_text(rows))
+
+    sensitivities = {sid: row.measured_sensitivity
+                     for sid, row in rows.items()}
+    assert ranking_matches(sensitivities, EXPECTED_ORDER)
+
+    ours = rows["glucose/this-work"]
+    assert within_factor(ours.measured_sensitivity, 55.5, 1.2)
+    assert within_factor(ours.measured_lod_um, 2.0, 2.0)
+    assert within_factor(ours.measured_range_mm[1], 1.0, 1.4)
+    for sid, row in rows.items():
+        if sid != "glucose/this-work":
+            assert ours.measured_lod_um < row.measured_lod_um

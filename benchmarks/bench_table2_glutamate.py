@@ -1,0 +1,45 @@
+"""Bench: Table 2, glutamate section (4 sensors).
+
+Shape claims (paper section 3.2.3): literature sensitivities are higher than
+ours by up to three orders of magnitude ([1] at 384 vs our 0.9), but our
+0-2 mM linear range is the widest — "useful for some particular applications
+like cell culture monitoring".
+"""
+
+from repro.core.validation import ranking_matches, within_factor
+from repro.experiments.table2 import rows_to_text, run_table2
+
+EXPECTED_ORDER = [
+    "glutamate/ammam2010",  # 384
+    "glutamate/zhang2006",  # 85
+    "glutamate/pan1996",    # 16.1
+    "glutamate/this-work",  # 0.9
+]
+
+
+def run() -> dict:
+    return run_table2(groups=["glutamate"], seed=7)
+
+
+def test_table2_glutamate(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + rows_to_text(rows))
+
+    sensitivities = {sid: row.measured_sensitivity
+                     for sid, row in rows.items()}
+    assert ranking_matches(sensitivities, EXPECTED_ORDER)
+
+    ours = rows["glutamate/this-work"]
+    best = rows["glutamate/ammam2010"]
+    # "up to three orders of magnitude" sensitivity gap.
+    gap = best.measured_sensitivity / ours.measured_sensitivity
+    assert 100.0 < gap < 1000.0
+
+    # Our range is the widest by an order of magnitude.
+    for sid, row in rows.items():
+        if sid != "glutamate/this-work":
+            assert ours.measured_range_mm[1] > 5 * row.measured_range_mm[1]
+
+    for row in rows.values():
+        assert within_factor(row.measured_sensitivity,
+                             row.spec.paper_sensitivity, 1.2)

@@ -1,0 +1,16 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper through the
+full simulated pipeline, asserts the *shape* claims (who wins, rough
+factors, crossovers) and prints the regenerated rows so the run log doubles
+as the reproduction record.  Heavy end-to-end benches run one round
+(``benchmark.pedantic``); micro-benches use the default calibration.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2012)  # DAC 2012

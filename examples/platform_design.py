@@ -1,0 +1,77 @@
+"""Platform-based design of an integrated biosensing node (sections 1, 2.5).
+
+Walks the paper's system-level argument end to end: compose the block
+diagram, check the compositional rules, quantify why heterogeneous
+technologies beat a single-node SoC, assemble the Guiducci-style 3-D stack
+with a disposable biolayer, and compute the NRE crossover that makes the
+platform approach pay.
+
+Run:  python examples/platform_design.py
+"""
+
+from repro.system.blocks import STANDARD_BLOCKS, block_by_name
+from repro.system.composition import reference_biosensor_node
+from repro.system.nre import platform_vs_custom_crossover
+from repro.system.scaling import (
+    best_node_for_block,
+    homogeneous_vs_heterogeneous,
+    scaled_area_mm2,
+)
+from repro.system.stack3d import guiducci_stack, tsv_parasitic_capacitance_ff
+
+
+def main() -> None:
+    # 1. Compose and validate the node.
+    design = reference_biosensor_node()
+    print(design.summary())
+
+    # 2. Heterogeneous scaling: where does each block want to live?
+    print("\nPer-block optimal technology nodes:")
+    for block in STANDARD_BLOCKS:
+        node = best_node_for_block(block)
+        area = scaled_area_mm2(block, node)
+        print(f"  {block.name:<28} -> {node:5.0f} nm "
+              f"({area:5.2f} mm^2, exponent {block.scaling_exponent})")
+
+    comparison = homogeneous_vs_heterogeneous(STANDARD_BLOCKS)
+    print(f"\nSingle-node SoC (best node "
+          f"{comparison['homogeneous_node_nm']:.0f} nm): "
+          f"${comparison['homogeneous_cost_usd']:.2f}/die")
+    print(f"Heterogeneous partition: "
+          f"${comparison['heterogeneous_cost_usd']:.2f}/die "
+          f"(x{comparison['saving_ratio']:.2f} cheaper)")
+
+    # 3. The 3-D stack with disposable biolayer (Guiducci et al. [17]).
+    stack = guiducci_stack()
+    print("\n3-D stacked integration:")
+    for layer in stack.layers:
+        tag = "DISPOSABLE" if layer.disposable else "permanent"
+        print(f"  {layer.name:<24} {layer.technology_node_nm:5.0f} nm  "
+              f"{layer.active_area_mm2():5.2f} mm^2  [{tag}]")
+    print(f"  footprint {stack.footprint_mm2:.1f} mm^2, "
+          f"{stack.total_tsvs()} TSVs "
+          f"({tsv_parasitic_capacitance_ff():.0f} fF each), "
+          f"feasible: {stack.is_feasible()}")
+    print(f"  area discarded per use: "
+          f"{stack.replacement_cost_fraction():.0%}")
+
+    # 4. NRE: when does the platform style pay?
+    kinds = [b.kind.value for b in STANDARD_BLOCKS]
+    nre = platform_vs_custom_crossover(kinds, 180.0)
+    print("\nNRE economics (180 nm):")
+    print(f"  full-custom per product: "
+          f"${nre['full_custom_nre_usd'] / 1e6:.2f}M")
+    print(f"  platform derivative:     "
+          f"${nre['platform_derivative_nre_usd'] / 1e6:.2f}M "
+          f"(after ${nre['platform_setup_usd'] / 1e6:.2f}M setup)")
+    print(f"  platform wins from {nre['crossover_products']:.0f} products")
+
+    # Bonus: what the AFE block looks like when moved off 180 nm.
+    afe = block_by_name("potentiostat + tia front-end")
+    print(f"\nAFE area across nodes: "
+          + ", ".join(f"{node:.0f}nm: {scaled_area_mm2(afe, node):.2f}mm^2"
+                      for node in (350.0, 180.0, 90.0, 40.0)))
+
+
+if __name__ == "__main__":
+    main()

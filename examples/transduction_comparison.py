@@ -1,0 +1,70 @@
+"""One biomarker, four transduction mechanisms (section 2.3 head-to-head).
+
+The paper's classification surveys amperometric, SPR, QCM, potentiometric
+and impedimetric sensing.  This example detects the same antibody-antigen
+binding event (a PSA-like protein biomarker, Kd = 1 nM) with the SPR, QCM
+and faradic-EIS models, and contrasts them with the enzymatic amperometric
+channel's strengths — quantifying why each class owns a different niche.
+
+Run:  python examples/transduction_comparison.py
+"""
+
+import numpy as np
+
+from repro.chem.impedance import RandlesCircuit
+from repro.core.registry import build_sensor, spec_by_id
+from repro.transducers.immunosensor import FaradicImmunosensor
+from repro.transducers.potentiometric import IonSelectiveElectrode
+from repro.transducers.qcm import QuartzCrystalMicrobalance
+from repro.transducers.spr import SprSensor
+
+
+def main() -> None:
+    kd = 1e-9  # shared antibody affinity
+    spr = SprSensor(kd_molar=kd)
+    qcm = QuartzCrystalMicrobalance(kd_molar=kd)
+    eis = FaradicImmunosensor(
+        baseline=RandlesCircuit(100.0, 5_000.0, 1e-6), kd_molar=kd)
+
+    print("Label-free biomarker detection (antibody Kd = 1 nM):")
+    levels = np.array([0.0, 0.1e-9, 0.3e-9, 1e-9, 3e-9, 10e-9])
+    print(f"{'conc [nM]':>10} {'SPR [mdeg]':>12} {'QCM [Hz]':>10} "
+          f"{'EIS dRct [ohm]':>15}")
+    for level in levels:
+        print(f"{level * 1e9:10.1f} "
+              f"{spr.angle_shift_millideg(float(level)):12.3f} "
+              f"{qcm.frequency_shift_hz(float(level)):10.1f} "
+              f"{eis.rct_shift_ohm(float(level)):15.0f}")
+
+    print("\nDetection limits (3-sigma):")
+    print(f"  SPR: {spr.limit_of_detection_molar() * 1e12:8.2f} pM")
+    print(f"  QCM: {qcm.limit_of_detection_molar() * 1e12:8.2f} pM")
+    print(f"  EIS: {eis.limit_of_detection_molar() * 1e12:8.2f} pM")
+
+    print("\nPotentiometric channel (urease-style NH4+ readout):")
+    ise = IonSelectiveElectrode(
+        ion_charge=1,
+        selectivity={"K+": 0.05},
+        interferent_charges={"K+": 1},
+    )
+    print(f"  Nernstian slope: "
+          f"{ise.slope_v_per_decade() * 1e3:.1f} mV/decade")
+    for conc in (1e-5, 1e-4, 1e-3):
+        clean = ise.potential_v(conc)
+        with_k = ise.potential_v(conc, {"K+": 5e-3})
+        print(f"  {conc * 1e3:6.2f} mM -> {clean * 1e3:7.1f} mV "
+              f"(+{(with_k - clean) * 1e3:4.1f} mV with 5 mM K+)")
+
+    print("\nAmperometric reference (the paper's own platform):")
+    glucose = build_sensor(spec_by_id("glucose/this-work"))
+    print(f"  {glucose.describe()}")
+    print(f"  LOD {glucose.expected_lod_molar() * 1e6:.1f} uM, linear to "
+          f"{glucose.linear_range_upper_molar() * 1e3:.1f} mM")
+    print("\nTakeaway: label-free affinity transducers reach pM-nM limits "
+          "for biomarkers,\nwhile the enzymatic amperometric platform owns "
+          "the mM metabolite/drug range\nwith disposable, integrable "
+          "electrodes — each class fills its classification niche.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — simulation-based reproduction of *Integrated Biosensors for
+Personalized Medicine* (De Micheli, Boero, Baj-Rossi, Taurino, Carrara,
+DAC 2012).
+
+The library rebuilds the paper's CNT-based multi-target electrochemical
+biosensor platform entirely in simulation: enzyme kinetics, electrode
+electrochemistry, nanostructured films, the analog/digital readout chain,
+the measurement techniques, and the calibration analysis that produces the
+paper's Table 2 metrics (sensitivity, linear range, limit of detection).
+
+Quickstart::
+
+    from repro.core import spec_by_id, build_sensor, run_calibration
+    from repro.core import default_protocol_for_range
+    from repro.units import molar_from_millimolar
+
+    spec = spec_by_id("glucose/this-work")
+    sensor = build_sensor(spec)
+    protocol = default_protocol_for_range(
+        molar_from_millimolar(spec.paper_range_mm[1]))
+    result = run_calibration(sensor, protocol)
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+from repro import (  # noqa: F401  (re-exported subpackages)
+    analytes,
+    bio,
+    chem,
+    classification,
+    constants,
+    core,
+    electrodes,
+    enzymes,
+    experiments,
+    instrument,
+    nano,
+    signal,
+    system,
+    techniques,
+    transducers,
+    units,
+)
+
+__all__ = [
+    "analytes",
+    "bio",
+    "chem",
+    "classification",
+    "constants",
+    "core",
+    "electrodes",
+    "enzymes",
+    "experiments",
+    "instrument",
+    "nano",
+    "signal",
+    "system",
+    "techniques",
+    "transducers",
+    "units",
+    "__version__",
+]

@@ -1,0 +1,125 @@
+"""The analytes detected by the paper's biosensor platform.
+
+Section 2.1 classifies targets into DNA, metabolites, biomarkers and drugs;
+the platform of section 3 covers three endogenous metabolites (glucose,
+lactate, glutamate), one fatty acid (arachidonic acid) and three anticancer
+drugs (cyclophosphamide, ifosfamide, Ftorafur).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AnalyteClass(enum.Enum):
+    """Target classes of the paper's classification (section 2.1)."""
+
+    METABOLITE = "metabolite"
+    FATTY_ACID = "fatty_acid"
+    DRUG = "drug"
+    BIOMARKER = "biomarker"
+    NUCLEIC_ACID = "nucleic_acid"
+
+
+@dataclass(frozen=True)
+class Analyte:
+    """A measurable target molecule.
+
+    Attributes:
+        name: common name.
+        analyte_class: classification bucket.
+        molecular_weight_g_mol: molar mass [g/mol].
+        diffusion_m2_s: aqueous diffusion coefficient [m^2/s].
+        clinical_role: one-line clinical relevance (from the paper).
+    """
+
+    name: str
+    analyte_class: AnalyteClass
+    molecular_weight_g_mol: float
+    diffusion_m2_s: float
+    clinical_role: str
+
+    def __post_init__(self) -> None:
+        if self.molecular_weight_g_mol <= 0:
+            raise ValueError(f"{self.name}: molecular weight must be > 0")
+        if self.diffusion_m2_s <= 0:
+            raise ValueError(f"{self.name}: diffusion coefficient must be > 0")
+
+
+GLUCOSE = Analyte(
+    name="glucose",
+    analyte_class=AnalyteClass.METABOLITE,
+    molecular_weight_g_mol=180.16,
+    diffusion_m2_s=6.7e-10,
+    clinical_role="diabetes self-management; most studied metabolite",
+)
+
+LACTATE = Analyte(
+    name="lactate",
+    analyte_class=AnalyteClass.METABOLITE,
+    molecular_weight_g_mol=90.08,
+    diffusion_m2_s=1.0e-9,
+    clinical_role="sports medicine, intensive care, cell-culture monitoring",
+)
+
+GLUTAMATE = Analyte(
+    name="glutamate",
+    analyte_class=AnalyteClass.METABOLITE,
+    molecular_weight_g_mol=147.13,
+    diffusion_m2_s=7.6e-10,
+    clinical_role="neurotransmitter; neurochemical monitoring",
+)
+
+ARACHIDONIC_ACID = Analyte(
+    name="arachidonic acid",
+    analyte_class=AnalyteClass.FATTY_ACID,
+    molecular_weight_g_mol=304.47,
+    diffusion_m2_s=4.0e-10,
+    clinical_role="fatty acid abundant in liver, brain and muscle",
+)
+
+CYCLOPHOSPHAMIDE = Analyte(
+    name="cyclophosphamide",
+    analyte_class=AnalyteClass.DRUG,
+    molecular_weight_g_mol=261.08,
+    diffusion_m2_s=5.0e-10,
+    clinical_role="alkylating anticancer agent and immunosuppressant",
+)
+
+IFOSFAMIDE = Analyte(
+    name="ifosfamide",
+    analyte_class=AnalyteClass.DRUG,
+    molecular_weight_g_mol=261.08,
+    diffusion_m2_s=5.0e-10,
+    clinical_role="alkylating anticancer agent (CP isomer)",
+)
+
+FTORAFUR = Analyte(
+    name="ftorafur",
+    analyte_class=AnalyteClass.DRUG,
+    molecular_weight_g_mol=200.17,
+    diffusion_m2_s=6.0e-10,
+    clinical_role="chemotherapeutic 5-FU prodrug (tegafur)",
+)
+
+ALL_ANALYTES: tuple[Analyte, ...] = (
+    GLUCOSE,
+    LACTATE,
+    GLUTAMATE,
+    ARACHIDONIC_ACID,
+    CYCLOPHOSPHAMIDE,
+    IFOSFAMIDE,
+    FTORAFUR,
+)
+
+_BY_NAME = {analyte.name: analyte for analyte in ALL_ANALYTES}
+
+
+def analyte_by_name(name: str) -> Analyte:
+    """Look up an analyte by name; raises ``KeyError`` listing the options."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown analyte {name!r}; available: {sorted(_BY_NAME)}") from None

@@ -1,0 +1,88 @@
+"""Physiological / therapeutic concentration ranges.
+
+Whether a sensor's linear range *covers the clinically relevant window* is
+the acceptance criterion behind several Table 2 narratives: the N-doped CNT
+lactate sensor [16] beats the paper's sensitivity but its 0.014-0.325 mM
+range "cannot fit with physiological lactate concentration" (section 3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PhysiologicalRange:
+    """Clinically relevant concentration window for an analyte.
+
+    Attributes:
+        analyte: analyte name.
+        low_molar / high_molar: window bounds [mol/L].
+        context: fluid / scenario the window refers to.
+    """
+
+    analyte: str
+    low_molar: float
+    high_molar: float
+    context: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low_molar < self.high_molar:
+            raise ValueError(
+                f"{self.analyte}: need 0 <= low < high, got "
+                f"({self.low_molar}, {self.high_molar})")
+
+    def contains(self, concentration_molar: float) -> bool:
+        """True when ``concentration_molar`` is inside the window."""
+        return self.low_molar <= concentration_molar <= self.high_molar
+
+    @property
+    def span_molar(self) -> float:
+        """Window width [mol/L]."""
+        return self.high_molar - self.low_molar
+
+
+_RANGES: dict[str, PhysiologicalRange] = {
+    "glucose": PhysiologicalRange(
+        "glucose", 3.0e-3, 10.0e-3, "blood, normal-to-hyperglycemic"),
+    "lactate": PhysiologicalRange(
+        "lactate", 0.5e-3, 2.0e-3, "resting blood (up to ~25 mM in exercise)"),
+    "glutamate": PhysiologicalRange(
+        "glutamate", 1.0e-6, 100e-6, "extracellular brain tissue / culture"),
+    "arachidonic acid": PhysiologicalRange(
+        "arachidonic acid", 1.0e-6, 20e-6, "free plasma fraction"),
+    "cyclophosphamide": PhysiologicalRange(
+        "cyclophosphamide", 10e-6, 60e-6, "plasma during therapy"),
+    "ifosfamide": PhysiologicalRange(
+        "ifosfamide", 20e-6, 120e-6, "plasma during therapy"),
+    "ftorafur": PhysiologicalRange(
+        "ftorafur", 1.0e-6, 8e-6, "plasma during therapy"),
+    "cell-culture lactate": PhysiologicalRange(
+        "cell-culture lactate", 0.1e-3, 1.0e-3,
+        "neural cell culture medium (the paper's monitoring use case)"),
+}
+
+
+def physiological_range(analyte: str) -> PhysiologicalRange:
+    """Return the clinical window for ``analyte`` (KeyError when unknown)."""
+    try:
+        return _RANGES[analyte]
+    except KeyError:
+        raise KeyError(
+            f"no physiological range for {analyte!r}; "
+            f"available: {sorted(_RANGES)}") from None
+
+
+def covers_physiological_range(analyte: str,
+                               linear_low_molar: float,
+                               linear_high_molar: float) -> bool:
+    """True when a sensor's linear range covers the full clinical window.
+
+    This is the check behind the section 3.2.2 narrative: a sensor may beat
+    another on sensitivity yet fail here.
+    """
+    if linear_low_molar < 0 or linear_high_molar <= linear_low_molar:
+        raise ValueError("need 0 <= low < high")
+    window = physiological_range(analyte)
+    return (linear_low_molar <= window.low_molar
+            and linear_high_molar >= window.high_molar)

@@ -1,0 +1,95 @@
+"""Sample matrices: buffer, serum, cell-culture medium.
+
+A matrix bundles the interferent cocktail, a fouling-driven sensitivity
+drift and the dissolved-oxygen level (co-substrate of the oxidases).  The
+examples run the same sensor against different matrices to show why
+real-fluid operation is harder than buffer calibration — the gap the
+paper's Nafion films and integrated readout aim to close.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.bio.interference import (
+    ASCORBATE,
+    PARACETAMOL,
+    URATE,
+    Interferent,
+    total_interference_current,
+)
+
+
+@dataclass(frozen=True)
+class SampleMatrix:
+    """A measurement matrix.
+
+    Attributes:
+        name: matrix identity.
+        interferents: electroactive components present.
+        fouling_rate_per_hour: fractional sensitivity loss per hour from
+            protein adsorption on the electrode.
+        oxygen_molar: dissolved O2 [mol/L] (air-saturated water: ~0.25 mM).
+        baseline_drift_a_per_hour_per_m2: slow additive baseline drift
+            normalized by electrode area.
+    """
+
+    name: str
+    interferents: tuple[Interferent, ...] = field(default_factory=tuple)
+    fouling_rate_per_hour: float = 0.0
+    oxygen_molar: float = 0.25e-3
+    baseline_drift_a_per_hour_per_m2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fouling_rate_per_hour < 0:
+            raise ValueError("fouling rate must be >= 0")
+        if self.oxygen_molar < 0:
+            raise ValueError("oxygen level must be >= 0")
+
+    def interference_current_a(self,
+                               area_m2: float,
+                               potential_v: float,
+                               nafion_film: bool = False) -> float:
+        """Total interferent current [A] for this matrix."""
+        return total_interference_current(
+            list(self.interferents), area_m2, potential_v, nafion_film)
+
+    def sensitivity_retention(self, elapsed_hours: float) -> float:
+        """Multiplicative sensitivity factor after ``elapsed_hours`` of fouling.
+
+        Exponential decay: ``exp(-rate * t)``.
+        """
+        if elapsed_hours < 0:
+            raise ValueError("elapsed time must be >= 0")
+        return math.exp(-self.fouling_rate_per_hour * elapsed_hours)
+
+    def baseline_drift_a(self, area_m2: float, elapsed_hours: float) -> float:
+        """Accumulated additive baseline shift [A] after ``elapsed_hours``."""
+        if area_m2 <= 0:
+            raise ValueError("area must be > 0")
+        if elapsed_hours < 0:
+            raise ValueError("elapsed time must be >= 0")
+        return self.baseline_drift_a_per_hour_per_m2 * area_m2 * elapsed_hours
+
+
+#: Clean phosphate buffer: the calibration matrix.
+BUFFER = SampleMatrix(name="phosphate buffer")
+
+#: Human serum: full interferent cocktail, significant fouling.
+SERUM = SampleMatrix(
+    name="human serum",
+    interferents=(ASCORBATE, URATE, PARACETAMOL),
+    fouling_rate_per_hour=0.01,
+    oxygen_molar=0.13e-3,
+    baseline_drift_a_per_hour_per_m2=2e-4,
+)
+
+#: Neural cell-culture medium: the paper's monitoring scenario [4], [5].
+CELL_CULTURE_MEDIUM = SampleMatrix(
+    name="cell-culture medium",
+    interferents=(ASCORBATE,),
+    fouling_rate_per_hour=0.003,
+    oxygen_molar=0.20e-3,
+    baseline_drift_a_per_hour_per_m2=5e-5,
+)

@@ -1,0 +1,70 @@
+"""Nernst equation and equilibrium surface composition.
+
+For a reversible couple O + n e- <-> R the electrode potential fixes the
+ratio of surface concentrations; these helpers convert between the two
+descriptions.  They are used by the voltammetry simulator in the reversible
+limit and by tests validating the Butler-Volmer implementation (equilibrium
+means zero net current).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import STANDARD_TEMPERATURE, nernst_slope
+
+
+def nernst_potential(formal_potential: float,
+                     n_electrons: int,
+                     conc_ox: float,
+                     conc_red: float,
+                     temperature: float = STANDARD_TEMPERATURE) -> float:
+    """Return the equilibrium potential [V] for given O/R concentrations.
+
+    ``E = E0' + (RT/nF) ln(C_O / C_R)``.  Concentrations may be in any
+    (common) unit since only their ratio matters; both must be positive.
+    """
+    if conc_ox <= 0 or conc_red <= 0:
+        raise ValueError(
+            f"concentrations must be positive, got ox={conc_ox}, red={conc_red}")
+    slope = nernst_slope(n_electrons, temperature)
+    return formal_potential + slope * math.log(conc_ox / conc_red)
+
+
+def surface_concentration_ratio(potential: float,
+                                formal_potential: float,
+                                n_electrons: int,
+                                temperature: float = STANDARD_TEMPERATURE,
+                                ) -> float:
+    """Return the Nernstian surface ratio C_O/C_R imposed by ``potential``.
+
+    This inverts :func:`nernst_potential`.  The result spans many orders of
+    magnitude around E0'; callers should expect overflow-free values only for
+    overpotentials within roughly +-0.5 V, which covers every technique in
+    the paper.
+    """
+    slope = nernst_slope(n_electrons, temperature)
+    exponent = (potential - formal_potential) / slope
+    # math.exp overflows above ~709; clamp to keep the reversible-limit
+    # simulator robust at extreme sweep vertices.
+    exponent = max(min(exponent, 500.0), -500.0)
+    return math.exp(exponent)
+
+
+def equilibrium_surface_fractions(potential: float,
+                                  formal_potential: float,
+                                  n_electrons: int,
+                                  temperature: float = STANDARD_TEMPERATURE,
+                                  ) -> tuple[float, float]:
+    """Return (fraction_ox, fraction_red) at equilibrium for a surface couple.
+
+    For an adsorbed (immobilized) redox protein such as cytochrome P450 the
+    total coverage is fixed and the potential partitions it between the two
+    oxidation states:
+
+    ``f_ox = r / (1 + r)`` with ``r = C_O/C_R`` from the Nernst equation.
+    """
+    ratio = surface_concentration_ratio(
+        potential, formal_potential, n_electrons, temperature)
+    fraction_ox = ratio / (1.0 + ratio)
+    return fraction_ox, 1.0 - fraction_ox

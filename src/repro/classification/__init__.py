@@ -1,0 +1,39 @@
+"""Section 2 of the paper as a queryable data model.
+
+The paper's first half is a systematic classification of biosensors along
+five axes — target, sensing element, transduction mechanism, nanomaterial,
+electrode technology — populated with the literature it surveys.  This
+package encodes the taxonomy and the surveyed sensor database so the
+examples can answer questions like "which electrochemical CNT-based
+glucose sensors does the paper discuss, and how do they rank?".
+"""
+
+from repro.classification.taxonomy import (
+    TargetKind,
+    SensingElement,
+    Transduction,
+    NanomaterialKind,
+    ElectrodeTechnology,
+    SensorDescriptor,
+    describe_platform_sensor,
+)
+from repro.classification.literature import (
+    LiteratureSensor,
+    LITERATURE_SENSORS,
+    find_sensors,
+    transduction_census,
+)
+
+__all__ = [
+    "TargetKind",
+    "SensingElement",
+    "Transduction",
+    "NanomaterialKind",
+    "ElectrodeTechnology",
+    "SensorDescriptor",
+    "describe_platform_sensor",
+    "LiteratureSensor",
+    "LITERATURE_SENSORS",
+    "find_sensors",
+    "transduction_census",
+]

@@ -1,0 +1,188 @@
+"""Database of the biosensors surveyed in paper section 2.
+
+A queryable record of the literature the classification cites: each entry
+carries its position in the five-axis taxonomy plus the paper's bracketed
+reference.  The census helpers quantify the paper's qualitative claims
+("electrochemical biosensors are by far the most reported devices").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.classification.taxonomy import (
+    ElectrodeTechnology,
+    NanomaterialKind,
+    SensingElement,
+    TargetKind,
+    Transduction,
+)
+
+
+@dataclass(frozen=True)
+class LiteratureSensor:
+    """One surveyed biosensor system.
+
+    Attributes:
+        name: short system description.
+        reference: bracketed citation as printed in the paper.
+        target: detected target kind.
+        analyte: specific analyte, when the paper names one.
+        sensing_element: recognition layer.
+        transduction: transduction mechanism.
+        nanomaterial: nanostructuring technology.
+        electrode: electrode technology model.
+    """
+
+    name: str
+    reference: str
+    target: TargetKind
+    analyte: str
+    sensing_element: SensingElement
+    transduction: Transduction
+    nanomaterial: NanomaterialKind
+    electrode: ElectrodeTechnology
+
+
+LITERATURE_SENSORS: tuple[LiteratureSensor, ...] = (
+    LiteratureSensor(
+        "light-generated oligonucleotide microarray", "[35]",
+        TargetKind.DNA, "DNA sequence", SensingElement.NUCLEIC_ACID,
+        Transduction.OPTICAL, NanomaterialKind.NONE,
+        ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "label-free electronic DNA chip", "[45]",
+        TargetKind.DNA, "DNA hybridization", SensingElement.NUCLEIC_ACID,
+        Transduction.IMPEDIMETRIC_CAPACITIVE, NanomaterialKind.NONE,
+        ElectrodeTechnology.INTEGRATED),
+    LiteratureSensor(
+        "home blood glucose meter strip", "[30]",
+        TargetKind.METABOLITE, "glucose", SensingElement.ENZYME,
+        Transduction.AMPEROMETRIC, NanomaterialKind.NONE,
+        ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "amperometric lactate sensor (sports medicine)", "[31]",
+        TargetKind.METABOLITE, "lactate", SensingElement.ENZYME,
+        Transduction.AMPEROMETRIC, NanomaterialKind.NONE,
+        ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "cobalt-oxide nanostructured cholesterol sensor", "[43]",
+        TargetKind.METABOLITE, "cholesterol", SensingElement.ENZYME,
+        Transduction.AMPEROMETRIC, NanomaterialKind.NANOPARTICLE,
+        ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "in-vivo glutamate microsensor", "[38]",
+        TargetKind.METABOLITE, "glutamate", SensingElement.ENZYME,
+        Transduction.AMPEROMETRIC, NanomaterialKind.NONE,
+        ElectrodeTechnology.IMPLANTABLE),
+    LiteratureSensor(
+        "creatinine potentiometric biosensor", "[21]",
+        TargetKind.METABOLITE, "creatinine", SensingElement.ENZYME,
+        Transduction.POTENTIOMETRIC, NanomaterialKind.NONE,
+        ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "multiplexed PSA electrochemical assay", "[58]",
+        TargetKind.BIOMARKER, "prostate specific antigen",
+        SensingElement.ANTIBODY, Transduction.AMPEROMETRIC,
+        NanomaterialKind.NONE, ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "CA-125 immuno-bioanalysis (AuNP carbon paste)", "[47]",
+        TargetKind.BIOMARKER, "carcinoma antigen 125",
+        SensingElement.ANTIBODY, Transduction.AMPEROMETRIC,
+        NanomaterialKind.NANOPARTICLE, ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "SPR autoimmune-biomarker panel", "[11]",
+        TargetKind.BIOMARKER, "auto-antibodies", SensingElement.ANTIBODY,
+        Transduction.SURFACE_PLASMON_RESONANCE, NanomaterialKind.NONE,
+        ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "QCM immunoassay / pathogen detector", "[13]",
+        TargetKind.PATHOGEN, "bacteria / DNA", SensingElement.ANTIBODY,
+        Transduction.PIEZOELECTRIC, NanomaterialKind.NONE,
+        ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "faradic impedimetric immunosensor", "[37]",
+        TargetKind.BIOMARKER, "antigen", SensingElement.ANTIBODY,
+        Transduction.IMPEDIMETRIC_FARADIC, NanomaterialKind.NONE,
+        ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "capacitive microsystem biosensor", "[50]",
+        TargetKind.DNA, "DNA / tumor biomarkers", SensingElement.NUCLEIC_ACID,
+        Transduction.IMPEDIMETRIC_CAPACITIVE, NanomaterialKind.NONE,
+        ElectrodeTechnology.INTEGRATED),
+    LiteratureSensor(
+        "CNT-FET prostate-cancer diagnostic", "[22]",
+        TargetKind.BIOMARKER, "PSA", SensingElement.ANTIBODY,
+        Transduction.FIELD_EFFECT, NanomaterialKind.CARBON_NANOTUBE,
+        ElectrodeTechnology.INTEGRATED),
+    LiteratureSensor(
+        "ISFET biological sensor", "[24]",
+        TargetKind.METABOLITE, "ions / pH", SensingElement.RECEPTOR,
+        Transduction.FIELD_EFFECT, NanomaterialKind.NONE,
+        ElectrodeTechnology.INTEGRATED),
+    LiteratureSensor(
+        "nanowire conductometric biosensor", "[39]",
+        TargetKind.BIOMARKER, "proteins", SensingElement.ANTIBODY,
+        Transduction.FIELD_EFFECT, NanomaterialKind.NANOWIRE,
+        ElectrodeTechnology.INTEGRATED),
+    LiteratureSensor(
+        "theophylline / drug amperometric monitors", "[53]",
+        TargetKind.DRUG, "theophylline et al.", SensingElement.ENZYME,
+        Transduction.AMPEROMETRIC, NanomaterialKind.NONE,
+        ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "multi-panel P450 drug detector in serum", "[9]",
+        TargetKind.DRUG, "benzphetamine, cyclophosphamide, ...",
+        SensingElement.ENZYME, Transduction.AMPEROMETRIC,
+        NanomaterialKind.CARBON_NANOTUBE, ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "DNA-modified CP sensor (DPV)", "[32]",
+        TargetKind.DRUG, "cyclophosphamide", SensingElement.NUCLEIC_ACID,
+        Transduction.AMPEROMETRIC, NanomaterialKind.NONE,
+        ElectrodeTechnology.DISPOSABLE),
+    LiteratureSensor(
+        "3-D integrated bio-electronic interface", "[17]",
+        TargetKind.DNA, "generic probes", SensingElement.NUCLEIC_ACID,
+        Transduction.IMPEDIMETRIC_CAPACITIVE, NanomaterialKind.NONE,
+        ElectrodeTechnology.DISPOSABLE_INTEGRATED),
+    LiteratureSensor(
+        "porous-silicon P450 arachidonic acid sensor", "[14]",
+        TargetKind.METABOLITE, "arachidonic acid", SensingElement.ENZYME,
+        Transduction.OPTICAL, NanomaterialKind.NONE,
+        ElectrodeTechnology.DISPOSABLE),
+)
+
+
+def find_sensors(target: TargetKind | None = None,
+                 sensing_element: SensingElement | None = None,
+                 transduction: Transduction | None = None,
+                 nanomaterial: NanomaterialKind | None = None,
+                 electrode: ElectrodeTechnology | None = None,
+                 ) -> list[LiteratureSensor]:
+    """Filter the survey database on any combination of axes."""
+    results = []
+    for sensor in LITERATURE_SENSORS:
+        if target is not None and sensor.target is not target:
+            continue
+        if (sensing_element is not None
+                and sensor.sensing_element is not sensing_element):
+            continue
+        if transduction is not None and sensor.transduction is not transduction:
+            continue
+        if nanomaterial is not None and sensor.nanomaterial is not nanomaterial:
+            continue
+        if electrode is not None and sensor.electrode is not electrode:
+            continue
+        results.append(sensor)
+    return results
+
+
+def transduction_census() -> dict[Transduction, int]:
+    """Count surveyed sensors per transduction mechanism.
+
+    Quantifies the paper's claim that electrochemical (amperometric)
+    devices are "by far the most reported devices in literature".
+    """
+    counts = Counter(sensor.transduction for sensor in LITERATURE_SENSORS)
+    return dict(counts)

@@ -1,0 +1,118 @@
+"""The five-axis biosensor taxonomy of paper section 2.
+
+Section 3 opens by classifying the authors' own device along these axes:
+
+* Target: molecules, drugs
+* Sensing element: enzymes
+* Transduction mechanism: electrochemical (amperometric)
+* Nanotechnology-based: carbon nanotubes
+* Electrode type: disposable, integrated
+
+:func:`describe_platform_sensor` reproduces that bullet list for any
+composed :class:`repro.core.sensor.Biosensor`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TargetKind(enum.Enum):
+    """What the biosensor detects (section 2.1)."""
+
+    DNA = "DNA"
+    METABOLITE = "metabolite"
+    BIOMARKER = "biomarker"
+    DRUG = "drug"
+    PATHOGEN = "pathogen"
+
+
+class SensingElement(enum.Enum):
+    """The biological recognition layer (section 2.2)."""
+
+    ENZYME = "enzyme"
+    ANTIBODY = "antibody"
+    NUCLEIC_ACID = "nucleic acid"
+    RECEPTOR = "receptor"
+
+
+class Transduction(enum.Enum):
+    """How recognition becomes a measurable signal (section 2.3)."""
+
+    OPTICAL = "optical"
+    SURFACE_PLASMON_RESONANCE = "surface plasmon resonance"
+    PIEZOELECTRIC = "piezoelectric (QCM)"
+    IMPEDIMETRIC_CAPACITIVE = "impedimetric (capacitive)"
+    IMPEDIMETRIC_FARADIC = "impedimetric (faradic)"
+    POTENTIOMETRIC = "potentiometric"
+    FIELD_EFFECT = "ion charge / field effect"
+    AMPEROMETRIC = "amperometric"
+
+
+class NanomaterialKind(enum.Enum):
+    """Nanostructuring technology (section 2.4)."""
+
+    NONE = "none"
+    NANOPARTICLE = "nanoparticle"
+    QUANTUM_DOT = "quantum dot"
+    NANOWIRE = "nanowire"
+    CARBON_NANOTUBE = "carbon nanotube"
+
+
+class ElectrodeTechnology(enum.Enum):
+    """Electrode manufacturing/deployment model (section 2.5)."""
+
+    DISPOSABLE = "disposable"
+    INTEGRATED = "integrated"
+    DISPOSABLE_INTEGRATED = "disposable, integrated"
+    IMPLANTABLE = "implantable"
+
+
+@dataclass(frozen=True)
+class SensorDescriptor:
+    """Position of one sensor in the five-axis classification."""
+
+    target: TargetKind
+    sensing_element: SensingElement
+    transduction: Transduction
+    nanomaterial: NanomaterialKind
+    electrode: ElectrodeTechnology
+
+    def bullets(self) -> list[str]:
+        """Render the section 3 bullet-list form of the descriptor."""
+        return [
+            f"Target: {self.target.value}",
+            f"Sensing element: {self.sensing_element.value}",
+            f"Transduction mechanism: electrochemical ({self.transduction.value})"
+            if self.transduction is Transduction.AMPEROMETRIC
+            else f"Transduction mechanism: {self.transduction.value}",
+            f"Nanotechnology-based: {self.nanomaterial.value}",
+            f"Electrode type: {self.electrode.value}",
+        ]
+
+
+def describe_platform_sensor(sensor) -> SensorDescriptor:
+    """Classify a composed :class:`repro.core.sensor.Biosensor`.
+
+    Reproduces the paper's own self-classification for its platform; the
+    function inspects only the public composition of the sensor.
+    """
+    from repro.analytes.catalog import AnalyteClass
+
+    target_map = {
+        AnalyteClass.METABOLITE: TargetKind.METABOLITE,
+        AnalyteClass.FATTY_ACID: TargetKind.METABOLITE,
+        AnalyteClass.DRUG: TargetKind.DRUG,
+        AnalyteClass.BIOMARKER: TargetKind.BIOMARKER,
+        AnalyteClass.NUCLEIC_ACID: TargetKind.DNA,
+    }
+    nanomaterial = (NanomaterialKind.CARBON_NANOTUBE
+                    if sensor.film.has_nanotubes else NanomaterialKind.NONE)
+    return SensorDescriptor(
+        target=target_map[sensor.analyte.analyte_class],
+        sensing_element=SensingElement.ENZYME,
+        transduction=Transduction.AMPEROMETRIC,
+        nanomaterial=nanomaterial,
+        electrode=ElectrodeTechnology.DISPOSABLE_INTEGRATED,
+    )

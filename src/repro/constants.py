@@ -1,0 +1,52 @@
+"""Physical constants used throughout the electrochemical simulation.
+
+All values are CODATA-2018 and expressed in SI units.  The module is the
+single source of truth for constants: other modules must import from here
+instead of re-declaring literals, so that tests can assert consistency.
+"""
+
+from __future__ import annotations
+
+#: Faraday constant [C/mol] — charge of one mole of electrons.
+FARADAY = 96485.33212
+
+#: Molar gas constant [J/(mol*K)].
+GAS_CONSTANT = 8.314462618
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Avogadro constant [1/mol].
+AVOGADRO = 6.02214076e23
+
+#: Standard laboratory temperature [K] (25 degrees Celsius).
+STANDARD_TEMPERATURE = 298.15
+
+#: Zero Celsius in Kelvin.
+ZERO_CELSIUS = 273.15
+
+
+def thermal_voltage(temperature: float = STANDARD_TEMPERATURE) -> float:
+    """Return the thermal voltage RT/F [V] at ``temperature`` [K].
+
+    At 25 C this is about 25.693 mV; it sets the natural potential scale of
+    every Nernstian and Butler-Volmer expression in :mod:`repro.chem`.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return GAS_CONSTANT * temperature / FARADAY
+
+
+def nernst_slope(n_electrons: int = 1,
+                 temperature: float = STANDARD_TEMPERATURE) -> float:
+    """Return the Nernst slope RT/(nF) [V per decade factor ln(10) excluded].
+
+    This is the prefactor of ``ln(C_ox/C_red)`` in the Nernst equation for a
+    transfer of ``n_electrons``.
+    """
+    if n_electrons < 1:
+        raise ValueError(f"n_electrons must be >= 1, got {n_electrons}")
+    return thermal_voltage(temperature) / n_electrons

@@ -1,0 +1,124 @@
+"""Single-point measurement procedures.
+
+Turning one (sensor, concentration) pair into one calibration datum, the
+way the bench protocol does:
+
+* **amperometric** — apply +650 mV, wait for the plateau, digitize through
+  the chain, average the settled tail;
+* **voltammetric** — run a triangular sweep, digitize, take the forward
+  (reducing) branch, fit the flank baseline, report the catalytic peak
+  height.
+
+Both add the sensor's per-measurement repeatability scatter, which is the
+dominant blank noise and therefore the setter of the extracted LOD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sensor import Biosensor, ReadoutMode
+from repro.signal.peaks import measure_peak
+from repro.signal.steady_state import extract_steady_state
+
+
+def measure_amperometric_point(sensor: Biosensor,
+                               concentration_molar: float,
+                               rng: np.random.Generator | None = None,
+                               step_duration_s: float = 16.0,
+                               add_noise: bool = True) -> float:
+    """Measure one chronoamperometric calibration point [A]."""
+    if concentration_molar < 0:
+        raise ValueError("concentration must be >= 0")
+    if rng is None:
+        rng = np.random.default_rng()
+    record = sensor.ca_protocol.simulate_step(
+        sensor.steady_state_current,
+        concentration_molar,
+        duration_s=step_duration_s,
+        response_time_s=sensor.response_time_s,
+    )
+    acquired = sensor.chain.acquire(
+        record.current_a, record.sampling_rate_hz, rng=rng,
+        add_noise=add_noise)
+    plateau = extract_steady_state(acquired.time_s, acquired.current_a)
+    value = plateau.value
+    if add_noise and sensor.repeatability_std_a > 0:
+        value += float(rng.normal(0.0, sensor.repeatability_std_a))
+    return value
+
+
+def measure_voltammetric_point(sensor: Biosensor,
+                               concentration_molar: float,
+                               rng: np.random.Generator | None = None,
+                               add_noise: bool = True) -> float:
+    """Measure one cyclic-voltammetric calibration point.
+
+    Returns the baseline-corrected cathodic peak height [A] on the forward
+    (reducing) sweep — "the peak height is proportional to drug
+    concentration" (paper section 3.1).
+    """
+    if concentration_molar < 0:
+        raise ValueError("concentration must be >= 0")
+    if rng is None:
+        rng = np.random.default_rng()
+    couple = sensor.detected_couple()
+    record = sensor.cv_protocol.simulate_catalytic_cyp(
+        layer=sensor.layer,
+        couple=couple,
+        substrate_molar=concentration_molar,
+        area_m2=sensor.area_m2,
+        double_layer=sensor.double_layer(),
+    )
+    acquired = sensor.chain.acquire(
+        record.current_a, record.sampling_rate_hz, rng=rng,
+        add_noise=add_noise)
+
+    # Forward (reducing) branch: from the start potential to the vertex.
+    wave_fraction = 1.0 / (2.0 * sensor.cv_protocol.n_cycles)
+    n_forward = max(8, int(round(acquired.time_s.size * wave_fraction)))
+    forward_slice = slice(0, n_forward)
+    potentials = np.interp(
+        acquired.time_s, record.time_s, record.potential_v)[forward_slice]
+    currents = acquired.current_a[forward_slice]
+
+    formal = couple.formal_potential
+    peak = measure_peak(
+        potentials, currents,
+        peak_window=(formal - 0.13, formal + 0.13),
+        polarity=-1,
+    )
+    value = peak.height
+    if add_noise and sensor.repeatability_std_a > 0:
+        value += float(rng.normal(0.0, sensor.repeatability_std_a))
+    return value
+
+
+def measure_point(sensor: Biosensor,
+                  concentration_molar: float,
+                  rng: np.random.Generator | None = None,
+                  add_noise: bool = True) -> float:
+    """Measure one calibration point with the sensor's readout mode.
+
+    The returned quantity is a current-like signal [A]: a plateau current
+    for amperometric sensors, a peak height for voltammetric ones.
+    """
+    if sensor.readout is ReadoutMode.AMPEROMETRIC_STEADY_STATE:
+        return measure_amperometric_point(
+            sensor, concentration_molar, rng, add_noise=add_noise)
+    if sensor.readout is ReadoutMode.VOLTAMMETRIC_PEAK:
+        return measure_voltammetric_point(
+            sensor, concentration_molar, rng, add_noise=add_noise)
+    raise ValueError(f"unhandled readout mode {sensor.readout}")
+
+
+def estimate_concentration(signal_a: float,
+                           slope_a_per_molar: float,
+                           intercept_a: float = 0.0) -> float:
+    """Invert a linear calibration: concentration [mol/L] from a signal [A].
+
+    Negative estimates (blank noise) are clipped to zero.
+    """
+    if slope_a_per_molar <= 0:
+        raise ValueError("slope must be > 0")
+    return max(0.0, (signal_a - intercept_a) / slope_a_per_molar)

@@ -1,0 +1,124 @@
+"""Long-term monitoring: drift budget and recalibration scheduling.
+
+The paper's target application is continuous monitoring of chronic
+patients — which means the calibration must survive days of enzyme decay,
+electrode fouling and reference wander.  This module budgets those drift
+sources, schedules recalibrations so the total error stays within a
+clinical tolerance, and applies one-point recalibration corrections.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bio.matrix import SampleMatrix
+from repro.enzymes.stability import EnzymeStability
+
+
+@dataclass(frozen=True)
+class DriftBudget:
+    """Multiplicative sensitivity-drift model for a deployed sensor.
+
+    Attributes:
+        stability: enzyme operational-stability model.
+        matrix: the sample matrix (fouling rate).
+        temperature_k: operating temperature (body temperature for
+            implanted/worn sensors accelerates enzyme decay).
+    """
+
+    stability: EnzymeStability
+    matrix: SampleMatrix
+    temperature_k: float = 310.15
+
+    def sensitivity_retention(self, elapsed_hours: float) -> float:
+        """Fraction of the initial sensitivity left after ``elapsed_hours``.
+
+        Product of enzyme decay (Arrhenius-scaled) and matrix fouling.
+        """
+        if elapsed_hours < 0:
+            raise ValueError("elapsed time must be >= 0")
+        enzyme = self.stability.remaining_activity(
+            elapsed_hours * 3600.0, temperature_k=self.temperature_k)
+        fouling = self.matrix.sensitivity_retention(elapsed_hours)
+        return float(enzyme) * fouling
+
+    def hours_to_error(self, max_relative_error: float) -> float:
+        """Hours until the un-recalibrated reading error hits the limit.
+
+        A sensitivity retention of ``r`` biases concentration estimates by
+        ``1 - r``; solving ``1 - r(t) = e`` for the combined exponential
+        decay gives the recalibration deadline.
+        """
+        if not 0.0 < max_relative_error < 1.0:
+            raise ValueError("error limit must be in (0, 1)")
+        rate_per_hour = (
+            self.stability.rate_at(self.temperature_k) * 3600.0
+            + self.matrix.fouling_rate_per_hour)
+        if rate_per_hour == 0.0:
+            return float("inf")
+        return -math.log(1.0 - max_relative_error) / rate_per_hour
+
+    def recalibration_schedule(self,
+                               horizon_hours: float,
+                               max_relative_error: float) -> list[float]:
+        """Recalibration times [h] keeping the error within the limit.
+
+        Equal-interval schedule at the drift deadline; the sensor is
+        assumed fully corrected at each recalibration (one-point spike).
+        """
+        if horizon_hours <= 0:
+            raise ValueError("horizon must be > 0")
+        interval = self.hours_to_error(max_relative_error)
+        if math.isinf(interval):
+            return []
+        times = []
+        t = interval
+        while t < horizon_hours:
+            times.append(t)
+            t += interval
+        return times
+
+
+def one_point_recalibration(slope_a_per_molar: float,
+                            reference_concentration_molar: float,
+                            measured_signal_a: float,
+                            intercept_a: float = 0.0) -> float:
+    """Return the corrected slope [A/M] from one reference measurement.
+
+    The field protocol: measure a known standard (finger-stick reference,
+    spiked sample), attribute the discrepancy to sensitivity drift, and
+    rescale the slope:
+
+    ``slope' = (signal - intercept) / C_ref``
+
+    Raises when the implied slope is non-positive (sensor dead or the
+    reference measurement failed).
+    """
+    if slope_a_per_molar <= 0:
+        raise ValueError("prior slope must be > 0")
+    if reference_concentration_molar <= 0:
+        raise ValueError("reference concentration must be > 0")
+    implied = (measured_signal_a - intercept_a) / reference_concentration_molar
+    if implied <= 0:
+        raise ValueError(
+            "reference measurement implies a non-positive slope; "
+            "recalibration aborted")
+    return implied
+
+
+def drift_corrected_estimate(signal_a: float,
+                             slope_a_per_molar: float,
+                             intercept_a: float,
+                             retention: float) -> float:
+    """Concentration estimate [mol/L] correcting for known drift.
+
+    When the retention model says the slope has decayed to ``retention``
+    of its calibrated value, dividing it out de-biases the estimate.
+    """
+    if not 0.0 < retention <= 1.0:
+        raise ValueError("retention must be in (0, 1]")
+    if slope_a_per_molar <= 0:
+        raise ValueError("slope must be > 0")
+    effective_slope = slope_a_per_molar * retention
+    return max(0.0, (signal_a - intercept_a) / effective_slope)

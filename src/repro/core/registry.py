@@ -1,0 +1,560 @@
+"""Sensor registry: every configuration evaluated in the paper.
+
+``TABLE2_SPECS`` holds the 18 rows of Table 2 — the authors' seven sensors
+plus eleven literature baselines — with the published sensitivity, linear
+range and limit of detection.  ``build_sensor`` turns a spec into a runnable
+:class:`repro.core.sensor.Biosensor` through the documented physical
+inversion (DESIGN.md section 2):
+
+* apparent Km from the linear-range upper bound (10 % deviation criterion);
+* enzyme coverage from the sensitivity (pmol/cm^2-scale monolayers);
+* per-measurement repeatability from the LOD (3 sigma / slope);
+* a two-point noiseless gain trim absorbing readout non-idealities
+  (the voltammetric peak extraction recovers only a fraction of the
+  catalytic plateau — exactly what a lab standardization corrects).
+
+The forward simulation then re-derives every metric through the full
+pipeline; the benchmarks compare those measurements against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analytes.catalog import analyte_by_name
+from repro.core.sensor import Biosensor, ReadoutMode
+from repro.core.detection import measure_point
+from repro.electrodes.cell import ThreeElectrodeCell
+from repro.electrodes.geometry import ElectrodeGeometry
+from repro.electrodes.materials import material_by_name
+from repro.electrodes.microchip import MicrofabricatedChip
+from repro.electrodes.spe import screen_printed_electrode
+from repro.enzymes.catalog import EnzymeFamily, enzyme_by_name
+from repro.enzymes.immobilization import ImmobilizedLayer, coverage_from_sensitivity
+from repro.enzymes.michaelis_menten import km_for_linear_range
+from repro.instrument.chain import AcquisitionChain
+from repro.nano.dispersion import medium_by_name
+from repro.nano.film import NanostructuredFilm
+from repro.techniques.chronoamperometry import Chronoamperometry
+from repro.techniques.cyclic_voltammetry import CyclicVoltammetry
+from repro.units import (
+    molar_from_micromolar,
+    molar_from_millimolar,
+    sensitivity_si_from_paper,
+    square_metre_from_square_millimetre,
+)
+
+#: Default immobilization activity retention (fraction of kcat kept).
+DEFAULT_ACTIVITY_RETENTION = 0.5
+
+#: Default CNT film loadings [kg/m^2].
+_NAFION_LOADING = 3e-4
+_CHLOROFORM_LOADING = 4e-4
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """One Table 2 row (or Table 1 entry) of the paper.
+
+    Attributes:
+        sensor_id: unique id, ``"<group>/<short-ref>"``.
+        group: analyte group (``glucose`` / ``lactate`` / ``glutamate`` /
+            ``cyp``).
+        label: surface-modification label exactly as printed in Table 2.
+        reference: bracketed citation, or ``"this work"``.
+        analyte_name: target analyte (catalog key).
+        enzyme_name: probe enzyme (catalog key).
+        electrode: ``"microchip"``, ``"spe"`` or a plain material name
+            (``"glassy carbon"``, ``"platinum"``, ``"gold"``,
+            ``"carbon paste"``).
+        electrode_area_mm2: geometric working area [mm^2].
+        film_medium: dispersion-medium catalog key.
+        has_nanotubes: whether the film contains CNTs.
+        technique: ``"CA"`` (chronoamperometry) or ``"CV"`` (cyclic
+            voltammetry).
+        paper_sensitivity: published sensitivity [uA mM^-1 cm^-2].
+        paper_range_mm: published linear range (low, high) [mM].
+        paper_lod_um: published LOD [uM], or ``None`` when not reported.
+        is_this_work: True for the authors' own sensors.
+        notes: provenance notes / assumptions.
+    """
+
+    sensor_id: str
+    group: str
+    label: str
+    reference: str
+    analyte_name: str
+    enzyme_name: str
+    electrode: str
+    electrode_area_mm2: float
+    film_medium: str
+    has_nanotubes: bool
+    technique: str
+    paper_sensitivity: float
+    paper_range_mm: tuple[float, float]
+    paper_lod_um: float | None
+    is_this_work: bool
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.technique not in ("CA", "CV"):
+            raise ValueError(f"technique must be CA or CV, got {self.technique}")
+        if self.paper_sensitivity <= 0:
+            raise ValueError("paper sensitivity must be > 0")
+        low, high = self.paper_range_mm
+        if low < 0 or high <= low:
+            raise ValueError(f"bad linear range {self.paper_range_mm}")
+        if self.paper_lod_um is not None and self.paper_lod_um <= 0:
+            raise ValueError("LOD must be > 0 when reported")
+        if self.electrode_area_mm2 <= 0:
+            raise ValueError("electrode area must be > 0")
+
+    @property
+    def assumed_lod_um(self) -> float:
+        """Published LOD, or a documented assumption when unreported.
+
+        Ref [42] does not report an LOD; we assume one tenth of its linear-
+        range lower bound scaled to uM (a typical relationship).
+        """
+        if self.paper_lod_um is not None:
+            return self.paper_lod_um
+        return max(self.paper_range_mm[0] * 1e3 / 10.0, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — all 18 rows.
+# ---------------------------------------------------------------------------
+
+TABLE2_SPECS: tuple[SensorSpec, ...] = (
+    # ----- glucose --------------------------------------------------------
+    SensorSpec(
+        sensor_id="glucose/ryu2010",
+        group="glucose", label="CNT mat + GOD", reference="[42]",
+        analyte_name="glucose", enzyme_name="GOD",
+        electrode="glassy carbon", electrode_area_mm2=7.0,
+        film_medium="chloroform", has_nanotubes=True, technique="CA",
+        paper_sensitivity=4.05, paper_range_mm=(0.2, 2.18),
+        paper_lod_um=None, is_this_work=False,
+        notes="CNT network mat, covalent GOD; LOD not reported (assumed)",
+    ),
+    SensorSpec(
+        sensor_id="glucose/tsai2005",
+        group="glucose", label="MWCNT/Nafion + GOD", reference="[49]",
+        analyte_name="glucose", enzyme_name="GOD",
+        electrode="glassy carbon", electrode_area_mm2=7.0,
+        film_medium="nafion", has_nanotubes=True, technique="CA",
+        paper_sensitivity=4.7, paper_range_mm=(0.025, 2.0),
+        paper_lod_um=4.0, is_this_work=False,
+        notes="cast MWCNT/Nafion/GOD composite on glassy carbon",
+    ),
+    SensorSpec(
+        sensor_id="glucose/wang2003",
+        group="glucose", label="MWCNT + GOD", reference="[55]",
+        analyte_name="glucose", enzyme_name="GOD",
+        electrode="gold", electrode_area_mm2=25.0,
+        film_medium="chloroform", has_nanotubes=True, technique="CA",
+        paper_sensitivity=14.2, paper_range_mm=(0.05, 13.0),
+        paper_lod_um=10.0, is_this_work=False,
+        notes="Au film evaporated onto grown MWCNT, drop-cast GOD",
+    ),
+    SensorSpec(
+        sensor_id="glucose/hua2012",
+        group="glucose", label="MWCNT-BA + GOD", reference="[18]",
+        analyte_name="glucose", enzyme_name="GOD",
+        electrode="glassy carbon", electrode_area_mm2=7.0,
+        film_medium="nafion", has_nanotubes=True, technique="CA",
+        paper_sensitivity=23.5, paper_range_mm=(0.01, 2.5),
+        paper_lod_um=10.0, is_this_work=False,
+        notes="butyric-acid functionalized MWCNT, water dispersible",
+    ),
+    SensorSpec(
+        sensor_id="glucose/this-work",
+        group="glucose", label="MWCNT/Nafion + GOD", reference="this work",
+        analyte_name="glucose", enzyme_name="GOD",
+        electrode="microchip", electrode_area_mm2=0.25,
+        film_medium="nafion", has_nanotubes=True, technique="CA",
+        paper_sensitivity=55.5, paper_range_mm=(0.0, 1.0),
+        paper_lod_um=2.0, is_this_work=True,
+        notes="Au microelectrode chip, MWCNT in Nafion 0.5%, +650 mV",
+    ),
+    # ----- lactate --------------------------------------------------------
+    SensorSpec(
+        sensor_id="lactate/rubianes2005",
+        group="lactate", label="MWCNT/mineral oil + LOD", reference="[41]",
+        analyte_name="lactate", enzyme_name="LOD",
+        electrode="carbon paste", electrode_area_mm2=7.0,
+        film_medium="mineral oil", has_nanotubes=True, technique="CA",
+        paper_sensitivity=0.204, paper_range_mm=(0.0, 7.0),
+        paper_lod_um=300.0, is_this_work=False,
+        notes="CNT paste electrode (CNT + mineral oil)",
+    ),
+    SensorSpec(
+        sensor_id="lactate/yang2008",
+        group="lactate", label="Titanate NT + LOD", reference="[57]",
+        analyte_name="lactate", enzyme_name="LOD",
+        electrode="glassy carbon", electrode_area_mm2=7.0,
+        film_medium="sol-gel", has_nanotubes=False, technique="CA",
+        paper_sensitivity=0.24, paper_range_mm=(0.5, 14.0),
+        paper_lod_um=200.0, is_this_work=False,
+        notes="titanate (not carbon) nanotubes — material comparison row",
+    ),
+    SensorSpec(
+        sensor_id="lactate/huang2007",
+        group="lactate", label="MWCNT + sol-gel/LOD", reference="[19]",
+        analyte_name="lactate", enzyme_name="LOD",
+        electrode="glassy carbon", electrode_area_mm2=7.0,
+        film_medium="sol-gel", has_nanotubes=True, technique="CA",
+        paper_sensitivity=2.1, paper_range_mm=(0.3, 1.5),
+        paper_lod_um=0.3, is_this_work=False,
+        notes="MWCNT in sol-gel film on glassy carbon",
+    ),
+    SensorSpec(
+        sensor_id="lactate/goran2011",
+        group="lactate", label="N-doped CNT/Nafion + LOD", reference="[16]",
+        analyte_name="lactate", enzyme_name="LOD",
+        electrode="glassy carbon", electrode_area_mm2=7.0,
+        film_medium="nafion", has_nanotubes=True, technique="CA",
+        paper_sensitivity=40.0, paper_range_mm=(0.014, 0.325),
+        paper_lod_um=4.0, is_this_work=False,
+        notes="nitrogen-doped CNT; carbon beats metal for H2O2 (sec. 3.2.2)",
+    ),
+    SensorSpec(
+        sensor_id="lactate/this-work",
+        group="lactate", label="MWCNT/Nafion + LOD", reference="this work",
+        analyte_name="lactate", enzyme_name="LOD",
+        electrode="microchip", electrode_area_mm2=0.25,
+        film_medium="nafion", has_nanotubes=True, technique="CA",
+        paper_sensitivity=25.0, paper_range_mm=(0.0, 1.0),
+        paper_lod_um=11.0, is_this_work=True,
+        notes="Au microelectrode chip, MWCNT in Nafion 0.5%, +650 mV",
+    ),
+    # ----- glutamate ------------------------------------------------------
+    SensorSpec(
+        sensor_id="glutamate/pan1996",
+        group="glutamate", label="Nafion + GlOD", reference="[33]",
+        analyte_name="glutamate", enzyme_name="GlOD",
+        electrode="platinum", electrode_area_mm2=0.8,
+        film_medium="nafion", has_nanotubes=False, technique="CA",
+        paper_sensitivity=16.1, paper_range_mm=(0.001, 0.013),
+        paper_lod_um=0.3, is_this_work=False,
+        notes="Pt electrode, Nafion-entrapped GlOD, no nanomaterial",
+    ),
+    SensorSpec(
+        sensor_id="glutamate/zhang2006",
+        group="glutamate", label="Chit + GlOD", reference="[59]",
+        analyte_name="glutamate", enzyme_name="GlOD",
+        electrode="glassy carbon", electrode_area_mm2=7.0,
+        film_medium="chitosan", has_nanotubes=False, technique="CA",
+        paper_sensitivity=85.0, paper_range_mm=(0.0, 0.2),
+        paper_lod_um=0.1, is_this_work=False,
+        notes="chitosan enzyme film",
+    ),
+    SensorSpec(
+        sensor_id="glutamate/ammam2010",
+        group="glutamate", label="PU/MWCNT + GlOD/PP", reference="[1]",
+        analyte_name="glutamate", enzyme_name="GlOD",
+        electrode="platinum", electrode_area_mm2=0.8,
+        film_medium="polyurethane/polypyrrole", has_nanotubes=True,
+        technique="CA",
+        paper_sensitivity=384.0, paper_range_mm=(0.0, 0.14),
+        paper_lod_um=0.3, is_this_work=False,
+        notes="AC-electrophoresis-packed MWCNT + polypyrrole-entrapped GlOD",
+    ),
+    SensorSpec(
+        sensor_id="glutamate/this-work",
+        group="glutamate", label="MWCNT/Nafion + GlOD", reference="this work",
+        analyte_name="glutamate", enzyme_name="GlOD",
+        electrode="microchip", electrode_area_mm2=0.25,
+        film_medium="nafion", has_nanotubes=True, technique="CA",
+        paper_sensitivity=0.9, paper_range_mm=(0.0, 2.0),
+        paper_lod_um=78.0, is_this_work=True,
+        notes="wide 0-2 mM range for cell-culture monitoring (sec. 3.2.3)",
+    ),
+    # ----- CYP drug sensors (all this work, SPE + CV) ---------------------
+    SensorSpec(
+        sensor_id="cyp/arachidonic-acid",
+        group="cyp", label="MWCNT + CYP", reference="this work",
+        analyte_name="arachidonic acid", enzyme_name="custom-CYP",
+        electrode="spe", electrode_area_mm2=13.0,
+        film_medium="chloroform", has_nanotubes=True, technique="CV",
+        paper_sensitivity=1140.0, paper_range_mm=(0.0, 0.04),
+        paper_lod_um=0.4, is_this_work=True,
+        notes="customized fatty-acid CYP isoform from EMPA",
+    ),
+    SensorSpec(
+        sensor_id="cyp/cyclophosphamide",
+        group="cyp", label="MWCNT + CYP", reference="this work",
+        analyte_name="cyclophosphamide", enzyme_name="CYP2B6",
+        electrode="spe", electrode_area_mm2=13.0,
+        film_medium="chloroform", has_nanotubes=True, technique="CV",
+        paper_sensitivity=102.0, paper_range_mm=(0.0, 0.07),
+        paper_lod_um=2.0, is_this_work=True,
+        notes="alkylating anticancer agent",
+    ),
+    SensorSpec(
+        sensor_id="cyp/ifosfamide",
+        group="cyp", label="MWCNT + CYP", reference="this work",
+        analyte_name="ifosfamide", enzyme_name="CYP3A4",
+        electrode="spe", electrode_area_mm2=13.0,
+        film_medium="chloroform", has_nanotubes=True, technique="CV",
+        paper_sensitivity=160.0, paper_range_mm=(0.0, 0.14),
+        paper_lod_um=2.0, is_this_work=True,
+        notes="alkylating anticancer agent (CP isomer)",
+    ),
+    SensorSpec(
+        sensor_id="cyp/ftorafur",
+        group="cyp", label="MWCNT + CYP", reference="this work",
+        analyte_name="ftorafur", enzyme_name="CYP1A2",
+        electrode="spe", electrode_area_mm2=13.0,
+        film_medium="chloroform", has_nanotubes=True, technique="CV",
+        paper_sensitivity=883.0, paper_range_mm=(0.0, 0.008),
+        paper_lod_um=0.7, is_this_work=True,
+        notes="chemotherapeutic prodrug (tegafur)",
+    ),
+)
+
+#: The paper's own seven sensors in Table 1 order.
+TABLE1_SPECS: tuple[SensorSpec, ...] = tuple(
+    spec for spec in TABLE2_SPECS if spec.is_this_work)
+
+_BY_ID = {spec.sensor_id: spec for spec in TABLE2_SPECS}
+
+
+def spec_by_id(sensor_id: str) -> SensorSpec:
+    """Look up a spec by id; raises ``KeyError`` listing available ids."""
+    try:
+        return _BY_ID[sensor_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown sensor {sensor_id!r}; available: {sorted(_BY_ID)}"
+        ) from None
+
+
+def specs_by_group(group: str) -> tuple[SensorSpec, ...]:
+    """Return the Table 2 rows of one analyte group, in table order."""
+    selected = tuple(s for s in TABLE2_SPECS if s.group == group)
+    if not selected:
+        groups = sorted({s.group for s in TABLE2_SPECS})
+        raise KeyError(f"unknown group {group!r}; available: {groups}")
+    return selected
+
+
+# ---------------------------------------------------------------------------
+# Spec -> Biosensor construction (the physical inversion).
+# ---------------------------------------------------------------------------
+
+
+def _cell_for(spec: SensorSpec) -> ThreeElectrodeCell:
+    """Build the three-electrode cell named by the spec."""
+    if spec.electrode == "microchip":
+        return MicrofabricatedChip().channel_cell(0)
+    if spec.electrode == "spe":
+        return screen_printed_electrode()
+    material = material_by_name(spec.electrode)
+    area_m2 = square_metre_from_square_millimetre(spec.electrode_area_mm2)
+    return ThreeElectrodeCell(
+        name=f"{material.name} disk electrode",
+        working_geometry=ElectrodeGeometry.from_area(area_m2),
+        working_material=material,
+        counter_material=material_by_name("platinum"),
+        counter_area_m2=4.0 * area_m2,
+        solution_resistance_ohm=100.0,
+    )
+
+
+def _film_for(spec: SensorSpec) -> NanostructuredFilm:
+    """Build the surface-modification film named by the spec."""
+    medium = medium_by_name(spec.film_medium)
+    if not spec.has_nanotubes:
+        return NanostructuredFilm(nanotube=None, medium=medium,
+                                  loading_kg_m2=0.0,
+                                  intrinsic_rate_enhancement=1.0)
+    loading = (_CHLOROFORM_LOADING if spec.film_medium == "chloroform"
+               else _NAFION_LOADING)
+    return NanostructuredFilm(medium=medium, loading_kg_m2=loading)
+
+
+def build_sensor(spec: SensorSpec,
+                 linearity_tolerance: float = 0.1,
+                 gain_trim: bool = True) -> Biosensor:
+    """Construct a runnable :class:`Biosensor` from a Table 2 spec.
+
+    Args:
+        spec: the sensor configuration.
+        linearity_tolerance: deviation criterion linking the published
+            linear range to the apparent Km.
+        gain_trim: apply the two-point noiseless standardization that
+            absorbs readout non-idealities (recommended; disable only for
+            studying the raw inversion).
+    """
+    enzyme = enzyme_by_name(spec.enzyme_name)
+    analyte = analyte_by_name(spec.analyte_name)
+    cell = _cell_for(spec)
+    film = _film_for(spec)
+
+    km_app = km_for_linear_range(
+        molar_from_millimolar(spec.paper_range_mm[1]), linearity_tolerance)
+    collection = film.collection_efficiency()
+    target_si = sensitivity_si_from_paper(spec.paper_sensitivity)
+    coverage = coverage_from_sensitivity(
+        enzyme, target_si, km_app,
+        activity_retention=DEFAULT_ACTIVITY_RETENTION,
+        collection_efficiency=collection)
+    layer = ImmobilizedLayer(
+        enzyme=enzyme,
+        coverage_mol_m2=coverage,
+        activity_retention=DEFAULT_ACTIVITY_RETENTION,
+        km_app_molar=km_app,
+        collection_efficiency=collection,
+    )
+
+    readout = (ReadoutMode.VOLTAMMETRIC_PEAK if spec.technique == "CV"
+               else ReadoutMode.AMPEROMETRIC_STEADY_STATE)
+    area_m2 = cell.working_area_m2
+    slope = target_si * area_m2
+    lod_molar = molar_from_micromolar(spec.assumed_lod_um)
+    repeatability = lod_molar * slope / 3.0
+
+    sensor = _assemble(spec, analyte, layer, cell, film, readout,
+                       repeatability)
+    if gain_trim:
+        upper = molar_from_millimolar(spec.paper_range_mm[1])
+        bias_two_point = _mm_two_point_bias(km_app, 0.05 * upper, 0.15 * upper)
+        bias_regression = _mm_regression_bias(km_app, upper,
+                                              linearity_tolerance)
+        trim_target = slope * bias_two_point / bias_regression
+        sensor = _trim_gain(sensor, spec, trim_target)
+    return sensor
+
+
+def _mm_saturation(concentration: float, km: float) -> float:
+    """Michaelis-Menten response normalized to unit initial slope."""
+    return concentration / (1.0 + concentration / km)
+
+
+def _mm_two_point_bias(km: float, c_low: float, c_high: float) -> float:
+    """Slope of the normalized MM curve between two standards.
+
+    This is the factor by which the two-point gain trim under-reads the
+    true initial slope because of residual curvature.
+    """
+    return ((_mm_saturation(c_high, km) - _mm_saturation(c_low, km))
+            / (c_high - c_low))
+
+
+def _mm_regression_bias(km: float, upper: float, tolerance: float) -> float:
+    """Expected regression slope of the calibration extraction.
+
+    Replays the linear-region selection of :mod:`repro.core.calibration`
+    on the noiseless Michaelis-Menten model over the default standard grid
+    and returns the least-squares slope of the selected points (normalized
+    to unit initial slope).  Published sensitivities are regression slopes
+    over the reported linear range, so the registry anchors the inversion
+    to this quantity rather than to the initial slope.
+    """
+    import numpy as np
+
+    from repro.core.calibration import DEFAULT_RANGE_FRACTIONS
+
+    standards = [f * upper for f in DEFAULT_RANGE_FRACTIONS]
+    responses = [_mm_saturation(c, km) for c in standards]
+    anchor_x = np.array([0.0] + standards[:2])
+    anchor_y = np.array([0.0] + responses[:2])
+    ref_slope, ref_intercept = np.polyfit(anchor_x, anchor_y, 1)
+    included_x = [0.0] + standards[:2]
+    included_y = [0.0] + responses[:2]
+    for concentration, response in zip(standards[2:], responses[2:]):
+        predicted = ref_slope * concentration + ref_intercept
+        if predicted <= 0:
+            break
+        if (predicted - response) / predicted > tolerance:
+            break
+        included_x.append(concentration)
+        included_y.append(response)
+    slope, __ = np.polyfit(np.array(included_x), np.array(included_y), 1)
+    return float(slope)
+
+
+def _assemble(spec: SensorSpec,
+              analyte,
+              layer: ImmobilizedLayer,
+              cell: ThreeElectrodeCell,
+              film: NanostructuredFilm,
+              readout: ReadoutMode,
+              repeatability: float) -> Biosensor:
+    """Wire the chain and technique protocols around the chemical layer."""
+    area_m2 = cell.working_area_m2
+    max_conc = molar_from_millimolar(spec.paper_range_mm[1]) * 1.6
+
+    if readout is ReadoutMode.AMPEROMETRIC_STEADY_STATE:
+        adc_rate = 10.0
+        analog_rate = 20.0
+        full_scale = max(
+            layer.steady_state_current(max_conc, area_m2) * 2.0,
+            repeatability * 100.0)
+        ca = Chronoamperometry(potential_v=0.65, sampling_rate_hz=analog_rate)
+        cv = CyclicVoltammetry(e_start_v=0.1, e_vertex_v=-0.8,
+                               scan_rate_v_s=0.1, sampling_rate_hz=100.0)
+    else:
+        adc_rate = 50.0
+        analog_rate = 100.0
+        cv = CyclicVoltammetry(e_start_v=0.1, e_vertex_v=-0.8,
+                               scan_rate_v_s=0.1, sampling_rate_hz=analog_rate)
+        ca = Chronoamperometry(potential_v=0.65, sampling_rate_hz=20.0)
+        # Full scale must fit the capacitive envelope, not just the peak.
+        double_layer_guess = (cell.bare_double_layer().capacitance_per_area
+                              * film.capacitance_enhancement())
+        capacitive = double_layer_guess * area_m2 * cv.scan_rate_v_s
+        catalytic = layer.steady_state_current(max_conc, area_m2)
+        surface = (layer.enzyme.n_electrons * 96485.0) ** 2 / (4 * 8.314 * 298.15) \
+            * cv.scan_rate_v_s * area_m2 * layer.coverage_mol_m2
+        full_scale = 2.0 * (capacitive + catalytic + surface)
+
+    white_density = max(repeatability / (20.0 * (adc_rate / 2.0) ** 0.5),
+                        1e-14)
+    chain = AcquisitionChain.for_full_scale(
+        full_scale_current_a=full_scale,
+        adc_rate_hz=adc_rate,
+        n_bits=16,
+        white_noise_a_rthz=white_density,
+        flicker_corner_hz=0.5,
+    )
+    response_time = 1.0 if spec.electrode == "microchip" else 2.0
+    return Biosensor(
+        name=f"{spec.label} ({spec.reference})",
+        analyte=analyte,
+        layer=layer,
+        cell=cell,
+        film=film,
+        chain=chain,
+        readout=readout,
+        response_time_s=response_time,
+        repeatability_std_a=repeatability,
+        ca_protocol=ca,
+        cv_protocol=cv,
+    )
+
+
+def _trim_gain(sensor: Biosensor, spec: SensorSpec,
+               target_slope_a_per_molar: float) -> Biosensor:
+    """Two-point noiseless standardization against the target slope.
+
+    Measures the sensor at 5 % and 15 % of the published range through the
+    *full* readout pipeline without noise, compares the implied slope to
+    the target, and rescales the enzyme coverage accordingly.  This absorbs
+    systematic extraction losses (peak-height fraction of the catalytic
+    plateau, residual settling error) exactly as a laboratory calibration
+    against standards would.
+    """
+    upper = molar_from_millimolar(spec.paper_range_mm[1])
+    c_low, c_high = 0.05 * upper, 0.15 * upper
+    m_low = measure_point(sensor, c_low, add_noise=False)
+    m_high = measure_point(sensor, c_high, add_noise=False)
+    implied = (m_high - m_low) / (c_high - c_low)
+    if implied <= 0:
+        raise RuntimeError(
+            f"{sensor.name}: non-positive implied slope during gain trim")
+    scale = target_slope_a_per_molar / implied
+    trimmed_layer = replace(sensor.layer,
+                            coverage_mol_m2=sensor.layer.coverage_mol_m2 * scale)
+    return replace(sensor, layer=trimmed_layer)

@@ -1,0 +1,43 @@
+"""Electrode and electrochemical-cell substrate.
+
+Models the two transducer families used in the paper (section 3.1): carbon
+screen-printed electrodes (DropSens-style, 13 mm^2 graphite working
+electrode) and the microfabricated chip with five 0.25 mm^2 Au working
+electrodes, Au counter and Pt (pseudo-)reference described in ref [3].
+"""
+
+from repro.electrodes.geometry import ElectrodeGeometry
+from repro.electrodes.materials import (
+    ElectrodeMaterial,
+    GRAPHITE,
+    GOLD,
+    PLATINUM,
+    GLASSY_CARBON,
+    CARBON_PASTE,
+    SILVER,
+    material_by_name,
+)
+from repro.electrodes.cell import ReferenceElectrode, ThreeElectrodeCell
+from repro.electrodes.spe import screen_printed_electrode, SPE_WORKING_AREA_M2
+from repro.electrodes.microchip import (
+    MicrofabricatedChip,
+    MICROCHIP_WORKING_AREA_M2,
+)
+
+__all__ = [
+    "ElectrodeGeometry",
+    "ElectrodeMaterial",
+    "GRAPHITE",
+    "GOLD",
+    "PLATINUM",
+    "GLASSY_CARBON",
+    "CARBON_PASTE",
+    "SILVER",
+    "material_by_name",
+    "ReferenceElectrode",
+    "ThreeElectrodeCell",
+    "screen_printed_electrode",
+    "SPE_WORKING_AREA_M2",
+    "MicrofabricatedChip",
+    "MICROCHIP_WORKING_AREA_M2",
+]

@@ -1,0 +1,47 @@
+"""Screen-printed electrode (SPE) factory.
+
+The paper's CYP drug sensors use DropSens-style carbon-paste screen-printed
+electrodes: a 13 mm^2 graphite working electrode, graphite counter and a
+bare-Ag pseudo-reference (section 3.1).  SPEs are the archetypal
+*disposable* transducer of section 2.5 — cheap, contamination-free, but a
+bottleneck for miniaturization, which motivates the integrated platform.
+"""
+
+from __future__ import annotations
+
+from repro.electrodes.cell import AG_PSEUDO, ThreeElectrodeCell
+from repro.electrodes.geometry import ElectrodeGeometry
+from repro.electrodes.materials import GRAPHITE
+from repro.units import square_metre_from_square_millimetre
+
+#: Working-electrode area quoted in the paper: 13 mm^2.
+SPE_WORKING_AREA_M2 = square_metre_from_square_millimetre(13.0)
+
+
+def screen_printed_electrode(
+        working_area_m2: float = SPE_WORKING_AREA_M2,
+        solution_resistance_ohm: float = 150.0) -> ThreeElectrodeCell:
+    """Build a DropSens-style carbon screen-printed three-electrode cell.
+
+    Args:
+        working_area_m2: geometric working-electrode area; defaults to the
+            paper's 13 mm^2.
+        solution_resistance_ohm: uncompensated resistance — screen-printed
+            carbon tracks add noticeable series resistance.
+
+    Returns:
+        A :class:`ThreeElectrodeCell` with graphite working/counter
+        electrodes and an Ag pseudo-reference.
+    """
+    if working_area_m2 <= 0:
+        raise ValueError(f"working area must be > 0, got {working_area_m2}")
+    geometry = ElectrodeGeometry.from_area(working_area_m2)
+    return ThreeElectrodeCell(
+        name="carbon screen-printed electrode",
+        working_geometry=geometry,
+        working_material=GRAPHITE,
+        counter_material=GRAPHITE,
+        counter_area_m2=2.0 * working_area_m2,
+        reference=AG_PSEUDO,
+        solution_resistance_ohm=solution_resistance_ohm,
+    )

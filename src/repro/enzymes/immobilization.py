@@ -1,0 +1,157 @@
+"""Immobilized enzyme layer on a (nano-structured) electrode.
+
+Casting an enzyme onto a CNT film changes its effective kinetics: part of
+the activity is lost, the Michaelis constant shifts (conformation and
+diffusion effects), and only a fraction of the generated product reaches the
+electrode (collection efficiency).  The immobilized layer is the central
+object linking enzyme kinetics to electrode current:
+
+``i(C) = n F A_geo Gamma kcat_eff eta C / (Km_app + C)``
+
+The inversion helper :func:`coverage_from_sensitivity` recovers the enzyme
+surface coverage implied by a reported sensitivity, which is how the sensor
+registry turns Table 2 rows into physical parameters (values land in the
+pmol/cm^2 monolayer regime — asserted by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import FARADAY
+from repro.enzymes.catalog import Enzyme
+
+
+@dataclass(frozen=True)
+class ImmobilizedLayer:
+    """An enzyme layer bound to an electrode surface.
+
+    Attributes:
+        enzyme: the free-enzyme kinetic identity.
+        coverage_mol_m2: active-enzyme surface coverage Gamma [mol/m^2].
+        activity_retention: fraction of kcat retained after immobilization.
+        km_app_molar: apparent Michaelis constant of the immobilized enzyme
+            [mol/L]; usually differs from the free-solution Km.
+        collection_efficiency: fraction of product molecules (or catalytic
+            electron turnovers) captured by the electrode.
+    """
+
+    enzyme: Enzyme
+    coverage_mol_m2: float
+    activity_retention: float = 1.0
+    km_app_molar: float | None = None
+    collection_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.coverage_mol_m2 <= 0:
+            raise ValueError(
+                f"coverage must be > 0, got {self.coverage_mol_m2}")
+        if not 0.0 < self.activity_retention <= 1.0:
+            raise ValueError(
+                f"activity retention must be in (0, 1], got {self.activity_retention}")
+        if self.km_app_molar is not None and self.km_app_molar <= 0:
+            raise ValueError(f"apparent Km must be > 0, got {self.km_app_molar}")
+        if not 0.0 < self.collection_efficiency <= 1.0:
+            raise ValueError(
+                "collection efficiency must be in (0, 1], "
+                f"got {self.collection_efficiency}")
+
+    @property
+    def effective_kcat(self) -> float:
+        """Turnover number after immobilization losses [1/s]."""
+        return self.enzyme.kcat_per_s * self.activity_retention
+
+    @property
+    def apparent_km(self) -> float:
+        """Apparent Michaelis constant [mol/L] (falls back to the free Km)."""
+        if self.km_app_molar is not None:
+            return self.km_app_molar
+        return self.enzyme.km_molar
+
+    @property
+    def max_areal_rate(self) -> float:
+        """Maximum catalytic flux [mol/(m^2 s)] at substrate saturation."""
+        return self.coverage_mol_m2 * self.effective_kcat
+
+    def areal_rate(self, concentration_molar: np.ndarray | float
+                   ) -> np.ndarray | float:
+        """Catalytic flux [mol/(m^2 s)] at ``concentration_molar``."""
+        conc = np.asarray(concentration_molar, dtype=float)
+        if np.any(conc < 0):
+            raise ValueError("concentrations must be >= 0")
+        value = self.max_areal_rate * conc / (self.apparent_km + conc)
+        if np.isscalar(concentration_molar):
+            return float(value)
+        return value
+
+    def steady_state_current(self,
+                             concentration_molar: np.ndarray | float,
+                             area_m2: float) -> np.ndarray | float:
+        """Faradaic steady-state current [A] on an electrode of ``area_m2``.
+
+        ``i = n F A eta J(C)`` with J the catalytic areal rate.
+        """
+        if area_m2 <= 0:
+            raise ValueError(f"area must be > 0, got {area_m2}")
+        rate = self.areal_rate(concentration_molar)
+        return (self.enzyme.n_electrons * FARADAY * area_m2
+                * self.collection_efficiency * rate)
+
+    def sensitivity_si(self) -> float:
+        """Linear-regime sensitivity [A M^-1 m^-2].
+
+        Slope of the current density vs. concentration at C << Km:
+        ``S = n F Gamma kcat_eff eta / Km_app`` with Km in mol/L, so the
+        result is per molar (the convention of
+        :func:`repro.units.sensitivity_si_from_paper`).
+        """
+        return (self.enzyme.n_electrons * FARADAY * self.max_areal_rate
+                * self.collection_efficiency / self.apparent_km)
+
+    def response_time_s(self, film_thickness_m: float,
+                        diffusion_m2_s: float = 6.7e-10) -> float:
+        """Diffusional response time of the enzyme film [s].
+
+        ``tau ~ L^2/(2D)`` — thin films respond in well under a second,
+        supporting the paper's miniaturization argument (section 1).
+        """
+        if film_thickness_m <= 0:
+            raise ValueError("film thickness must be > 0")
+        if diffusion_m2_s <= 0:
+            raise ValueError("diffusion coefficient must be > 0")
+        return film_thickness_m ** 2 / (2.0 * diffusion_m2_s)
+
+
+def coverage_from_sensitivity(enzyme: Enzyme,
+                              sensitivity_si: float,
+                              km_app_molar: float,
+                              activity_retention: float = 1.0,
+                              collection_efficiency: float = 1.0) -> float:
+    """Return the enzyme coverage Gamma [mol/m^2] implied by a sensitivity.
+
+    Inverts the linear-regime expression of
+    :meth:`ImmobilizedLayer.sensitivity_si`:
+
+    ``Gamma = S Km_app / (n F kcat_eff eta)``
+
+    Args:
+        enzyme: the probe enzyme.
+        sensitivity_si: target sensitivity [A M^-1 m^-2]
+            (see :func:`repro.units.sensitivity_si_from_paper`).
+        km_app_molar: apparent Michaelis constant [mol/L].
+        activity_retention: kcat retention of the immobilized enzyme.
+        collection_efficiency: product-collection efficiency.
+    """
+    if sensitivity_si <= 0:
+        raise ValueError(f"sensitivity must be > 0, got {sensitivity_si}")
+    if km_app_molar <= 0:
+        raise ValueError(f"apparent Km must be > 0, got {km_app_molar}")
+    if not 0.0 < activity_retention <= 1.0:
+        raise ValueError("activity retention must be in (0, 1]")
+    if not 0.0 < collection_efficiency <= 1.0:
+        raise ValueError("collection efficiency must be in (0, 1]")
+    kcat_eff = enzyme.kcat_per_s * activity_retention
+    return (sensitivity_si * km_app_molar
+            / (enzyme.n_electrons * FARADAY * kcat_eff * collection_efficiency))

@@ -1,0 +1,23 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import Table2Row, run_table2, rows_to_text
+from repro.experiments.figures import (
+    chrono_staircase_figure,
+    cv_family_figure,
+    calibration_curve_figure,
+    comparison_chart,
+)
+from repro.experiments.report import build_experiments_report
+
+__all__ = [
+    "run_table1",
+    "Table2Row",
+    "run_table2",
+    "rows_to_text",
+    "chrono_staircase_figure",
+    "cv_family_figure",
+    "calibration_curve_figure",
+    "comparison_chart",
+    "build_experiments_report",
+]

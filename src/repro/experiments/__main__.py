@@ -1,0 +1,59 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.experiments                 # everything (Table 1 + 2)
+    python -m repro.experiments --group cyp     # one Table 2 group
+    python -m repro.experiments --seed 11       # different noise realization
+    python -m repro.experiments --report        # full EXPERIMENTS-style report
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.report import build_experiments_report
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import rows_to_text, run_table2
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the DAC-2012 biosensor tables through the "
+                    "full simulated pipeline.")
+    parser.add_argument("--group", action="append",
+                        choices=["glucose", "lactate", "glutamate", "cyp"],
+                        help="Table 2 group(s) to run (default: all)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="random seed (default 7)")
+    parser.add_argument("--blanks", type=int, default=8,
+                        help="blank replicates per sensor (default 8)")
+    parser.add_argument("--replicates", type=int, default=3,
+                        help="replicates per standard (default 3)")
+    parser.add_argument("--report", action="store_true",
+                        help="emit the full markdown report instead of "
+                             "plain tables")
+    args = parser.parse_args(argv)
+
+    rows = run_table2(groups=args.group, seed=args.seed,
+                      n_blanks=args.blanks, n_replicates=args.replicates)
+    if args.report:
+        if args.group is not None:
+            parser.error("--report requires the full table (omit --group)")
+        print(build_experiments_report(
+            rows,
+            seed_note=f"seed {args.seed}, {args.blanks} blanks, "
+                      f"{args.replicates} replicates per standard"))
+        return 0
+
+    table1 = run_table1()
+    print(table1["text"])
+    print(f"(matches paper: {table1['matches']})")
+    print()
+    print(rows_to_text(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Figure-equivalent experiments.
+
+The available paper text has no numbered figures, but section 3.1 describes
+the standard figure set of the genre; each generator below regenerates the
+underlying data series (this library is plotting-free by design — the
+benches print compact text renderings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detection import measure_point
+from repro.core.registry import SensorSpec, build_sensor, spec_by_id
+from repro.techniques.base import Measurement
+from repro.units import molar_from_millimolar
+
+
+def chrono_staircase_figure(sensor_id: str = "glucose/this-work",
+                            n_additions: int = 8,
+                            step_duration_s: float = 20.0,
+                            seed: int = 11) -> dict:
+    """Figure-equivalent: chronoamperometric successive-additions record.
+
+    Equal substrate additions at fixed intervals produce the classic
+    current staircase at +650 mV.  Returns the true record, the digitized
+    trace and the addition schedule.
+    """
+    spec = spec_by_id(sensor_id)
+    sensor = build_sensor(spec)
+    upper = molar_from_millimolar(spec.paper_range_mm[1])
+    additions = [(i + 1) * upper / n_additions for i in range(n_additions)]
+    record = sensor.ca_protocol.simulate_additions(
+        sensor.steady_state_current,
+        additions,
+        step_duration_s=step_duration_s,
+        response_time_s=sensor.response_time_s,
+        double_layer=sensor.double_layer(),
+        area_m2=sensor.area_m2,
+    )
+    rng = np.random.default_rng(seed)
+    acquired = sensor.chain.acquire(record.current_a,
+                                    record.sampling_rate_hz, rng=rng)
+    return {
+        "sensor": sensor.name,
+        "record": record,
+        "acquired_time_s": acquired.time_s,
+        "acquired_current_a": acquired.current_a,
+        "concentrations_molar": additions,
+    }
+
+
+def cv_family_figure(sensor_id: str = "cyp/cyclophosphamide",
+                     n_levels: int = 6,
+                     seed: int = 13) -> dict:
+    """Figure-equivalent: cyclic-voltammogram family vs. drug concentration.
+
+    One hysteresis plot per concentration level, showing the cathodic peak
+    growing with the drug level — the qualitative picture of section 3.1.
+    Returns the measurements plus extracted peak heights.
+    """
+    spec = spec_by_id(sensor_id)
+    sensor = build_sensor(spec)
+    upper = molar_from_millimolar(spec.paper_range_mm[1])
+    levels = [i * upper / (n_levels - 1) for i in range(n_levels)]
+    couple = sensor.detected_couple()
+    voltammograms: list[tuple[float, Measurement]] = []
+    for level in levels:
+        record = sensor.cv_protocol.simulate_catalytic_cyp(
+            layer=sensor.layer,
+            couple=couple,
+            substrate_molar=level,
+            area_m2=sensor.area_m2,
+            double_layer=sensor.double_layer(),
+        )
+        voltammograms.append((level, record))
+    rng = np.random.default_rng(seed)
+    peak_heights = [measure_point(sensor, level, rng) for level in levels]
+    return {
+        "sensor": sensor.name,
+        "levels_molar": levels,
+        "voltammograms": voltammograms,
+        "peak_heights_a": peak_heights,
+    }
+
+
+def calibration_curve_figure(spec: SensorSpec,
+                             n_points: int = 10,
+                             n_replicates: int = 3,
+                             seed: int = 17) -> dict:
+    """Figure-equivalent: calibration curve (signal vs. concentration).
+
+    Spans up to 2x the published range so the Michaelis-Menten bend is
+    visible past the linear region; each point averages ``n_replicates``
+    measurements (the bench protocol).
+    """
+    sensor = build_sensor(spec)
+    upper = molar_from_millimolar(spec.paper_range_mm[1])
+    concentrations = np.linspace(0.0, 2.0 * upper, n_points)
+    rng = np.random.default_rng(seed)
+    signals = np.array([
+        np.mean([measure_point(sensor, float(c), rng)
+                 for __ in range(n_replicates)])
+        for c in concentrations])
+    return {
+        "sensor": sensor.name,
+        "concentrations_molar": concentrations,
+        "signals_a": signals,
+        "expected_slope_a_per_molar": sensor.expected_slope_a_per_molar(),
+    }
+
+
+def comparison_chart(rows: dict) -> dict[str, list[tuple[str, float, float]]]:
+    """Figure-equivalent: grouped sensitivity/LOD comparison chart data.
+
+    Args:
+        rows: output of :func:`repro.experiments.table2.run_table2`.
+
+    Returns:
+        group -> list of (label+ref, measured sensitivity, measured LOD uM).
+    """
+    chart: dict[str, list[tuple[str, float, float]]] = {}
+    for row in rows.values():
+        entry = (f"{row.spec.label} {row.spec.reference}",
+                 row.measured_sensitivity,
+                 row.measured_lod_um)
+        chart.setdefault(row.spec.group, []).append(entry)
+    return chart

@@ -1,0 +1,57 @@
+"""Render the paper-vs-measured report (the content of EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import Table2Row, rows_to_text
+
+
+def build_experiments_report(table2_rows: dict[str, Table2Row],
+                             seed_note: str = "seed 7, 8 blanks, "
+                                              "3 replicates per standard",
+                             ) -> str:
+    """Build a markdown paper-vs-measured report for all experiments.
+
+    Args:
+        table2_rows: output of :func:`repro.experiments.table2.run_table2`
+            covering every group.
+        seed_note: provenance of the run.
+    """
+    table1 = run_table1()
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "All values measured through the full simulated pipeline "
+        "(enzyme kinetics -> electrode current -> TIA -> ADC -> DSP -> "
+        f"calibration extraction); {seed_note}.",
+        "",
+        "## Table 1 — features of the developed biosensors",
+        "",
+        f"Row set matches the paper: **{table1['matches']}**",
+        "",
+        "```",
+        table1["text"],
+        "```",
+        "",
+        "## Table 2 — sensitivity / linear range / LOD (18 sensors)",
+        "",
+        "```",
+        rows_to_text(table2_rows),
+        "```",
+        "",
+        "### Agreement ratios (measured / paper)",
+        "",
+        "| sensor | sensitivity | range upper | LOD |",
+        "|---|---|---|---|",
+    ]
+    for sensor_id, row in table2_rows.items():
+        lines.append(
+            f"| {sensor_id} | {row.sensitivity_ratio:.3f} | "
+            f"{row.range_upper_ratio:.3f} | {row.lod_ratio:.2f} |")
+    lines += [
+        "",
+        "LOD ratios scatter by design: the LOD is re-estimated from "
+        "a finite number of simulated blanks (sampling error of a "
+        "standard deviation with n blanks is ~1/sqrt(2(n-1))).",
+    ]
+    return "\n".join(lines)

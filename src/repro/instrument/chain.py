@@ -1,0 +1,138 @@
+"""Complete acquisition chain: TIA -> anti-alias filter -> ADC.
+
+This is the "electrical component" of the paper's modular platform — the
+part that stays fixed while the chemical layer (electrode + film + enzyme)
+is swapped per target.  ``acquire`` turns a true current trace into the
+digital record an instrument would log, and ``input_referred_noise_rms``
+predicts the noise floor that bounds the limit of detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.instrument.adc import SarAdc
+from repro.instrument.filters import AnalogLowPass
+from repro.instrument.noise import NoiseModel
+from repro.instrument.tia import TransimpedanceAmplifier
+
+
+@dataclass(frozen=True)
+class AcquiredTrace:
+    """Result of digitizing a current trace.
+
+    Attributes:
+        time_s: ADC sample timestamps [s].
+        current_a: reconstructed current at each sample [A].
+        true_current_a: noiseless input decimated to the same grid [A]
+            (ground truth for error analysis; a real instrument lacks it).
+    """
+
+    time_s: np.ndarray
+    current_a: np.ndarray
+    true_current_a: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.time_s.shape == self.current_a.shape
+                == self.true_current_a.shape):
+            raise ValueError("trace arrays must share one shape")
+
+    @property
+    def rms_error_a(self) -> float:
+        """RMS deviation of the reconstruction from the true current [A]."""
+        return float(np.sqrt(np.mean((self.current_a - self.true_current_a) ** 2)))
+
+
+@dataclass(frozen=True)
+class AcquisitionChain:
+    """TIA + filter + ADC readout chain.
+
+    Attributes:
+        tia: transimpedance stage.
+        antialias: analog low-pass before the ADC (``None`` for none).
+        adc: the converter.
+    """
+
+    tia: TransimpedanceAmplifier
+    adc: SarAdc
+    antialias: AnalogLowPass | None = field(default=None)
+
+    @classmethod
+    def for_full_scale(cls,
+                       full_scale_current_a: float,
+                       adc_rate_hz: float = 10.0,
+                       n_bits: int = 16,
+                       white_noise_a_rthz: float | None = None,
+                       flicker_corner_hz: float = 0.5,
+                       rail_v: float = 2.5) -> "AcquisitionChain":
+        """Design a chain for a given full-scale current.
+
+        Picks the TIA gain to map ``full_scale_current_a`` to 80 % of the
+        rails, a two-pole anti-alias at 40 % of the ADC Nyquist rate, and a
+        default (Johnson-limited) or user-specified noise floor.
+        """
+        if full_scale_current_a <= 0:
+            raise ValueError("full-scale current must be > 0")
+        gain = 0.8 * rail_v / full_scale_current_a
+        noise = None
+        if white_noise_a_rthz is not None:
+            noise = NoiseModel(white_density_a_rthz=white_noise_a_rthz,
+                               flicker_corner_hz=flicker_corner_hz)
+        tia = TransimpedanceAmplifier(
+            gain_v_per_a=gain,
+            bandwidth_hz=max(10.0, 4.0 * adc_rate_hz),
+            rail_v=rail_v,
+            input_noise=noise,
+        )
+        antialias = AnalogLowPass(cutoff_hz=0.4 * adc_rate_hz / 2.0 * 2.0,
+                                  order=2)
+        adc = SarAdc(n_bits=n_bits, v_ref=rail_v, sampling_rate_hz=adc_rate_hz)
+        return cls(tia=tia, adc=adc, antialias=antialias)
+
+    def acquire(self,
+                current_a: np.ndarray,
+                input_rate_hz: float,
+                rng: np.random.Generator | None = None,
+                add_noise: bool = True) -> AcquiredTrace:
+        """Digitize a true current trace sampled at ``input_rate_hz``.
+
+        The input rate must be an integer multiple of the ADC rate.
+        """
+        current_a = np.asarray(current_a, dtype=float)
+        voltage = self.tia.amplify(current_a, input_rate_hz, rng=rng,
+                                   add_noise=add_noise)
+        if self.antialias is not None:
+            voltage = self.antialias.apply(voltage, input_rate_hz)
+        times, reconstructed_v = self.adc.sample_trace(voltage, input_rate_hz)
+        measured = reconstructed_v / self.tia.gain_v_per_a
+
+        clean_v = self.tia.amplify(current_a, input_rate_hz, add_noise=False)
+        if self.antialias is not None:
+            clean_v = self.antialias.apply(clean_v, input_rate_hz)
+        __, clean_sampled = self.adc.sample_trace(clean_v, input_rate_hz)
+        true_current = clean_sampled / self.tia.gain_v_per_a
+        return AcquiredTrace(time_s=times, current_a=measured,
+                             true_current_a=true_current)
+
+    def input_referred_noise_rms(self, f_low_hz: float = 0.01) -> float:
+        """Total input-referred noise RMS [A] of the chain.
+
+        Quadrature sum of the TIA noise over the post-filter bandwidth and
+        the ADC quantization noise referred through the TIA gain.
+        """
+        bandwidth = (self.antialias.noise_bandwidth_hz()
+                     if self.antialias is not None else self.tia.bandwidth_hz)
+        bandwidth = min(bandwidth, self.tia.bandwidth_hz)
+        tia_rms = self.tia.noise.rms(f_low_hz, max(bandwidth, 2.0 * f_low_hz))
+        adc_rms = self.adc.quantization_noise_rms_v / self.tia.gain_v_per_a
+        return float(np.hypot(tia_rms, adc_rms))
+
+    def dynamic_range_db(self) -> float:
+        """Ratio of full-scale current to the noise floor, in dB."""
+        full_scale = self.tia.full_scale_current_a
+        noise = self.input_referred_noise_rms()
+        if noise == 0.0:
+            return float("inf")
+        return 20.0 * float(np.log10(full_scale / noise))

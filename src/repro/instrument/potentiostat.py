@@ -1,0 +1,78 @@
+"""Potentiostat control model.
+
+The potentiostat holds the working electrode at the programmed potential
+against the reference while sourcing the current through the counter
+electrode.  Its non-idealities — finite compliance voltage, incomplete
+iR compensation, DAC quantization of the waveform — perturb the potential
+the chemistry actually sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.electrodes.cell import ThreeElectrodeCell
+
+
+@dataclass(frozen=True)
+class Potentiostat:
+    """Three-electrode potentiostat.
+
+    Attributes:
+        compliance_v: maximum counter-electrode drive voltage [V].
+        ir_compensation: fraction of the solution resistance compensated by
+            positive feedback (0 = none, 0.9 typical, 1 would oscillate).
+        dac_resolution_v: potential programming resolution [V].
+        potential_accuracy_v: static offset error of the control loop [V].
+    """
+
+    compliance_v: float = 10.0
+    ir_compensation: float = 0.0
+    dac_resolution_v: float = 1e-3
+    potential_accuracy_v: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.compliance_v <= 0:
+            raise ValueError("compliance must be > 0")
+        if not 0.0 <= self.ir_compensation < 1.0:
+            raise ValueError(
+                f"iR compensation must be in [0, 1), got {self.ir_compensation}")
+        if self.dac_resolution_v <= 0:
+            raise ValueError("DAC resolution must be > 0")
+        if self.potential_accuracy_v < 0:
+            raise ValueError("potential accuracy must be >= 0")
+
+    def program_waveform(self, potentials_v: np.ndarray) -> np.ndarray:
+        """Quantize a requested waveform to the DAC resolution."""
+        potentials_v = np.asarray(potentials_v, dtype=float)
+        return np.round(potentials_v / self.dac_resolution_v) * self.dac_resolution_v
+
+    def effective_potential(self,
+                            set_potential_v: float,
+                            current_a: float,
+                            cell: ThreeElectrodeCell) -> float:
+        """Potential actually applied to the interface [V].
+
+        The uncompensated fraction of the solution resistance steals
+        ``I * Ru * (1 - comp)`` from the programmed value.
+        """
+        uncompensated = cell.solution_resistance_ohm * (1.0 - self.ir_compensation)
+        return set_potential_v - current_a * uncompensated
+
+    def within_compliance(self, current_a: float,
+                          cell: ThreeElectrodeCell) -> bool:
+        """True while the counter electrode can still source the current.
+
+        The drive requirement is approximated by the ohmic drop across the
+        full solution resistance plus a 1 V interfacial budget.
+        """
+        required = abs(current_a) * cell.solution_resistance_ohm + 1.0
+        return required <= self.compliance_v
+
+    def max_current_a(self, cell: ThreeElectrodeCell) -> float:
+        """Largest current [A] the compliance budget allows in ``cell``."""
+        if cell.solution_resistance_ohm == 0.0:
+            return float("inf")
+        return (self.compliance_v - 1.0) / cell.solution_resistance_ohm

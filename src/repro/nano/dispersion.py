@@ -1,0 +1,115 @@
+"""Dispersion media for casting CNT films.
+
+Carbon nanotubes aggregate in water; the choice of dispersant decides how
+much of the nominal CNT area actually becomes electroactive and how easily
+product molecules reach the electrode.  The paper's own sensors use Nafion
+0.5 % (metabolites, following Wang et al. [54]) and chloroform (CYP drug
+sensors); the literature baselines in Table 2 use mineral-oil paste,
+sol-gel, chitosan and polyurethane/polypyrrole — each captured here with
+the utilization/transport parameters that feed the film model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DispersionMedium:
+    """How a casting medium conditions a CNT film.
+
+    Attributes:
+        name: medium identity.
+        utilization: fraction of the nominal CNT sidewall area that ends up
+            electroactive (well-dispersed Nafion films approach 0.5; clumpy
+            mineral-oil pastes sit far lower).
+        product_transport: relative permeability of the film to the detected
+            product (H2O2) — a dense polymer slows collection.
+        enzyme_affinity: relative capacity for enzyme immobilization per
+            unit of electroactive area.
+        notes: one-line provenance.
+    """
+
+    name: str
+    utilization: float
+    product_transport: float
+    enzyme_affinity: float
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError(f"{self.name}: utilization must be in (0, 1]")
+        if not 0.0 < self.product_transport <= 1.0:
+            raise ValueError(f"{self.name}: product transport must be in (0, 1]")
+        if self.enzyme_affinity <= 0:
+            raise ValueError(f"{self.name}: enzyme affinity must be > 0")
+
+
+NAFION = DispersionMedium(
+    name="nafion",
+    utilization=0.50,
+    product_transport=0.85,
+    enzyme_affinity=1.0,
+    notes="Wang et al. [54]: Nafion solubilizes CNTs into uniform films",
+)
+
+CHLOROFORM = DispersionMedium(
+    name="chloroform",
+    utilization=0.40,
+    product_transport=0.95,
+    enzyme_affinity=1.1,
+    notes="volatile solvent, leaves a binder-free CNT network (CYP sensors)",
+)
+
+MINERAL_OIL = DispersionMedium(
+    name="mineral oil",
+    utilization=0.06,
+    product_transport=0.45,
+    enzyme_affinity=0.5,
+    notes="CNT paste electrodes (Rubianes & Rivas [41]) — low utilization",
+)
+
+SOL_GEL = DispersionMedium(
+    name="sol-gel",
+    utilization=0.25,
+    product_transport=0.60,
+    enzyme_affinity=0.9,
+    notes="silica matrix entrapment (Huang et al. [19])",
+)
+
+CHITOSAN = DispersionMedium(
+    name="chitosan",
+    utilization=0.35,
+    product_transport=0.75,
+    enzyme_affinity=1.3,
+    notes="biopolymer film (Zhang et al. [59])",
+)
+
+POLYURETHANE = DispersionMedium(
+    name="polyurethane/polypyrrole",
+    utilization=0.45,
+    product_transport=0.70,
+    enzyme_affinity=1.6,
+    notes="electrophoretically packed PU/MWCNT + PP entrapment (Ammam [1])",
+)
+
+#: Placeholder for an unmodified electrode (no film cast).
+BARE = DispersionMedium(
+    name="bare",
+    utilization=1.0,
+    product_transport=1.0,
+    enzyme_affinity=0.2,
+    notes="no nanomaterial film; enzymes adsorb directly on the electrode",
+)
+
+_ALL = (NAFION, CHLOROFORM, MINERAL_OIL, SOL_GEL, CHITOSAN, POLYURETHANE, BARE)
+_BY_NAME = {medium.name: medium for medium in _ALL}
+
+
+def medium_by_name(name: str) -> DispersionMedium:
+    """Look up a dispersion medium by name; raises ``KeyError`` if unknown."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown medium {name!r}; available: {sorted(_BY_NAME)}") from None

@@ -1,0 +1,148 @@
+"""Composite nanostructured film: the electrode surface modification.
+
+Casting a CNT dispersion onto an electrode produces a porous film whose
+effect on sensing is summarized by four multipliers consumed by the sensor
+model:
+
+* **area enhancement** — electroactive area / geometric area, from the CNT
+  mass loading, the per-tube specific surface and the dispersion
+  utilization;
+* **rate enhancement** — heterogeneous rate constant (k0) multiplier from
+  the CNT's fast electron transfer (edge-plane-like sites, tip emission);
+* **capacitance enhancement** — the double layer grows with the real area;
+* **enzyme capacity** — how much active enzyme the film can host.
+
+These are exactly the knobs the CNT-ablation bench sweeps to reproduce the
+paper's argument that nanostructuring the electrode lifts sensitivity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.chem.species import RedoxCouple
+from repro.nano.cnt import CarbonNanotube, MWCNT_DROPSENS
+from repro.nano.dispersion import BARE, DispersionMedium
+
+
+@dataclass(frozen=True)
+class NanostructuredFilm:
+    """A cast film of nanotubes (or nothing) on an electrode.
+
+    Attributes:
+        nanotube: the CNT variety in the film, or ``None`` for a bare or
+            polymer-only film.
+        medium: the dispersion/casting medium.
+        loading_kg_m2: CNT mass per geometric electrode area [kg/m^2].
+            Typical drop-cast loadings are 10-100 ug/cm^2 = 1e-4..1e-3 kg/m^2.
+        intrinsic_rate_enhancement: k0 multiplier *per unit of area
+            enhancement saturation* attributable to CNT surface chemistry.
+    """
+
+    nanotube: CarbonNanotube | None = field(default=MWCNT_DROPSENS)
+    medium: DispersionMedium = field(default=BARE)
+    loading_kg_m2: float = 0.0
+    intrinsic_rate_enhancement: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.loading_kg_m2 < 0:
+            raise ValueError(f"loading must be >= 0, got {self.loading_kg_m2}")
+        if self.intrinsic_rate_enhancement < 1.0:
+            raise ValueError("intrinsic rate enhancement must be >= 1")
+        if self.loading_kg_m2 > 0 and self.nanotube is None:
+            raise ValueError("a non-zero loading requires a nanotube type")
+
+    @classmethod
+    def bare(cls) -> "NanostructuredFilm":
+        """Return an unmodified (no-film) electrode surface."""
+        return cls(nanotube=None, medium=BARE, loading_kg_m2=0.0,
+                   intrinsic_rate_enhancement=1.0)
+
+    @classmethod
+    def mwcnt_nafion(cls, loading_kg_m2: float = 3e-4) -> "NanostructuredFilm":
+        """The paper's metabolite-sensor film: MWCNT drop-cast in Nafion 0.5 %."""
+        from repro.nano.dispersion import NAFION
+        return cls(nanotube=MWCNT_DROPSENS, medium=NAFION,
+                   loading_kg_m2=loading_kg_m2)
+
+    @classmethod
+    def mwcnt_chloroform(cls, loading_kg_m2: float = 4e-4) -> "NanostructuredFilm":
+        """The paper's CYP-sensor film: MWCNT dispersed in chloroform on SPE."""
+        from repro.nano.dispersion import CHLOROFORM
+        return cls(nanotube=MWCNT_DROPSENS, medium=CHLOROFORM,
+                   loading_kg_m2=loading_kg_m2)
+
+    @property
+    def has_nanotubes(self) -> bool:
+        """True when the film contains a non-zero CNT loading."""
+        return self.nanotube is not None and self.loading_kg_m2 > 0
+
+    def area_enhancement(self) -> float:
+        """Electroactive-to-geometric area ratio (>= 1).
+
+        ``1 + loading * specific_area * utilization`` — a 30 ug/cm^2 Nafion
+        film of 10 nm MWCNT lands near 10x, consistent with reported
+        electroactive-area measurements.
+        """
+        if not self.has_nanotubes:
+            return 1.0
+        nominal = self.loading_kg_m2 * self.nanotube.specific_surface_area_m2_kg
+        return 1.0 + nominal * self.medium.utilization
+
+    def rate_enhancement(self) -> float:
+        """Heterogeneous rate constant (k0) multiplier (>= 1).
+
+        Saturating in loading: the first layers of tubes contribute the
+        fast edge-plane-like sites; extra material mostly thickens the film.
+        """
+        if not self.has_nanotubes:
+            return 1.0
+        saturation = 1.0 - math.exp(-self.area_enhancement() / 5.0)
+        return 1.0 + (self.intrinsic_rate_enhancement - 1.0) * saturation
+
+    def capacitance_enhancement(self) -> float:
+        """Double-layer capacitance multiplier (tracks the real area)."""
+        return self.area_enhancement()
+
+    def collection_efficiency(self) -> float:
+        """Fraction of enzyme product collected by the electrode (0..1].
+
+        The porous film intercepts most of the product generated inside it;
+        the medium's transport term accounts for product escaping through a
+        dense binder.
+        """
+        if not self.has_nanotubes:
+            return 0.35 * self.medium.product_transport
+        depth_capture = 1.0 - math.exp(-self.area_enhancement() / 3.0)
+        return min(1.0, (0.35 + 0.65 * depth_capture) * self.medium.product_transport)
+
+    def enzyme_capacity_mol_m2(self,
+                               footprint_m2_per_mol: float = 3.6e7) -> float:
+        """Maximum enzyme coverage the film can host [mol per geometric m^2].
+
+        A close-packed monolayer of a ~60 kDa enzyme occupies roughly
+        ``footprint_m2_per_mol`` (60 nm^2/molecule); the film multiplies the
+        available surface by its area enhancement and the medium's affinity.
+        """
+        if footprint_m2_per_mol <= 0:
+            raise ValueError("footprint must be > 0")
+        monolayer = 1.0 / footprint_m2_per_mol
+        return monolayer * self.area_enhancement() * self.medium.enzyme_affinity
+
+    def modify_couple(self, couple: RedoxCouple) -> RedoxCouple:
+        """Return ``couple`` with k0 boosted by the film's rate enhancement."""
+        return couple.with_rate_enhancement(self.rate_enhancement())
+
+    def film_thickness_m(self, porosity: float = 0.9) -> float:
+        """Estimate the film thickness [m] from loading and porosity.
+
+        ``t = loading / (rho_carbon (1 - porosity))`` — drop-cast CNT films
+        are extremely porous (>= 85 % void).
+        """
+        if not 0.0 < porosity < 1.0:
+            raise ValueError(f"porosity must be in (0, 1), got {porosity}")
+        if not self.has_nanotubes:
+            return 0.0
+        solid_density = 2100.0  # kg/m^3, graphitic carbon
+        return self.loading_kg_m2 / (solid_density * (1.0 - porosity))

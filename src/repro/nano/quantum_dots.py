@@ -1,0 +1,79 @@
+"""Quantum dots as optical labels (paper section 2.4).
+
+Quantum confinement makes the emission wavelength of a semiconductor
+nanocrystal a function of its size — the property that makes QDs tunable
+fluorescent labels for sensing elements.  A Brus-equation model suffices
+for the classification examples that contrast optical labelling with the
+label-free electrochemical platform the paper develops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Planck constant [J s].
+_PLANCK = 6.62607015e-34
+
+#: Speed of light [m/s].
+_LIGHT_SPEED = 2.99792458e8
+
+#: Electron rest mass [kg].
+_ELECTRON_MASS = 9.1093837015e-31
+
+#: Joules per electronvolt.
+_EV = 1.602176634e-19
+
+
+@dataclass(frozen=True)
+class QuantumDot:
+    """A spherical semiconductor quantum dot.
+
+    Attributes:
+        name: material name (e.g. ``"CdSe"``).
+        radius_m: dot radius [m]; must be below ~10 nm for confinement.
+        bulk_gap_ev: bulk band gap [eV].
+        effective_mass_electron: electron effective mass (units of m_e).
+        effective_mass_hole: hole effective mass (units of m_e).
+    """
+
+    name: str
+    radius_m: float
+    bulk_gap_ev: float
+    effective_mass_electron: float = 0.13
+    effective_mass_hole: float = 0.45
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.radius_m <= 10e-9:
+            raise ValueError(
+                f"radius must be in (0, 10 nm] for quantum confinement, "
+                f"got {self.radius_m}")
+        if self.bulk_gap_ev <= 0:
+            raise ValueError("bulk gap must be > 0")
+        if self.effective_mass_electron <= 0 or self.effective_mass_hole <= 0:
+            raise ValueError("effective masses must be > 0")
+
+    def confinement_energy_ev(self) -> float:
+        """Return the Brus confinement term [eV].
+
+        ``dE = (h^2 / 8 R^2) (1/m_e* + 1/m_h*)`` — grows as the dot
+        shrinks, blue-shifting the emission.
+        """
+        reduced = (1.0 / (self.effective_mass_electron * _ELECTRON_MASS)
+                   + 1.0 / (self.effective_mass_hole * _ELECTRON_MASS))
+        energy_j = _PLANCK ** 2 / (8.0 * self.radius_m ** 2) * reduced
+        return energy_j / _EV
+
+    def emission_energy_ev(self) -> float:
+        """Total emission energy [eV]: bulk gap plus confinement."""
+        return self.bulk_gap_ev + self.confinement_energy_ev()
+
+    def emission_wavelength_m(self) -> float:
+        """Peak emission wavelength [m]."""
+        energy_j = self.emission_energy_ev() * _EV
+        return _PLANCK * _LIGHT_SPEED / energy_j
+
+
+def cdse_dot(radius_m: float) -> QuantumDot:
+    """Convenience constructor for a CdSe dot of the given radius."""
+    return QuantumDot(name="CdSe", radius_m=radius_m, bulk_gap_ev=1.74,
+                      effective_mass_electron=0.13, effective_mass_hole=0.45)

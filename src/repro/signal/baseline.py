@@ -1,0 +1,69 @@
+"""Baseline estimation and subtraction for voltammograms.
+
+The CYP drug sensors quantify a reduction peak riding on a large capacitive
+background; the reported "peak height" is always height *above baseline*.
+The baseline is fit on user-designated flank regions (before and after the
+peak window) so the peak itself never biases the fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fit_polynomial_baseline(x: np.ndarray,
+                            y: np.ndarray,
+                            mask: np.ndarray,
+                            degree: int = 1) -> np.ndarray:
+    """Fit a polynomial to ``y`` on ``mask`` and evaluate it everywhere.
+
+    Args:
+        x: abscissa (potential or time).
+        y: trace values.
+        mask: boolean array marking baseline (non-peak) samples.
+        degree: polynomial degree (1 = linear baseline).
+
+    Returns:
+        The baseline evaluated at every ``x``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    mask = np.asarray(mask, dtype=bool)
+    if x.shape != y.shape or x.shape != mask.shape:
+        raise ValueError("x, y and mask must share one shape")
+    if degree < 0:
+        raise ValueError(f"degree must be >= 0, got {degree}")
+    n_masked = int(mask.sum())
+    if n_masked < degree + 1:
+        raise ValueError(
+            f"need at least {degree + 1} baseline samples, got {n_masked}")
+    coefficients = np.polyfit(x[mask], y[mask], degree)
+    return np.polyval(coefficients, x)
+
+
+def baseline_from_flanks(x: np.ndarray,
+                         y: np.ndarray,
+                         peak_window: tuple[float, float],
+                         degree: int = 1) -> np.ndarray:
+    """Fit a baseline using only samples *outside* ``peak_window``.
+
+    ``peak_window`` is the (low, high) abscissa interval containing the
+    peak; everything else is treated as baseline.
+    """
+    x = np.asarray(x, dtype=float)
+    low, high = peak_window
+    if not low < high:
+        raise ValueError(f"peak window must satisfy low < high, got {peak_window}")
+    mask = (x < low) | (x > high)
+    if not mask.any():
+        raise ValueError("peak window covers the whole trace")
+    return fit_polynomial_baseline(x, y, mask, degree)
+
+
+def subtract_baseline(y: np.ndarray, baseline: np.ndarray) -> np.ndarray:
+    """Return ``y - baseline`` (shape-checked)."""
+    y = np.asarray(y, dtype=float)
+    baseline = np.asarray(baseline, dtype=float)
+    if y.shape != baseline.shape:
+        raise ValueError("trace and baseline must share one shape")
+    return y - baseline

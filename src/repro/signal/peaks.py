@@ -1,0 +1,94 @@
+"""Peak detection and height measurement.
+
+The quantitative output of the CYP drug sensors: "the peak height is
+proportional to drug concentration and calibration curves can be plotted"
+(paper section 3.1).  ``measure_peak`` implements the full procedure —
+smooth, fit flank baseline, subtract, locate extremum, report height.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.signal.baseline import baseline_from_flanks, subtract_baseline
+from repro.signal.smoothing import savitzky_golay
+
+
+@dataclass(frozen=True)
+class PeakMeasurement:
+    """A quantified voltammetric peak.
+
+    Attributes:
+        position: abscissa (potential) of the peak extremum.
+        height: |peak - baseline| at the extremum (always >= 0).
+        polarity: +1 for an anodic (positive) peak, -1 for cathodic.
+        baseline_value: baseline level under the extremum.
+        raw_value: un-subtracted trace value at the extremum.
+    """
+
+    position: float
+    height: float
+    polarity: int
+    baseline_value: float
+    raw_value: float
+
+
+def find_peak_index(y: np.ndarray, polarity: int = 1) -> int:
+    """Index of the extremum: max for ``polarity`` +1, min for -1."""
+    y = np.asarray(y, dtype=float)
+    if y.size == 0:
+        raise ValueError("empty trace")
+    if polarity not in (1, -1):
+        raise ValueError(f"polarity must be +1 or -1, got {polarity}")
+    return int(np.argmax(y) if polarity == 1 else np.argmin(y))
+
+
+def measure_peak(x: np.ndarray,
+                 y: np.ndarray,
+                 peak_window: tuple[float, float],
+                 polarity: int = -1,
+                 smooth_window: int = 9,
+                 baseline_degree: int = 1) -> PeakMeasurement:
+    """Measure a peak's baseline-corrected height inside ``peak_window``.
+
+    Args:
+        x: potential axis (monotonic within the analyzed sweep).
+        y: current trace.
+        peak_window: (low, high) potential interval containing the peak.
+        polarity: -1 for a reduction (cathodic, negative-going) peak — the
+            CYP case — or +1 for an oxidation peak.
+        smooth_window: Savitzky-Golay window (samples); 0 disables smoothing.
+        baseline_degree: polynomial degree of the flank baseline.
+
+    Returns:
+        A :class:`PeakMeasurement`; height is always non-negative.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError("x and y must share one shape")
+    if x.size < 8:
+        raise ValueError("trace too short for peak analysis")
+    smoothed = savitzky_golay(y, smooth_window) if smooth_window else y
+    baseline = baseline_from_flanks(x, smoothed, peak_window, baseline_degree)
+    corrected = subtract_baseline(smoothed, baseline)
+
+    low, high = peak_window
+    in_window = (x >= low) & (x <= high)
+    if not in_window.any():
+        raise ValueError("no samples inside the peak window")
+    window_idx = np.flatnonzero(in_window)
+    local = corrected[window_idx]
+    local_peak = find_peak_index(local, polarity)
+    idx = int(window_idx[local_peak])
+
+    height = abs(float(corrected[idx]))
+    return PeakMeasurement(
+        position=float(x[idx]),
+        height=height,
+        polarity=polarity,
+        baseline_value=float(baseline[idx]),
+        raw_value=float(y[idx]),
+    )

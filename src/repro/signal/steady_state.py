@@ -1,0 +1,97 @@
+"""Steady-state extraction from chronoamperometric step responses.
+
+After each substrate addition the current relaxes to a new plateau; the
+calibration point is the plateau level.  The extractor averages the tail of
+the record and reports a settledness diagnostic (residual slope vs. noise)
+so un-settled steps are flagged instead of silently biasing calibrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SteadyStateResult:
+    """Plateau estimate from a step response.
+
+    Attributes:
+        value: plateau current estimate [A] (tail mean).
+        std: sample standard deviation within the tail [A].
+        n_samples: number of samples averaged.
+        residual_slope_per_s: linear slope remaining in the tail [A/s].
+        settled: True when the remaining slope over the tail duration is
+            smaller than the tail noise.
+    """
+
+    value: float
+    std: float
+    n_samples: int
+    residual_slope_per_s: float
+    settled: bool
+
+
+def extract_steady_state(time_s: np.ndarray,
+                         current_a: np.ndarray,
+                         tail_fraction: float = 0.25) -> SteadyStateResult:
+    """Average the last ``tail_fraction`` of a step record.
+
+    Args:
+        time_s: sample timestamps (monotonic).
+        current_a: current record.
+        tail_fraction: portion of the record treated as plateau.
+    """
+    time_s = np.asarray(time_s, dtype=float)
+    current_a = np.asarray(current_a, dtype=float)
+    if time_s.shape != current_a.shape:
+        raise ValueError("time and current must share one shape")
+    if time_s.size < 4:
+        raise ValueError("record too short for steady-state extraction")
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError(f"tail fraction must be in (0, 1], got {tail_fraction}")
+
+    n_tail = max(2, int(round(time_s.size * tail_fraction)))
+    tail_t = time_s[-n_tail:]
+    tail_i = current_a[-n_tail:]
+    value = float(np.mean(tail_i))
+    std = float(np.std(tail_i, ddof=1))
+    slope = float(np.polyfit(tail_t, tail_i, 1)[0])
+    duration = float(tail_t[-1] - tail_t[0])
+    drift_over_tail = abs(slope) * duration
+    # Settled when the residual drift is buried in the tail noise or is
+    # negligible relative to the plateau itself (noiseless records).
+    threshold = max(2.0 * std, 1e-3 * abs(value), 1e-30)
+    settled = bool(drift_over_tail <= threshold)
+    return SteadyStateResult(value=value, std=std, n_samples=n_tail,
+                             residual_slope_per_s=slope, settled=settled)
+
+
+def rise_time(time_s: np.ndarray,
+              current_a: np.ndarray,
+              low: float = 0.1,
+              high: float = 0.9) -> float:
+    """Return the ``low``-to-``high`` rise time [s] of a step response.
+
+    Levels are fractions of the final plateau relative to the initial value.
+    Raises if the trace never crosses the thresholds (no step present).
+    """
+    time_s = np.asarray(time_s, dtype=float)
+    current_a = np.asarray(current_a, dtype=float)
+    if time_s.shape != current_a.shape or time_s.size < 4:
+        raise ValueError("need equal-length arrays with >= 4 samples")
+    if not 0.0 <= low < high <= 1.0:
+        raise ValueError(f"need 0 <= low < high <= 1, got {low}, {high}")
+
+    start = current_a[0]
+    plateau = extract_steady_state(time_s, current_a).value
+    swing = plateau - start
+    if swing == 0.0:
+        raise ValueError("trace has no step (zero swing)")
+    normalized = (current_a - start) / swing
+    above_low = np.flatnonzero(normalized >= low)
+    above_high = np.flatnonzero(normalized >= high)
+    if above_low.size == 0 or above_high.size == 0:
+        raise ValueError("trace never crosses the requested thresholds")
+    return float(time_s[above_high[0]] - time_s[above_low[0]])

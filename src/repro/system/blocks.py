@@ -1,0 +1,149 @@
+"""System-block library for self-contained biosensing systems.
+
+Paper section 1: "Power source, transducer circuitry, control unit,
+wireless communication are some of the blocks that can be potentially used
+in biosensing systems."  Each block carries its area/power at a reference
+technology node plus the interfaces it offers and requires, so the
+composition checker can validate a platform instance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Technology node the library's areas are characterized at [nm].
+REFERENCE_NODE_NM = 180.0
+
+
+class BlockKind(enum.Enum):
+    """Functional block categories."""
+
+    SENSOR = "sensor"
+    ANALOG_FRONT_END = "analog front-end"
+    ADC = "adc"
+    DIGITAL_CONTROL = "digital control"
+    RF = "rf transceiver"
+    POWER = "power management"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class SystemBlock:
+    """One reusable platform block.
+
+    Attributes:
+        name: block identity.
+        kind: functional category.
+        area_mm2: silicon (or sensor) area at the reference node [mm^2].
+        power_mw: active power [mW].
+        is_analog: True for analog/mixed-signal blocks (affects scaling).
+        provides: interface names this block drives.
+        requires: interface names this block needs from peers.
+        scaling_exponent: how area shrinks with node:
+            ``area(node) = area_ref (node/ref)^exponent``; 2.0 for digital
+            logic, ~0.6 for analog (matching/passives limited), 0 for the
+            biosensor itself (chemistry sets its size).
+    """
+
+    name: str
+    kind: BlockKind
+    area_mm2: float
+    power_mw: float
+    is_analog: bool
+    provides: tuple[str, ...] = field(default_factory=tuple)
+    requires: tuple[str, ...] = field(default_factory=tuple)
+    scaling_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.area_mm2 <= 0:
+            raise ValueError(f"{self.name}: area must be > 0")
+        if self.power_mw < 0:
+            raise ValueError(f"{self.name}: power must be >= 0")
+        if self.scaling_exponent < 0:
+            raise ValueError(f"{self.name}: scaling exponent must be >= 0")
+
+
+STANDARD_BLOCKS: tuple[SystemBlock, ...] = (
+    SystemBlock(
+        name="cnt electrode array",
+        kind=BlockKind.SENSOR,
+        area_mm2=4.0,
+        power_mw=0.0,
+        is_analog=True,
+        provides=("electrode_current",),
+        requires=("bias_potential",),
+        scaling_exponent=0.0,
+    ),
+    SystemBlock(
+        name="potentiostat + tia front-end",
+        kind=BlockKind.ANALOG_FRONT_END,
+        area_mm2=1.2,
+        power_mw=1.8,
+        is_analog=True,
+        provides=("bias_potential", "analog_voltage"),
+        requires=("electrode_current", "supply"),
+        scaling_exponent=0.6,
+    ),
+    SystemBlock(
+        name="12-bit sar adc",
+        kind=BlockKind.ADC,
+        area_mm2=0.5,
+        power_mw=0.4,
+        is_analog=True,
+        provides=("digital_samples",),
+        requires=("analog_voltage", "supply"),
+        scaling_exponent=1.0,
+    ),
+    SystemBlock(
+        name="control mcu + dsp",
+        kind=BlockKind.DIGITAL_CONTROL,
+        area_mm2=2.5,
+        power_mw=1.2,
+        is_analog=False,
+        provides=("data_frames", "config"),
+        requires=("digital_samples", "supply"),
+        scaling_exponent=2.0,
+    ),
+    SystemBlock(
+        name="ble-class radio",
+        kind=BlockKind.RF,
+        area_mm2=3.0,
+        power_mw=6.0,
+        is_analog=True,
+        provides=("wireless_link",),
+        requires=("data_frames", "supply"),
+        scaling_exponent=0.5,
+    ),
+    SystemBlock(
+        name="power management unit",
+        kind=BlockKind.POWER,
+        area_mm2=1.5,
+        power_mw=0.3,
+        is_analog=True,
+        provides=("supply",),
+        requires=(),
+        scaling_exponent=0.4,
+    ),
+    SystemBlock(
+        name="calibration memory",
+        kind=BlockKind.MEMORY,
+        area_mm2=0.6,
+        power_mw=0.1,
+        is_analog=False,
+        provides=("calibration_data",),
+        requires=("supply",),
+        scaling_exponent=1.8,
+    ),
+)
+
+_BY_NAME = {block.name: block for block in STANDARD_BLOCKS}
+
+
+def block_by_name(name: str) -> SystemBlock:
+    """Look up a standard block; raises ``KeyError`` listing the options."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown block {name!r}; available: {sorted(_BY_NAME)}") from None

@@ -1,0 +1,133 @@
+"""Compositional design rules for biosensing platforms.
+
+"A platform-based design style using heterogeneous components and
+compositional rules eases the design process and reduces the non-recurring
+engineering (NRE) costs of biosensing systems" (paper section 1).  A
+:class:`PlatformDesign` validates that a chosen set of blocks forms a
+complete, interface-consistent, power-feasible system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.system.blocks import BlockKind, SystemBlock, STANDARD_BLOCKS
+
+#: Block kinds every self-contained biosensing node must include.
+REQUIRED_KINDS: tuple[BlockKind, ...] = (
+    BlockKind.SENSOR,
+    BlockKind.ANALOG_FRONT_END,
+    BlockKind.ADC,
+    BlockKind.DIGITAL_CONTROL,
+    BlockKind.POWER,
+)
+
+
+class CompositionError(ValueError):
+    """Raised when a platform instance violates the compositional rules."""
+
+
+@dataclass(frozen=True)
+class PlatformDesign:
+    """A validated composition of system blocks.
+
+    Attributes:
+        name: design identity.
+        blocks: the composed blocks.
+        power_budget_mw: maximum deliverable power [mW] (battery/harvester).
+    """
+
+    name: str
+    blocks: tuple[SystemBlock, ...]
+    power_budget_mw: float = 15.0
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise CompositionError("a design needs at least one block")
+        if self.power_budget_mw <= 0:
+            raise CompositionError("power budget must be > 0")
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Rules.
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check completeness, interface closure and power feasibility.
+
+        Raises :class:`CompositionError` with a precise message on the
+        first violated rule.
+        """
+        kinds = {block.kind for block in self.blocks}
+        for required in REQUIRED_KINDS:
+            if required not in kinds:
+                raise CompositionError(
+                    f"{self.name}: missing required block kind "
+                    f"{required.value!r}")
+
+        provided = {interface
+                    for block in self.blocks
+                    for interface in block.provides}
+        for block in self.blocks:
+            for needed in block.requires:
+                if needed not in provided:
+                    raise CompositionError(
+                        f"{self.name}: block {block.name!r} requires "
+                        f"{needed!r}, provided by no block")
+
+        if self.total_power_mw() > self.power_budget_mw:
+            raise CompositionError(
+                f"{self.name}: power {self.total_power_mw():.1f} mW exceeds "
+                f"budget {self.power_budget_mw:.1f} mW")
+
+    # ------------------------------------------------------------------
+    # Accounting.
+    # ------------------------------------------------------------------
+
+    def total_area_mm2(self) -> float:
+        """Total block area [mm^2] at the reference node."""
+        return sum(block.area_mm2 for block in self.blocks)
+
+    def total_power_mw(self) -> float:
+        """Total active power [mW]."""
+        return sum(block.power_mw for block in self.blocks)
+
+    def analog_fraction(self) -> float:
+        """Fraction of the area in analog/mixed-signal blocks.
+
+        High analog fractions are the quantitative root of the paper's
+        heterogeneous-technology argument: analog does not benefit from
+        digital scaling.
+        """
+        analog = sum(b.area_mm2 for b in self.blocks if b.is_analog)
+        return analog / self.total_area_mm2()
+
+    def summary(self) -> str:
+        """Multi-line accounting summary."""
+        lines = [f"Platform design {self.name!r}:"]
+        for block in self.blocks:
+            lines.append(
+                f"  {block.name:<28} {block.kind.value:<16} "
+                f"{block.area_mm2:5.2f} mm^2  {block.power_mw:5.2f} mW")
+        lines.append(
+            f"  total: {self.total_area_mm2():.2f} mm^2, "
+            f"{self.total_power_mw():.2f} mW "
+            f"(budget {self.power_budget_mw:.1f} mW), "
+            f"analog fraction {self.analog_fraction():.0%}")
+        return "\n".join(lines)
+
+
+def reference_biosensor_node(power_budget_mw: float = 15.0,
+                             with_radio: bool = True) -> PlatformDesign:
+    """The paper's self-contained biosensing node from the standard library.
+
+    Sensor array + potentiostat front-end + ADC + control + power (+ radio
+    and calibration memory) — the block list of paper section 1.
+    """
+    blocks = [b for b in STANDARD_BLOCKS
+              if with_radio or b.kind is not BlockKind.RF]
+    return PlatformDesign(
+        name="i-IronIC-style biosensing node",
+        blocks=tuple(blocks),
+        power_budget_mw=power_budget_mw,
+    )

@@ -1,0 +1,72 @@
+"""Shared technique data structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A sampled excitation waveform.
+
+    Attributes:
+        time_s: sample timestamps [s], uniformly spaced from zero.
+        potential_v: applied potential at each sample [V].
+        sampling_rate_hz: sample rate [Hz].
+    """
+
+    time_s: np.ndarray
+    potential_v: np.ndarray
+    sampling_rate_hz: float
+
+    def __post_init__(self) -> None:
+        if self.time_s.shape != self.potential_v.shape:
+            raise ValueError("time and potential must share one shape")
+        if self.time_s.ndim != 1 or self.time_s.size < 2:
+            raise ValueError("waveform needs at least two samples")
+        if self.sampling_rate_hz <= 0:
+            raise ValueError("sampling rate must be > 0")
+
+    @property
+    def duration_s(self) -> float:
+        """Waveform duration [s]."""
+        return float(self.time_s[-1])
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples."""
+        return int(self.time_s.size)
+
+    def scan_rate_v_s(self) -> np.ndarray:
+        """Instantaneous dE/dt [V/s] (finite differences, same length)."""
+        return np.gradient(self.potential_v, self.time_s)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A simulated electrochemical record (pre-acquisition, noiseless).
+
+    Attributes:
+        time_s: timestamps [s].
+        potential_v: applied potential [V].
+        current_a: true faradaic + capacitive current [A].
+        technique: generating technique name.
+        sampling_rate_hz: sample rate [Hz].
+        metadata: free-form context (concentrations, parameters...).
+    """
+
+    time_s: np.ndarray
+    potential_v: np.ndarray
+    current_a: np.ndarray
+    technique: str
+    sampling_rate_hz: float
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (self.time_s.shape == self.potential_v.shape
+                == self.current_a.shape):
+            raise ValueError("measurement arrays must share one shape")
+        if self.sampling_rate_hz <= 0:
+            raise ValueError("sampling rate must be > 0")

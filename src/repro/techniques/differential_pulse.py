@@ -1,0 +1,156 @@
+"""Differential-pulse voltammetry (DPV).
+
+DPV superimposes small potential pulses on a staircase ramp and records the
+current *difference* between pulse end and pulse start, cancelling most of
+the capacitive background.  The literature cyclophosphamide sensor the
+paper compares against (Palaska et al. [32]) is a DNA-modified electrode
+read out by DPV; the model here provides the analytic solution-phase DPV
+peak plus a surface-confined variant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import FARADAY, STANDARD_TEMPERATURE, thermal_voltage
+from repro.chem.species import RedoxCouple
+from repro.techniques.base import Measurement
+
+
+def dpv_solution_peak_current(couple: RedoxCouple,
+                              concentration_molar: float,
+                              area_m2: float,
+                              pulse_amplitude_v: float,
+                              pulse_width_s: float,
+                              temperature_k: float = STANDARD_TEMPERATURE,
+                              ) -> float:
+    """Analytic DPV peak height [A] for a reversible solution couple.
+
+    ``di_peak = n F A C sqrt(D/(pi t_p)) (1-s)/(1+s)`` with
+    ``s = exp(-n F dE / (2 R T))`` — the classic Parry-Osteryoung result.
+    Peak height is linear in concentration, the property the DPV-based
+    literature sensors exploit.
+    """
+    if concentration_molar < 0:
+        raise ValueError("concentration must be >= 0")
+    if area_m2 <= 0:
+        raise ValueError("area must be > 0")
+    if pulse_amplitude_v <= 0:
+        raise ValueError("pulse amplitude must be > 0")
+    if pulse_width_s <= 0:
+        raise ValueError("pulse width must be > 0")
+    sigma = math.exp(-couple.n_electrons * pulse_amplitude_v
+                     / (2.0 * thermal_voltage(temperature_k)))
+    conc_si = concentration_molar * 1e3
+    return (couple.n_electrons * FARADAY * area_m2 * conc_si
+            * math.sqrt(couple.diffusion_ox / (math.pi * pulse_width_s))
+            * (1.0 - sigma) / (1.0 + sigma))
+
+
+@dataclass(frozen=True)
+class DifferentialPulseVoltammetry:
+    """Differential-pulse protocol.
+
+    Attributes:
+        e_start_v / e_end_v: scan window [V].
+        step_v: staircase increment [V].
+        pulse_amplitude_v: pulse height [V].
+        pulse_width_s: pulse duration [s].
+    """
+
+    e_start_v: float
+    e_end_v: float
+    step_v: float = 0.005
+    pulse_amplitude_v: float = 0.05
+    pulse_width_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.e_start_v == self.e_end_v:
+            raise ValueError("scan window must be non-degenerate")
+        if self.step_v <= 0:
+            raise ValueError("step must be > 0")
+        if self.pulse_amplitude_v <= 0:
+            raise ValueError("pulse amplitude must be > 0")
+        if self.pulse_width_s <= 0:
+            raise ValueError("pulse width must be > 0")
+
+    def potential_axis(self) -> np.ndarray:
+        """Staircase base potentials of the scan [V]."""
+        span = self.e_end_v - self.e_start_v
+        n = max(2, int(round(abs(span) / self.step_v)) + 1)
+        return np.linspace(self.e_start_v, self.e_end_v, n)
+
+    def simulate_surface_couple(self,
+                                couple: RedoxCouple,
+                                coverage_mol_m2: float,
+                                area_m2: float,
+                                temperature_k: float = STANDARD_TEMPERATURE,
+                                ) -> Measurement:
+        """DPV of an adsorbed couple: differential Nernstian occupancy.
+
+        Each pulse moves ``n F A Gamma [theta(E+dE) - theta(E)]`` of charge
+        within the pulse width; the differential current is peak-shaped and
+        proportional to coverage.
+        """
+        if coverage_mol_m2 <= 0:
+            raise ValueError("coverage must be > 0")
+        if area_m2 <= 0:
+            raise ValueError("area must be > 0")
+        potentials = self.potential_axis()
+        nf = couple.n_electrons / thermal_voltage(temperature_k)
+
+        def occupancy(potential: np.ndarray) -> np.ndarray:
+            xi = np.clip(nf * (potential - couple.formal_potential), -60.0, 60.0)
+            return np.exp(xi) / (1.0 + np.exp(xi))
+
+        direction = math.copysign(1.0, self.e_end_v - self.e_start_v)
+        delta_theta = (occupancy(potentials + direction * self.pulse_amplitude_v)
+                       - occupancy(potentials))
+        charge = couple.n_electrons * FARADAY * area_m2 * coverage_mol_m2
+        differential_current = charge * delta_theta / self.pulse_width_s
+        period = 4.0 * self.pulse_width_s
+        time = np.arange(potentials.size) * period
+        return Measurement(
+            time_s=time,
+            potential_v=potentials,
+            current_a=differential_current,
+            technique="differential pulse voltammetry (surface couple)",
+            sampling_rate_hz=1.0 / period,
+            metadata={"couple": couple.name,
+                      "coverage_mol_m2": coverage_mol_m2},
+        )
+
+    def simulate_solution_couple(self,
+                                 couple: RedoxCouple,
+                                 concentration_molar: float,
+                                 area_m2: float,
+                                 temperature_k: float = STANDARD_TEMPERATURE,
+                                 ) -> Measurement:
+        """DPV of a diffusing couple: analytic peak-shaped response.
+
+        The response follows the derivative-of-sigmoid shape centred at the
+        half-wave potential with the Parry-Osteryoung peak height.
+        """
+        if concentration_molar < 0:
+            raise ValueError("concentration must be >= 0")
+        potentials = self.potential_axis()
+        peak = dpv_solution_peak_current(
+            couple, concentration_molar, area_m2,
+            self.pulse_amplitude_v, self.pulse_width_s, temperature_k)
+        nf = couple.n_electrons / thermal_voltage(temperature_k)
+        xi = np.clip(nf * (potentials - couple.formal_potential), -60.0, 60.0)
+        bell = 4.0 * np.exp(xi) / (1.0 + np.exp(xi)) ** 2
+        period = 4.0 * self.pulse_width_s
+        time = np.arange(potentials.size) * period
+        return Measurement(
+            time_s=time,
+            potential_v=potentials,
+            current_a=peak * bell,
+            technique="differential pulse voltammetry (solution couple)",
+            sampling_rate_hz=1.0 / period,
+            metadata={"couple": couple.name,
+                      "concentration_molar": concentration_molar},
+        )

@@ -1,0 +1,78 @@
+"""Linear-sweep voltammetry (single direction).
+
+The forward half of a cyclic voltammogram; used for technique-comparison
+examples and as the building block of the differential-pulse protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.diffusion import ElectrodeDiffusionSystem
+from repro.chem.doublelayer import DoubleLayer
+from repro.chem.species import RedoxCouple
+from repro.techniques.base import Measurement, Waveform
+from repro.techniques.waveform import linear_sweep_wave
+
+
+@dataclass(frozen=True)
+class LinearSweepVoltammetry:
+    """Single linear potential sweep.
+
+    Attributes:
+        e_start_v: start potential [V].
+        e_end_v: end potential [V].
+        scan_rate_v_s: sweep rate [V/s].
+        sampling_rate_hz: analog simulation rate [Hz].
+    """
+
+    e_start_v: float
+    e_end_v: float
+    scan_rate_v_s: float = 0.05
+    sampling_rate_hz: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.scan_rate_v_s <= 0:
+            raise ValueError("scan rate must be > 0")
+        if self.sampling_rate_hz <= 0:
+            raise ValueError("sampling rate must be > 0")
+        if self.e_start_v == self.e_end_v:
+            raise ValueError("start and end potentials must differ")
+
+    def waveform(self) -> Waveform:
+        """The linear excitation waveform."""
+        return linear_sweep_wave(self.e_start_v, self.e_end_v,
+                                 self.scan_rate_v_s, self.sampling_rate_hz)
+
+    def simulate_solution_couple(self,
+                                 couple: RedoxCouple,
+                                 bulk_ox_molar: float,
+                                 bulk_red_molar: float,
+                                 area_m2: float,
+                                 double_layer: DoubleLayer | None = None,
+                                 ) -> Measurement:
+        """Simulate a diffusing couple under the sweep (finite differences)."""
+        wave = self.waveform()
+        system = ElectrodeDiffusionSystem(
+            couple=couple,
+            area_m2=area_m2,
+            bulk_ox_molar=bulk_ox_molar,
+            bulk_red_molar=bulk_red_molar,
+            duration_s=wave.duration_s + 1.0 / self.sampling_rate_hz,
+            n_time_steps=wave.n_samples,
+        )
+        current = system.run(wave.potential_v)
+        if double_layer is not None:
+            sweep_sign = np.sign(self.e_end_v - self.e_start_v)
+            current = current + sweep_sign * double_layer.sweep_transient(
+                wave.time_s, self.scan_rate_v_s, area_m2)
+        return Measurement(
+            time_s=wave.time_s,
+            potential_v=wave.potential_v,
+            current_a=current,
+            technique="linear sweep voltammetry",
+            sampling_rate_hz=self.sampling_rate_hz,
+            metadata={"couple": couple.name},
+        )

@@ -1,0 +1,22 @@
+"""Quantitative models of the non-amperometric transduction classes.
+
+Section 2.3 of the paper surveys optical (SPR), piezoelectric (QCM),
+impedimetric and potentiometric biosensing alongside the amperometric
+platform it develops.  This package gives each class a working model with
+the same calibration-facing interface (signal vs. concentration), so the
+taxonomy can be compared quantitatively — see
+``examples/transduction_comparison.py``.
+"""
+
+from repro.transducers.spr import SprSensor
+from repro.transducers.qcm import QuartzCrystalMicrobalance, sauerbrey_shift_hz
+from repro.transducers.potentiometric import IonSelectiveElectrode
+from repro.transducers.immunosensor import FaradicImmunosensor
+
+__all__ = [
+    "SprSensor",
+    "QuartzCrystalMicrobalance",
+    "sauerbrey_shift_hz",
+    "IonSelectiveElectrode",
+    "FaradicImmunosensor",
+]

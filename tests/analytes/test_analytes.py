@@ -1,0 +1,91 @@
+"""Tests for repro.analytes."""
+
+import pytest
+
+from repro.analytes.catalog import (
+    ALL_ANALYTES,
+    AnalyteClass,
+    CYCLOPHOSPHAMIDE,
+    FTORAFUR,
+    GLUCOSE,
+    IFOSFAMIDE,
+    analyte_by_name,
+)
+from repro.analytes.physiological import (
+    covers_physiological_range,
+    physiological_range,
+)
+
+
+class TestCatalog:
+    def test_seven_platform_analytes(self):
+        assert len(ALL_ANALYTES) == 7
+
+    def test_three_drugs(self):
+        drugs = [a for a in ALL_ANALYTES
+                 if a.analyte_class is AnalyteClass.DRUG]
+        assert {a.name for a in drugs} == {
+            "cyclophosphamide", "ifosfamide", "ftorafur"}
+
+    def test_cp_and_ifosfamide_are_isomers(self):
+        assert CYCLOPHOSPHAMIDE.molecular_weight_g_mol \
+            == pytest.approx(IFOSFAMIDE.molecular_weight_g_mol)
+
+    def test_lookup(self):
+        assert analyte_by_name("glucose") is GLUCOSE
+        with pytest.raises(KeyError, match="available"):
+            analyte_by_name("caffeine")
+
+    def test_diffusion_coefficients_physical(self):
+        for analyte in ALL_ANALYTES:
+            assert 1e-10 < analyte.diffusion_m2_s < 1e-8
+
+
+class TestPhysiologicalRanges:
+    def test_glucose_window(self):
+        window = physiological_range("glucose")
+        assert window.contains(5e-3)       # normoglycemia
+        assert not window.contains(50e-3)  # far beyond hyperglycemia
+
+    def test_span(self):
+        window = physiological_range("glucose")
+        assert window.span_molar == pytest.approx(7e-3)
+
+    def test_unknown_analyte(self):
+        with pytest.raises(KeyError, match="available"):
+            physiological_range("vibranium")
+
+
+class TestCoverageClaims:
+    """Section 3.2.2/3.2.3 narratives about range fit."""
+
+    def test_goran_lactate_range_misses_physiology(self):
+        # [16]: 0.014-0.325 mM "cannot fit with physiological lactate".
+        assert not covers_physiological_range("lactate", 0.014e-3, 0.325e-3)
+
+    def test_this_work_lactate_range_fits(self):
+        # This work: 0-1 mM covers resting blood lactate (0.5-2 clipped
+        # at 1... the cell-culture window is the stated use case).
+        assert covers_physiological_range("cell-culture lactate",
+                                          0.0, 1.0e-3)
+
+    def test_this_work_glutamate_range_fits_culture(self):
+        # 0-2 mM wide range "useful for ... cell culture monitoring".
+        assert covers_physiological_range("glutamate", 0.0, 2.0e-3)
+
+    def test_pan_glutamate_range_too_narrow(self):
+        # [33]: 1-13 uM window misses most of the brain-tissue range.
+        assert not covers_physiological_range("glutamate", 1e-6, 13e-6)
+
+    def test_drug_windows_within_sensor_ranges(self):
+        # The CYP sensors' ranges cover the therapeutic windows.
+        assert covers_physiological_range("cyclophosphamide", 0.0, 70e-6)
+        assert covers_physiological_range("ifosfamide", 0.0, 140e-6)
+        assert covers_physiological_range("ftorafur", 0.0, 8e-6)
+
+    def test_ftorafur_exists(self):
+        assert FTORAFUR.analyte_class is AnalyteClass.DRUG
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            covers_physiological_range("glucose", 1e-3, 1e-3)

@@ -1,0 +1,72 @@
+"""Tests for repro.chem.nernst."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chem.nernst import (
+    equilibrium_surface_fractions,
+    nernst_potential,
+    surface_concentration_ratio,
+)
+
+potentials = st.floats(min_value=-0.5, max_value=0.5,
+                       allow_nan=False, allow_infinity=False)
+
+
+class TestNernstPotential:
+    def test_equal_concentrations_give_formal_potential(self):
+        assert nernst_potential(0.225, 1, 1e-3, 1e-3) == pytest.approx(0.225)
+
+    def test_ten_to_one_ratio_gives_59mv(self):
+        shift = nernst_potential(0.0, 1, 1e-2, 1e-3)
+        assert shift == pytest.approx(0.05916, rel=1e-3)
+
+    def test_two_electron_halves_shift(self):
+        one = nernst_potential(0.0, 1, 1e-2, 1e-3)
+        two = nernst_potential(0.0, 2, 1e-2, 1e-3)
+        assert two == pytest.approx(one / 2.0)
+
+    def test_rejects_non_positive_concentrations(self):
+        with pytest.raises(ValueError):
+            nernst_potential(0.0, 1, 0.0, 1e-3)
+
+
+class TestSurfaceRatio:
+    @given(potentials)
+    def test_roundtrip_with_nernst_potential(self, potential):
+        ratio = surface_concentration_ratio(potential, 0.1, 1)
+        recovered = nernst_potential(0.1, 1, ratio, 1.0)
+        assert recovered == pytest.approx(potential, abs=1e-9)
+
+    def test_ratio_unity_at_formal_potential(self):
+        assert surface_concentration_ratio(0.2, 0.2, 1) == pytest.approx(1.0)
+
+    @given(potentials, potentials)
+    def test_monotonic_in_potential(self, p1, p2):
+        r1 = surface_concentration_ratio(p1, 0.0, 1)
+        r2 = surface_concentration_ratio(p2, 0.0, 1)
+        if p1 < p2:
+            assert r1 <= r2
+
+    def test_extreme_potentials_do_not_overflow(self):
+        assert surface_concentration_ratio(50.0, 0.0, 1) > 0
+        assert surface_concentration_ratio(-50.0, 0.0, 1) > 0
+
+
+class TestEquilibriumFractions:
+    def test_fractions_sum_to_one(self):
+        f_ox, f_red = equilibrium_surface_fractions(0.05, 0.0, 1)
+        assert f_ox + f_red == pytest.approx(1.0)
+
+    def test_half_and_half_at_formal_potential(self):
+        f_ox, f_red = equilibrium_surface_fractions(-0.35, -0.35, 1)
+        assert f_ox == pytest.approx(0.5)
+        assert f_red == pytest.approx(0.5)
+
+    def test_oxidized_dominates_at_positive_overpotential(self):
+        f_ox, __ = equilibrium_surface_fractions(0.3, 0.0, 1)
+        assert f_ox > 0.99
+
+    def test_reduced_dominates_at_negative_overpotential(self):
+        __, f_red = equilibrium_surface_fractions(-0.3, 0.0, 1)
+        assert f_red > 0.99

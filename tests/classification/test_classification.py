@@ -1,0 +1,96 @@
+"""Tests for repro.classification (taxonomy + literature survey)."""
+
+import pytest
+
+from repro.classification.literature import (
+    LITERATURE_SENSORS,
+    find_sensors,
+    transduction_census,
+)
+from repro.classification.taxonomy import (
+    ElectrodeTechnology,
+    NanomaterialKind,
+    SensingElement,
+    SensorDescriptor,
+    TargetKind,
+    Transduction,
+    describe_platform_sensor,
+)
+
+
+class TestPlatformSelfClassification:
+    """Section 3 classifies the paper's own sensor along the five axes."""
+
+    def test_glucose_sensor_descriptor(self, glucose_sensor):
+        descriptor = describe_platform_sensor(glucose_sensor)
+        assert descriptor.target is TargetKind.METABOLITE
+        assert descriptor.sensing_element is SensingElement.ENZYME
+        assert descriptor.transduction is Transduction.AMPEROMETRIC
+        assert descriptor.nanomaterial is NanomaterialKind.CARBON_NANOTUBE
+        assert descriptor.electrode is ElectrodeTechnology.DISPOSABLE_INTEGRATED
+
+    def test_drug_sensor_target(self, cp_sensor):
+        descriptor = describe_platform_sensor(cp_sensor)
+        assert descriptor.target is TargetKind.DRUG
+        assert descriptor.nanomaterial is NanomaterialKind.CARBON_NANOTUBE
+
+    def test_bullets_reproduce_section3_list(self, cp_sensor):
+        bullets = describe_platform_sensor(cp_sensor).bullets()
+        assert len(bullets) == 5
+        assert bullets[0] == "Target: drug"
+        assert bullets[1] == "Sensing element: enzyme"
+        assert "amperometric" in bullets[2]
+        assert "carbon nanotube" in bullets[3]
+        assert "disposable, integrated" in bullets[4]
+
+    def test_descriptor_is_plain_dataclass(self):
+        descriptor = SensorDescriptor(
+            TargetKind.DNA, SensingElement.NUCLEIC_ACID,
+            Transduction.OPTICAL, NanomaterialKind.NONE,
+            ElectrodeTechnology.DISPOSABLE)
+        assert "Target: DNA" in descriptor.bullets()[0]
+
+
+class TestLiteratureSurvey:
+    def test_survey_size(self):
+        assert len(LITERATURE_SENSORS) >= 20
+
+    def test_amperometric_most_reported(self):
+        """Section 2.3: electrochemical (amperometric) biosensors are
+        'by far the most reported devices in literature'."""
+        census = transduction_census()
+        amperometric = census[Transduction.AMPEROMETRIC]
+        for transduction, count in census.items():
+            if transduction is not Transduction.AMPEROMETRIC:
+                assert amperometric > count
+
+    def test_find_by_target(self):
+        dna = find_sensors(target=TargetKind.DNA)
+        assert all(s.target is TargetKind.DNA for s in dna)
+        assert len(dna) >= 3
+
+    def test_find_by_combined_axes(self):
+        cnt_fets = find_sensors(
+            transduction=Transduction.FIELD_EFFECT,
+            nanomaterial=NanomaterialKind.CARBON_NANOTUBE)
+        assert len(cnt_fets) == 1
+        assert cnt_fets[0].reference == "[22]"
+
+    def test_guiducci_3d_system_present(self):
+        integrated = find_sensors(
+            electrode=ElectrodeTechnology.DISPOSABLE_INTEGRATED)
+        references = {s.reference for s in integrated}
+        assert "[17]" in references
+
+    def test_every_entry_has_reference(self):
+        for sensor in LITERATURE_SENSORS:
+            assert sensor.reference.startswith("[")
+
+    def test_enzyme_sensors_dominate_metabolites(self):
+        metabolite = find_sensors(target=TargetKind.METABOLITE)
+        enzymatic = [s for s in metabolite
+                     if s.sensing_element is SensingElement.ENZYME]
+        assert len(enzymatic) >= len(metabolite) - 1
+
+    def test_empty_filter_returns_everything(self):
+        assert len(find_sensors()) == len(LITERATURE_SENSORS)

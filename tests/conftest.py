@@ -1,0 +1,32 @@
+"""Shared fixtures: pre-built sensors (construction is the expensive part)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import build_sensor, spec_by_id
+
+
+@pytest.fixture(scope="session")
+def glucose_sensor():
+    """The paper's glucose sensor (amperometric readout), built once."""
+    return build_sensor(spec_by_id("glucose/this-work"))
+
+
+@pytest.fixture(scope="session")
+def glutamate_sensor():
+    """The paper's glutamate sensor (wide-range, low-sensitivity)."""
+    return build_sensor(spec_by_id("glutamate/this-work"))
+
+
+@pytest.fixture(scope="session")
+def cp_sensor():
+    """The paper's cyclophosphamide CYP sensor (voltammetric readout)."""
+    return build_sensor(spec_by_id("cyp/cyclophosphamide"))
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,79 @@
+"""Tests for repro.core.detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import (
+    estimate_concentration,
+    measure_amperometric_point,
+    measure_point,
+    measure_voltammetric_point,
+)
+
+
+class TestAmperometricPoint:
+    def test_noiseless_point_matches_steady_state(self, glucose_sensor):
+        value = measure_amperometric_point(glucose_sensor, 0.5e-3,
+                                           add_noise=False)
+        expected = glucose_sensor.steady_state_current(0.5e-3)
+        assert value == pytest.approx(expected, rel=2e-2)
+
+    def test_monotonic_in_concentration(self, glucose_sensor):
+        low = measure_amperometric_point(glucose_sensor, 0.1e-3,
+                                         add_noise=False)
+        high = measure_amperometric_point(glucose_sensor, 0.8e-3,
+                                          add_noise=False)
+        assert high > low
+
+    def test_noise_scatter_matches_repeatability(self, glucose_sensor):
+        rng = np.random.default_rng(3)
+        values = [measure_amperometric_point(glucose_sensor, 0.0, rng)
+                  for __ in range(40)]
+        assert np.std(values) == pytest.approx(
+            glucose_sensor.repeatability_std_a, rel=0.5)
+
+    def test_rejects_negative_concentration(self, glucose_sensor):
+        with pytest.raises(ValueError):
+            measure_amperometric_point(glucose_sensor, -1e-3)
+
+
+class TestVoltammetricPoint:
+    def test_peak_grows_with_drug(self, cp_sensor):
+        blank = measure_voltammetric_point(cp_sensor, 0.0, add_noise=False)
+        dosed = measure_voltammetric_point(cp_sensor, 30e-6, add_noise=False)
+        assert dosed > blank
+
+    def test_linearity_in_low_range(self, cp_sensor):
+        blank = measure_voltammetric_point(cp_sensor, 0.0, add_noise=False)
+        p1 = measure_voltammetric_point(cp_sensor, 5e-6, add_noise=False)
+        p2 = measure_voltammetric_point(cp_sensor, 10e-6, add_noise=False)
+        assert (p2 - blank) == pytest.approx(2 * (p1 - blank), rel=0.1)
+
+    def test_dispatch_by_readout_mode(self, glucose_sensor, cp_sensor):
+        amp = measure_point(glucose_sensor, 0.1e-3, add_noise=False)
+        volt = measure_point(cp_sensor, 10e-6, add_noise=False)
+        assert amp > 0
+        assert volt > 0
+
+    def test_reproducible_with_seed(self, cp_sensor):
+        a = measure_voltammetric_point(cp_sensor, 10e-6,
+                                       np.random.default_rng(9))
+        b = measure_voltammetric_point(cp_sensor, 10e-6,
+                                       np.random.default_rng(9))
+        assert a == b
+
+
+class TestConcentrationEstimate:
+    def test_inverts_linear_calibration(self):
+        assert estimate_concentration(1e-6, 1e-3, 0.0) == pytest.approx(1e-3)
+
+    def test_intercept_subtracted(self):
+        assert estimate_concentration(1.5e-6, 1e-3, 0.5e-6) \
+            == pytest.approx(1e-3)
+
+    def test_clips_negative_to_zero(self):
+        assert estimate_concentration(-1e-9, 1e-3, 0.0) == 0.0
+
+    def test_rejects_bad_slope(self):
+        with pytest.raises(ValueError):
+            estimate_concentration(1e-6, 0.0)

@@ -1,0 +1,97 @@
+"""Tests for repro.core.longterm (drift budget and recalibration)."""
+
+import pytest
+
+from repro.bio.matrix import BUFFER, SERUM
+from repro.core.longterm import (
+    DriftBudget,
+    drift_corrected_estimate,
+    one_point_recalibration,
+)
+from repro.enzymes.stability import EnzymeStability
+
+WEEK_S = 7 * 24 * 3600.0
+
+
+@pytest.fixture()
+def budget():
+    return DriftBudget(
+        stability=EnzymeStability(half_life_s=2 * WEEK_S),
+        matrix=SERUM,
+    )
+
+
+class TestDriftBudget:
+    def test_full_sensitivity_at_zero(self, budget):
+        assert budget.sensitivity_retention(0.0) == pytest.approx(1.0)
+
+    def test_retention_decays(self, budget):
+        day = budget.sensitivity_retention(24.0)
+        week = budget.sensitivity_retention(7 * 24.0)
+        assert 0.0 < week < day < 1.0
+
+    def test_serum_decays_faster_than_buffer(self, budget):
+        clean = DriftBudget(stability=budget.stability, matrix=BUFFER,
+                            temperature_k=budget.temperature_k)
+        assert clean.sensitivity_retention(48.0) \
+            > budget.sensitivity_retention(48.0)
+
+    def test_body_temperature_decays_faster_than_room(self, budget):
+        cool = DriftBudget(stability=budget.stability, matrix=SERUM,
+                           temperature_k=298.15)
+        assert cool.sensitivity_retention(48.0) \
+            > budget.sensitivity_retention(48.0)
+
+    def test_hours_to_error_consistent(self, budget):
+        deadline = budget.hours_to_error(0.1)
+        assert budget.sensitivity_retention(deadline) \
+            == pytest.approx(0.9, rel=1e-2)
+
+    def test_schedule_spacing(self, budget):
+        times = budget.recalibration_schedule(
+            horizon_hours=7 * 24.0, max_relative_error=0.1)
+        assert len(times) >= 2
+        intervals = [b - a for a, b in zip(times, times[1:])]
+        assert all(i == pytest.approx(intervals[0]) for i in intervals)
+
+    def test_stable_sensor_needs_no_recalibration(self):
+        budget = DriftBudget(
+            stability=EnzymeStability(half_life_s=1e12),
+            matrix=BUFFER)
+        assert budget.recalibration_schedule(1000.0, 0.1) == []
+
+    def test_rejects_bad_error_limit(self, budget):
+        with pytest.raises(ValueError):
+            budget.hours_to_error(0.0)
+
+
+class TestRecalibration:
+    def test_one_point_recovers_true_slope(self):
+        true_slope = 1.4e-4
+        signal = true_slope * 0.5e-3 + 1e-9
+        corrected = one_point_recalibration(
+            slope_a_per_molar=2e-4,  # stale calibration
+            reference_concentration_molar=0.5e-3,
+            measured_signal_a=signal,
+            intercept_a=1e-9)
+        assert corrected == pytest.approx(true_slope, rel=1e-9)
+
+    def test_rejects_dead_reference_measurement(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            one_point_recalibration(1e-4, 0.5e-3, measured_signal_a=0.0,
+                                    intercept_a=1e-6)
+
+    def test_drift_corrected_estimate_debiases(self):
+        slope, retention, true_c = 1e-4, 0.8, 1e-3
+        signal = slope * retention * true_c
+        naive = signal / slope
+        corrected = drift_corrected_estimate(signal, slope, 0.0, retention)
+        assert naive < true_c
+        assert corrected == pytest.approx(true_c, rel=1e-9)
+
+    def test_correction_clips_negative(self):
+        assert drift_corrected_estimate(-1e-9, 1e-4, 0.0, 0.9) == 0.0
+
+    def test_rejects_bad_retention(self):
+        with pytest.raises(ValueError):
+            drift_corrected_estimate(1e-9, 1e-4, 0.0, 0.0)

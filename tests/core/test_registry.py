@@ -1,0 +1,120 @@
+"""Tests for repro.core.registry."""
+
+import pytest
+
+from repro.core.registry import (
+    TABLE1_SPECS,
+    TABLE2_SPECS,
+    build_sensor,
+    spec_by_id,
+    specs_by_group,
+)
+from repro.core.sensor import ReadoutMode
+
+
+class TestSpecTable:
+    def test_eighteen_table2_rows(self):
+        assert len(TABLE2_SPECS) == 18
+
+    def test_seven_this_work_sensors(self):
+        assert len(TABLE1_SPECS) == 7
+
+    def test_group_sizes_match_paper(self):
+        assert len(specs_by_group("glucose")) == 5
+        assert len(specs_by_group("lactate")) == 5
+        assert len(specs_by_group("glutamate")) == 4
+        assert len(specs_by_group("cyp")) == 4
+
+    def test_unique_sensor_ids(self):
+        ids = [spec.sensor_id for spec in TABLE2_SPECS]
+        assert len(set(ids)) == len(ids)
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            specs_by_group("cholesterol")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            spec_by_id("glucose/nonexistent")
+
+
+class TestPaperValues:
+    """Spot-check Table 2 values against the paper text."""
+
+    @pytest.mark.parametrize("sensor_id, sensitivity, upper_mm, lod_um", [
+        ("glucose/this-work", 55.5, 1.0, 2.0),
+        ("glucose/wang2003", 14.2, 13.0, 10.0),
+        ("lactate/goran2011", 40.0, 0.325, 4.0),
+        ("lactate/this-work", 25.0, 1.0, 11.0),
+        ("glutamate/ammam2010", 384.0, 0.14, 0.3),
+        ("glutamate/this-work", 0.9, 2.0, 78.0),
+        ("cyp/arachidonic-acid", 1140.0, 0.04, 0.4),
+        ("cyp/cyclophosphamide", 102.0, 0.07, 2.0),
+        ("cyp/ifosfamide", 160.0, 0.14, 2.0),
+        ("cyp/ftorafur", 883.0, 0.008, 0.7),
+    ])
+    def test_row(self, sensor_id, sensitivity, upper_mm, lod_um):
+        spec = spec_by_id(sensor_id)
+        assert spec.paper_sensitivity == pytest.approx(sensitivity)
+        assert spec.paper_range_mm[1] == pytest.approx(upper_mm)
+        assert spec.assumed_lod_um == pytest.approx(lod_um)
+
+    def test_ryu_lod_assumed(self):
+        spec = spec_by_id("glucose/ryu2010")
+        assert spec.paper_lod_um is None
+        assert spec.assumed_lod_um > 0
+
+    def test_cyp_rows_use_cv(self):
+        for spec in specs_by_group("cyp"):
+            assert spec.technique == "CV"
+            assert spec.electrode == "spe"
+
+    def test_oxidase_rows_use_ca(self):
+        for group in ("glucose", "lactate", "glutamate"):
+            for spec in specs_by_group(group):
+                assert spec.technique == "CA"
+
+    def test_this_work_metabolites_on_microchip(self):
+        for group in ("glucose", "lactate", "glutamate"):
+            this_work = [s for s in specs_by_group(group) if s.is_this_work]
+            assert len(this_work) == 1
+            assert this_work[0].electrode == "microchip"
+
+
+class TestBuildSensor:
+    def test_builds_every_spec(self):
+        # Every row of Table 2 must produce a runnable sensor.
+        for spec in TABLE2_SPECS:
+            sensor = build_sensor(spec, gain_trim=False)
+            assert sensor.area_m2 > 0
+            assert sensor.layer.coverage_mol_m2 > 0
+
+    def test_readout_mode_follows_technique(self, glucose_sensor, cp_sensor):
+        assert glucose_sensor.readout is ReadoutMode.AMPEROMETRIC_STEADY_STATE
+        assert cp_sensor.readout is ReadoutMode.VOLTAMMETRIC_PEAK
+
+    def test_km_inversion(self, glucose_sensor):
+        # Range 0-1 mM at 10 % tolerance -> Km_app = 9 mM.
+        assert glucose_sensor.layer.apparent_km == pytest.approx(9e-3)
+
+    def test_repeatability_encodes_lod(self, glucose_sensor):
+        # repeatability = LOD * slope / 3.
+        from repro.units import sensitivity_si_from_paper
+        slope = sensitivity_si_from_paper(55.5) * glucose_sensor.area_m2
+        assert glucose_sensor.repeatability_std_a \
+            == pytest.approx(2e-6 * slope / 3.0, rel=1e-6)
+
+    def test_coverage_physically_plausible(self):
+        # All inverted coverages within 0.1 pmol/cm^2 .. 10 nmol/cm^2.
+        for spec in TABLE2_SPECS:
+            sensor = build_sensor(spec, gain_trim=False)
+            pmol_cm2 = sensor.layer.coverage_mol_m2 * 1e12 / 1e4
+            assert 0.01 < pmol_cm2 < 1e4, spec.sensor_id
+
+    def test_gain_trim_adjusts_coverage(self):
+        spec = spec_by_id("cyp/cyclophosphamide")
+        raw = build_sensor(spec, gain_trim=False)
+        trimmed = build_sensor(spec, gain_trim=True)
+        # Voltammetric peak extraction recovers only part of the plateau;
+        # the trim must compensate by raising the coverage.
+        assert trimmed.layer.coverage_mol_m2 > raw.layer.coverage_mol_m2

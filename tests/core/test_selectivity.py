@@ -1,0 +1,79 @@
+"""Tests for repro.core.selectivity (the abstract's selectivity claim)."""
+
+import pytest
+
+from repro.core.registry import build_sensor, spec_by_id
+from repro.core.selectivity import (
+    cross_reactivity_factor,
+    response_to_analyte,
+    selectivity_matrix,
+    worst_cross_talk,
+)
+
+
+@pytest.fixture(scope="module")
+def metabolite_sensors(glucose_sensor, glutamate_sensor):
+    lactate = build_sensor(spec_by_id("lactate/this-work"))
+    return {
+        "glucose": glucose_sensor,
+        "lactate": lactate,
+        "glutamate": glutamate_sensor,
+    }
+
+
+class TestCrossReactivityTable:
+    def test_cognate_is_unity(self):
+        assert cross_reactivity_factor("GOD", "glucose") == 1.0
+        assert cross_reactivity_factor("CYP2B6", "cyclophosphamide") == 1.0
+
+    def test_oxidases_ignore_foreign_metabolites(self):
+        assert cross_reactivity_factor("GOD", "lactate") == 0.0
+        assert cross_reactivity_factor("LOD", "glucose") < 0.01
+
+    def test_cyp_isoforms_overlap_more_than_oxidases(self):
+        cyp_worst = cross_reactivity_factor("CYP2B6", "ifosfamide")
+        oxidase_worst = cross_reactivity_factor("LOD", "glucose")
+        assert cyp_worst > oxidase_worst
+
+    def test_unknown_enzyme_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            cross_reactivity_factor("XYZ", "glucose")
+
+
+class TestResponses:
+    def test_cognate_response_positive(self, glucose_sensor):
+        blank = response_to_analyte(glucose_sensor, "glucose", 0.0)
+        dosed = response_to_analyte(glucose_sensor, "glucose", 5e-4)
+        assert dosed > blank
+
+    def test_foreign_analyte_gives_blank_response(self, glucose_sensor):
+        blank = response_to_analyte(glucose_sensor, "glucose", 0.0)
+        foreign = response_to_analyte(glucose_sensor, "lactate", 5e-4)
+        assert foreign == pytest.approx(blank, rel=1e-6)
+
+    def test_rejects_negative_concentration(self, glucose_sensor):
+        with pytest.raises(ValueError):
+            response_to_analyte(glucose_sensor, "glucose", -1e-3)
+
+
+class TestSelectivityMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self, metabolite_sensors):
+        return selectivity_matrix(metabolite_sensors,
+                                  test_concentration_molar=2e-4)
+
+    def test_diagonal_is_unity(self, matrix):
+        for i, row in enumerate(matrix["rows"].values()):
+            assert row[i] == pytest.approx(1.0, rel=1e-6)
+
+    def test_off_diagonal_below_one_percent(self, matrix):
+        """The abstract's selectivity claim, quantified: metabolite
+        channels cross-talk below 1 %."""
+        assert worst_cross_talk(matrix) < 0.01
+
+    def test_columns_match_channel_analytes(self, matrix):
+        assert matrix["analytes"] == ["glucose", "lactate", "glutamate"]
+
+    def test_empty_panel_rejected(self):
+        with pytest.raises(ValueError):
+            selectivity_matrix({})

@@ -1,0 +1,59 @@
+"""Tests for repro.electrodes.materials."""
+
+import pytest
+
+from repro.electrodes.materials import (
+    CARBON_PASTE,
+    GLASSY_CARBON,
+    GOLD,
+    GRAPHITE,
+    PLATINUM,
+    SILVER,
+    ElectrodeMaterial,
+    material_by_name,
+)
+
+
+class TestCatalog:
+    def test_carbon_beats_gold_for_h2o2(self):
+        """Section 3.2.2: 'carbon electrode has better performance than
+        metallic electrodes for the detection of H2O2'."""
+        for carbon in (GRAPHITE, GLASSY_CARBON, CARBON_PASTE):
+            assert carbon.h2o2_activity > GOLD.h2o2_activity
+
+    def test_all_capacitances_physical(self):
+        # Double-layer capacitances: 0.1-1 F/m^2 (10-100 uF/cm^2).
+        for material in (GOLD, PLATINUM, GRAPHITE, GLASSY_CARBON,
+                         CARBON_PASTE, SILVER):
+            assert 0.1 <= material.specific_capacitance_f_m2 <= 1.0
+
+    def test_roughness_at_least_unity(self):
+        for material in (GOLD, PLATINUM, GRAPHITE):
+            assert material.roughness >= 1.0
+
+    def test_paste_rougher_than_gold(self):
+        assert CARBON_PASTE.roughness > GOLD.roughness
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert material_by_name("gold") is GOLD
+        assert material_by_name("glassy carbon") is GLASSY_CARBON
+
+    def test_unknown_lists_options(self):
+        with pytest.raises(KeyError, match="available"):
+            material_by_name("unobtainium")
+
+
+class TestValidation:
+    def test_rejects_non_positive_capacitance(self):
+        with pytest.raises(ValueError):
+            ElectrodeMaterial("x", 0.0, 1.0)
+
+    def test_rejects_non_positive_activity(self):
+        with pytest.raises(ValueError):
+            ElectrodeMaterial("x", 0.2, 0.0)
+
+    def test_rejects_subunity_roughness(self):
+        with pytest.raises(ValueError):
+            ElectrodeMaterial("x", 0.2, 1.0, roughness=0.5)

@@ -1,0 +1,112 @@
+"""Tests for repro.enzymes.immobilization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.enzymes.catalog import GLUCOSE_OXIDASE
+from repro.enzymes.immobilization import (
+    ImmobilizedLayer,
+    coverage_from_sensitivity,
+)
+from repro.units import sensitivity_si_from_paper
+
+
+@pytest.fixture()
+def layer():
+    return ImmobilizedLayer(
+        enzyme=GLUCOSE_OXIDASE,
+        coverage_mol_m2=1e-7,
+        activity_retention=0.5,
+        km_app_molar=9e-3,
+        collection_efficiency=0.85,
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_coverage(self):
+        with pytest.raises(ValueError):
+            ImmobilizedLayer(GLUCOSE_OXIDASE, 0.0)
+
+    def test_rejects_bad_retention(self):
+        with pytest.raises(ValueError):
+            ImmobilizedLayer(GLUCOSE_OXIDASE, 1e-7, activity_retention=1.5)
+
+    def test_rejects_bad_collection(self):
+        with pytest.raises(ValueError):
+            ImmobilizedLayer(GLUCOSE_OXIDASE, 1e-7, collection_efficiency=0.0)
+
+
+class TestKinetics:
+    def test_effective_kcat_scaled_by_retention(self, layer):
+        assert layer.effective_kcat == pytest.approx(
+            GLUCOSE_OXIDASE.kcat_per_s * 0.5)
+
+    def test_apparent_km_override(self, layer):
+        assert layer.apparent_km == pytest.approx(9e-3)
+
+    def test_apparent_km_falls_back_to_free(self):
+        plain = ImmobilizedLayer(GLUCOSE_OXIDASE, 1e-7)
+        assert plain.apparent_km == GLUCOSE_OXIDASE.km_molar
+
+    def test_max_areal_rate(self, layer):
+        assert layer.max_areal_rate == pytest.approx(1e-7 * 350.0)
+
+    def test_areal_rate_half_at_km(self, layer):
+        assert layer.areal_rate(9e-3) == pytest.approx(
+            layer.max_areal_rate / 2.0)
+
+
+class TestCurrent:
+    def test_current_linear_at_low_concentration(self, layer):
+        i1 = layer.steady_state_current(1e-5, 1e-6)
+        i2 = layer.steady_state_current(2e-5, 1e-6)
+        assert i2 == pytest.approx(2 * i1, rel=2e-3)
+
+    def test_current_scales_with_area(self, layer):
+        assert layer.steady_state_current(1e-3, 2e-6) == pytest.approx(
+            2 * layer.steady_state_current(1e-3, 1e-6))
+
+    def test_sensitivity_consistent_with_current(self, layer):
+        conc = 1e-6  # deep linear regime
+        slope = layer.steady_state_current(conc, 1e-6) / conc
+        assert slope == pytest.approx(layer.sensitivity_si() * 1e-6, rel=1e-3)
+
+
+class TestInversion:
+    def test_paper_glucose_coverage_is_pmol_scale(self):
+        # Paper glucose sensor: 55.5 uA/mM/cm^2 should invert to a
+        # physically plausible enzyme loading (pmol/cm^2 scale).
+        coverage = coverage_from_sensitivity(
+            GLUCOSE_OXIDASE,
+            sensitivity_si_from_paper(55.5),
+            km_app_molar=9e-3,
+            activity_retention=0.5,
+            collection_efficiency=0.85,
+        )
+        coverage_pmol_cm2 = coverage * 1e12 / 1e4
+        assert 0.1 < coverage_pmol_cm2 < 1000.0
+
+    @given(st.floats(min_value=0.1, max_value=1000.0),
+           st.floats(min_value=1e-5, max_value=0.1))
+    def test_inversion_roundtrip(self, sensitivity_paper, km):
+        target = sensitivity_si_from_paper(sensitivity_paper)
+        coverage = coverage_from_sensitivity(
+            GLUCOSE_OXIDASE, target, km,
+            activity_retention=0.5, collection_efficiency=0.85)
+        layer = ImmobilizedLayer(
+            GLUCOSE_OXIDASE, coverage, activity_retention=0.5,
+            km_app_molar=km, collection_efficiency=0.85)
+        assert layer.sensitivity_si() == pytest.approx(target, rel=1e-9)
+
+    def test_rejects_non_positive_sensitivity(self):
+        with pytest.raises(ValueError):
+            coverage_from_sensitivity(GLUCOSE_OXIDASE, 0.0, 1e-3)
+
+
+class TestResponseTime:
+    def test_thin_film_subsecond(self, layer):
+        assert layer.response_time_s(5e-6) < 1.0
+
+    def test_quadratic_in_thickness(self, layer):
+        assert layer.response_time_s(2e-6) == pytest.approx(
+            4 * layer.response_time_s(1e-6))

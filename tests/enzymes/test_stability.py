@@ -1,0 +1,81 @@
+"""Tests for repro.enzymes.stability."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import STANDARD_TEMPERATURE
+from repro.enzymes.stability import EnzymeStability
+
+WEEK_S = 7 * 24 * 3600.0
+
+
+@pytest.fixture()
+def stability():
+    return EnzymeStability(half_life_s=WEEK_S)
+
+
+class TestDecay:
+    def test_half_activity_at_half_life(self, stability):
+        assert stability.remaining_activity(WEEK_S) == pytest.approx(0.5)
+
+    def test_full_activity_at_zero(self, stability):
+        assert stability.remaining_activity(0.0) == pytest.approx(1.0)
+
+    def test_exponential_composition(self, stability):
+        one = stability.remaining_activity(WEEK_S)
+        two = stability.remaining_activity(2 * WEEK_S)
+        assert two == pytest.approx(one ** 2)
+
+    def test_array_input(self, stability):
+        values = stability.remaining_activity(np.array([0.0, WEEK_S]))
+        assert values.shape == (2,)
+
+    def test_rejects_negative_time(self, stability):
+        with pytest.raises(ValueError):
+            stability.remaining_activity(-1.0)
+
+
+class TestArrhenius:
+    def test_reference_temperature_matches_base_rate(self, stability):
+        assert stability.rate_at(STANDARD_TEMPERATURE) \
+            == pytest.approx(stability.decay_rate_per_s)
+
+    def test_higher_temperature_decays_faster(self, stability):
+        assert stability.rate_at(310.0) > stability.decay_rate_per_s
+
+    def test_lower_temperature_decays_slower(self, stability):
+        assert stability.rate_at(277.0) < stability.decay_rate_per_s
+
+    def test_body_temperature_activity_loss(self, stability):
+        # At 37 C the sensor loses activity measurably faster than at 25 C.
+        at_25 = stability.remaining_activity(WEEK_S)
+        at_37 = stability.remaining_activity(WEEK_S, temperature_k=310.15)
+        assert at_37 < at_25
+
+
+class TestLifetime:
+    def test_lifetime_to_half_is_half_life(self, stability):
+        assert stability.lifetime_to_fraction(0.5) \
+            == pytest.approx(WEEK_S, rel=1e-9)
+
+    def test_calibration_window(self, stability):
+        # Time to 90 % activity: ln(1/0.9)/ln(2) of the half-life.
+        expected = WEEK_S * math.log(1 / 0.9) / math.log(2.0)
+        assert stability.lifetime_to_fraction(0.9) \
+            == pytest.approx(expected, rel=1e-9)
+
+    def test_rejects_bad_fraction(self, stability):
+        with pytest.raises(ValueError):
+            stability.lifetime_to_fraction(1.0)
+
+
+class TestValidation:
+    def test_rejects_non_positive_half_life(self):
+        with pytest.raises(ValueError):
+            EnzymeStability(half_life_s=0.0)
+
+    def test_rejects_negative_activation_energy(self):
+        with pytest.raises(ValueError):
+            EnzymeStability(half_life_s=1.0, activation_energy_j_mol=-1.0)

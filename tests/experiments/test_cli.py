@@ -1,0 +1,34 @@
+"""Tests for the python -m repro.experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_single_group_run(self, capsys):
+        exit_code = main(["--group", "glucose", "--blanks", "4",
+                          "--replicates", "2"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 1" in output
+        assert "glucose" in output
+        assert "this work" in output
+
+    def test_seed_changes_noise_not_structure(self, capsys):
+        main(["--group", "glutamate", "--seed", "3", "--blanks", "4",
+              "--replicates", "2"])
+        first = capsys.readouterr().out
+        main(["--group", "glutamate", "--seed", "4", "--blanks", "4",
+              "--replicates", "2"])
+        second = capsys.readouterr().out
+        assert first != second             # noise differs
+        assert first.count("\n") == second.count("\n")  # structure same
+
+    def test_report_requires_full_table(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--report", "--group", "cyp"])
+
+    def test_rejects_unknown_group(self):
+        with pytest.raises(SystemExit):
+            main(["--group", "cholesterol"])

@@ -1,0 +1,99 @@
+"""Tests for the experiment harness (tables and figure-equivalents)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    calibration_curve_figure,
+    chrono_staircase_figure,
+    comparison_chart,
+    cv_family_figure,
+)
+from repro.experiments.report import build_experiments_report
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+from repro.experiments.table2 import rows_to_text, run_table2
+from repro.core.registry import spec_by_id
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        assert run_table1()["matches"] is True
+
+    def test_paper_rows_complete(self):
+        assert len(PAPER_TABLE1) == 7
+
+    def test_render(self):
+        text = run_table1()["text"]
+        assert "GLUCOSE" in text
+        assert "Cyclic voltammetry" in text
+
+
+class TestTable2Glucose:
+    """One group through the full pipeline (the full table runs in the
+    benchmarks; one group keeps the unit suite fast)."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table2(groups=["glucose"], seed=7)
+
+    def test_five_rows(self, rows):
+        assert len(rows) == 5
+
+    def test_sensitivities_reproduce(self, rows):
+        for row in rows.values():
+            assert row.sensitivity_ratio == pytest.approx(1.0, abs=0.15)
+
+    def test_this_work_wins_sensitivity(self, rows):
+        best = max(rows.values(), key=lambda r: r.measured_sensitivity)
+        assert best.spec.is_this_work
+
+    def test_this_work_wins_lod(self, rows):
+        best = min(rows.values(), key=lambda r: r.measured_lod_um)
+        assert best.spec.is_this_work
+
+    def test_text_rendering(self, rows):
+        text = rows_to_text(rows)
+        assert "glucose" in text
+        assert "this work" in text
+
+
+class TestFigures:
+    def test_staircase_monotonic(self):
+        figure = chrono_staircase_figure(n_additions=5, step_duration_s=10.0)
+        current = figure["acquired_current_a"]
+        n_step = current.size // 5
+        plateaus = [current[(k + 1) * n_step - 1] for k in range(5)]
+        assert np.all(np.diff(plateaus) > 0)
+
+    def test_cv_family_peak_grows(self):
+        figure = cv_family_figure(n_levels=4)
+        heights = figure["peak_heights_a"]
+        assert heights[-1] > heights[0]
+        assert len(figure["voltammograms"]) == 4
+
+    def test_calibration_curve_bends_over(self):
+        figure = calibration_curve_figure(spec_by_id("glucose/this-work"),
+                                          n_points=8)
+        signals = figure["signals_a"]
+        concentrations = figure["concentrations_molar"]
+        # Slope in the last segment below slope in the first segment.
+        first = (signals[1] - signals[0]) / (concentrations[1]
+                                             - concentrations[0])
+        last = (signals[-1] - signals[-2]) / (concentrations[-1]
+                                              - concentrations[-2])
+        assert last < first
+
+    def test_comparison_chart_groups(self):
+        rows = run_table2(groups=["glucose"], seed=7)
+        chart = comparison_chart(rows)
+        assert set(chart) == {"glucose"}
+        assert len(chart["glucose"]) == 5
+
+
+class TestReport:
+    def test_report_contains_all_sections(self):
+        rows = run_table2(groups=["glucose"], seed=7)
+        report = build_experiments_report(rows)
+        assert "Table 1" in report
+        assert "Table 2" in report
+        assert "Agreement ratios" in report

@@ -1,0 +1,75 @@
+"""Tests for repro.instrument.multiplexer."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.multiplexer import ChannelMultiplexer
+
+
+@pytest.fixture()
+def mux():
+    return ChannelMultiplexer()
+
+
+class TestSelection:
+    def test_selected_channel_passes(self, mux):
+        currents = {0: 1e-7, 1: 0.0, 2: 0.0}
+        assert mux.observed_current(0, currents) == pytest.approx(1e-7,
+                                                                  rel=1e-3)
+
+    def test_crosstalk_leaks_neighbours(self, mux):
+        currents = {0: 0.0, 1: 1e-6}
+        observed = mux.observed_current(0, currents)
+        assert observed == pytest.approx(1e-6 * mux.off_isolation)
+
+    def test_crosstalk_error_small_for_balanced_channels(self, mux):
+        currents = {ch: 1e-7 for ch in range(5)}
+        error = mux.crosstalk_error(2, currents)
+        assert error < 1e-3
+
+    def test_crosstalk_error_infinite_for_blank_next_to_strong(self, mux):
+        currents = {0: 0.0, 1: 1e-5}
+        assert mux.crosstalk_error(0, currents) == float("inf")
+
+    def test_rejects_bad_channel(self, mux):
+        with pytest.raises(ValueError):
+            mux.observed_current(9, {0: 1e-7})
+
+
+class TestSwitchingTransient:
+    def test_charge_conserved(self, mux):
+        cap = 1e-6
+        tau = mux.on_resistance_ohm * cap
+        t = np.linspace(0.0, 30 * tau, 50_000)
+        transient = mux.switching_transient(t, cap)
+        charge = np.trapezoid(transient, t)
+        assert charge == pytest.approx(mux.charge_injection_c, rel=1e-3)
+
+    def test_decays_within_settling_time(self, mux):
+        cap = 1e-6
+        transient = mux.switching_transient(
+            np.array([mux.settling_time_s]), cap)
+        assert transient[0] < 1e-15
+
+    def test_zero_resistance_no_transient(self):
+        mux = ChannelMultiplexer(on_resistance_ohm=0.0)
+        transient = mux.switching_transient(np.array([0.0, 1.0]), 1e-6)
+        assert np.all(transient == 0.0)
+
+
+class TestScanScheduling:
+    def test_full_scan_duration(self, mux):
+        # 5 channels x (0.5 s settle + 10 s dwell).
+        assert mux.scan_duration_s(10.0) == pytest.approx(52.5)
+
+    def test_partial_scan(self, mux):
+        assert mux.scan_duration_s(10.0, channels=[0, 3]) \
+            == pytest.approx(21.0)
+
+    def test_scan_rate_inverse_of_duration(self, mux):
+        assert mux.max_scan_rate_hz(10.0) \
+            == pytest.approx(1.0 / mux.scan_duration_s(10.0))
+
+    def test_rejects_bad_dwell(self, mux):
+        with pytest.raises(ValueError):
+            mux.scan_duration_s(0.0)

@@ -1,0 +1,91 @@
+"""Tests for nanoparticles, nanowires and quantum dots (section 2.4 scope)."""
+
+import numpy as np
+import pytest
+
+from repro.nano.nanoparticles import GoldNanoparticle, NanoparticleFilm
+from repro.nano.nanowires import SiliconNanowireFET
+from repro.nano.quantum_dots import QuantumDot, cdse_dot
+
+
+class TestGoldNanoparticles:
+    def test_specific_area_grows_as_inverse_diameter(self):
+        small = GoldNanoparticle(10e-9)
+        large = GoldNanoparticle(40e-9)
+        assert small.specific_surface_area_m2_kg == pytest.approx(
+            4 * large.specific_surface_area_m2_kg, rel=1e-9)
+
+    def test_film_area_enhancement(self):
+        film = NanoparticleFilm(GoldNanoparticle(20e-9), surface_coverage=0.3)
+        assert film.area_enhancement() == pytest.approx(1.9)
+
+    def test_film_rate_enhancement_with_coverage(self):
+        low = NanoparticleFilm(GoldNanoparticle(20e-9), surface_coverage=0.1)
+        high = NanoparticleFilm(GoldNanoparticle(20e-9), surface_coverage=0.5)
+        assert high.rate_enhancement() > low.rate_enhancement()
+
+    def test_jamming_limit_enforced(self):
+        with pytest.raises(ValueError, match="jamming"):
+            NanoparticleFilm(GoldNanoparticle(20e-9), surface_coverage=0.7)
+
+    def test_particle_count_scales_inverse_square_diameter(self):
+        small = NanoparticleFilm(GoldNanoparticle(10e-9), 0.3)
+        large = NanoparticleFilm(GoldNanoparticle(20e-9), 0.3)
+        assert small.particles_per_m2() == pytest.approx(
+            4 * large.particles_per_m2(), rel=1e-9)
+
+
+class TestNanowireFET:
+    def test_baseline_conductance_positive(self):
+        assert SiliconNanowireFET().baseline_conductance_s() > 0
+
+    def test_response_grows_with_occupancy(self):
+        wire = SiliconNanowireFET()
+        assert wire.fractional_response(0.8) > wire.fractional_response(0.1)
+
+    def test_thinner_wire_more_sensitive(self):
+        thin = SiliconNanowireFET(diameter_m=10e-9)
+        thick = SiliconNanowireFET(diameter_m=50e-9)
+        assert thin.fractional_response(0.5) > thick.fractional_response(0.5)
+
+    def test_langmuir_isotherm_half_at_kd(self):
+        wire = SiliconNanowireFET()
+        assert wire.binding_isotherm(1e-9, 1e-9) == pytest.approx(0.5)
+
+    def test_conductance_decreases_with_concentration(self):
+        wire = SiliconNanowireFET()
+        concentrations = np.array([0.0, 1e-10, 1e-9, 1e-8])
+        conductance = wire.conductance_vs_concentration(concentrations, 1e-9)
+        assert np.all(np.diff(conductance) <= 1e-18)
+
+    def test_response_bounded(self):
+        wire = SiliconNanowireFET(receptor_density_m2=1e18)
+        assert wire.fractional_response(1.0) <= 1.0
+
+    def test_rejects_bad_occupancy(self):
+        with pytest.raises(ValueError):
+            SiliconNanowireFET().fractional_response(1.5)
+
+
+class TestQuantumDots:
+    def test_smaller_dot_bluer_emission(self):
+        small = cdse_dot(1.5e-9)
+        large = cdse_dot(4.0e-9)
+        assert small.emission_wavelength_m() < large.emission_wavelength_m()
+
+    def test_cdse_visible_emission(self):
+        # 2-4 nm CdSe dots emit in the visible range.
+        dot = cdse_dot(2.5e-9)
+        wavelength_nm = dot.emission_wavelength_m() * 1e9
+        assert 400.0 < wavelength_nm < 750.0
+
+    def test_confinement_energy_positive(self):
+        assert cdse_dot(3e-9).confinement_energy_ev() > 0
+
+    def test_emission_above_bulk_gap(self):
+        dot = cdse_dot(3e-9)
+        assert dot.emission_energy_ev() > dot.bulk_gap_ev
+
+    def test_rejects_oversized_dot(self):
+        with pytest.raises(ValueError, match="confinement"):
+            QuantumDot("CdSe", 20e-9, 1.74)

@@ -1,0 +1,92 @@
+"""Tests for repro.signal.eis_fitting."""
+
+import numpy as np
+import pytest
+
+from repro.chem.impedance import RandlesCircuit
+from repro.signal.eis_fitting import (
+    fit_randles,
+    measure_rct_from_spectrum,
+)
+
+TRUE = RandlesCircuit(
+    solution_resistance_ohm=120.0,
+    charge_transfer_resistance_ohm=8_000.0,
+    double_layer_capacitance_f=2e-6,
+)
+
+
+class TestCleanFit:
+    @pytest.fixture(scope="class")
+    def fit(self):
+        freqs, z = TRUE.spectrum(0.1, 1e5, 50)
+        return fit_randles(freqs, z)
+
+    def test_converges(self, fit):
+        assert fit.converged
+
+    def test_recovers_rs(self, fit):
+        assert fit.circuit.solution_resistance_ohm \
+            == pytest.approx(120.0, rel=1e-3)
+
+    def test_recovers_rct(self, fit):
+        assert fit.circuit.charge_transfer_resistance_ohm \
+            == pytest.approx(8_000.0, rel=1e-3)
+
+    def test_recovers_cdl(self, fit):
+        assert fit.circuit.double_layer_capacitance_f \
+            == pytest.approx(2e-6, rel=1e-3)
+
+    def test_residual_negligible(self, fit):
+        assert fit.relative_residual < 1e-6
+
+
+class TestNoisyFit:
+    def test_robust_to_measurement_noise(self, rng):
+        freqs, z = TRUE.spectrum(0.1, 1e5, 60)
+        noisy = z * (1.0 + rng.normal(0.0, 0.01, z.size)
+                     + 1j * rng.normal(0.0, 0.01, z.size))
+        fit = fit_randles(freqs, noisy)
+        assert fit.circuit.charge_transfer_resistance_ohm \
+            == pytest.approx(8_000.0, rel=0.05)
+
+    def test_initial_guess_accepted(self):
+        freqs, z = TRUE.spectrum(0.1, 1e5, 50)
+        fit = fit_randles(freqs, z, initial=TRUE)
+        assert fit.circuit.charge_transfer_resistance_ohm \
+            == pytest.approx(8_000.0, rel=1e-6)
+
+    def test_convenience_rct(self):
+        freqs, z = TRUE.spectrum(0.1, 1e5, 50)
+        assert measure_rct_from_spectrum(freqs, z) \
+            == pytest.approx(8_000.0, rel=1e-3)
+
+
+class TestImmunosensorPipeline:
+    def test_binding_detected_through_fit(self):
+        """End-to-end EIS sensing: binding shifts Rct; the fit sees it."""
+        from repro.transducers.immunosensor import FaradicImmunosensor
+
+        sensor = FaradicImmunosensor(baseline=TRUE, kd_molar=1e-9)
+        freqs0, z0 = sensor.spectrum_at(0.0)
+        freqs1, z1 = sensor.spectrum_at(1e-9)  # Kd-level antigen
+        rct0 = measure_rct_from_spectrum(freqs0, z0)
+        rct1 = measure_rct_from_spectrum(freqs1, z1)
+        expected = sensor.circuit_at(1e-9).charge_transfer_resistance_ohm
+        assert rct1 > rct0
+        assert rct1 == pytest.approx(expected, rel=1e-3)
+
+
+class TestValidation:
+    def test_rejects_short_spectrum(self):
+        with pytest.raises(ValueError, match="6 spectral"):
+            fit_randles(np.array([1.0, 2.0]), np.array([1 + 1j, 2 + 2j]))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            fit_randles(np.arange(1.0, 10.0), np.ones(5, dtype=complex))
+
+    def test_rejects_non_positive_frequency(self):
+        freqs = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+        with pytest.raises(ValueError):
+            fit_randles(freqs, np.ones(6, dtype=complex))

@@ -1,0 +1,95 @@
+"""Tests for repro.system.blocks and repro.system.composition."""
+
+import pytest
+
+from repro.system.blocks import (
+    BlockKind,
+    STANDARD_BLOCKS,
+    SystemBlock,
+    block_by_name,
+)
+from repro.system.composition import (
+    CompositionError,
+    PlatformDesign,
+    reference_biosensor_node,
+)
+
+
+class TestBlockLibrary:
+    def test_paper_block_list_present(self):
+        """Section 1: power source, transducer circuitry, control unit,
+        wireless communication."""
+        kinds = {block.kind for block in STANDARD_BLOCKS}
+        assert BlockKind.POWER in kinds
+        assert BlockKind.ANALOG_FRONT_END in kinds
+        assert BlockKind.DIGITAL_CONTROL in kinds
+        assert BlockKind.RF in kinds
+        assert BlockKind.SENSOR in kinds
+
+    def test_sensor_does_not_scale(self):
+        sensor = block_by_name("cnt electrode array")
+        assert sensor.scaling_exponent == 0.0
+
+    def test_digital_scales_quadratically(self):
+        control = block_by_name("control mcu + dsp")
+        assert control.scaling_exponent == pytest.approx(2.0)
+
+    def test_analog_scales_weakly(self):
+        afe = block_by_name("potentiostat + tia front-end")
+        assert 0.0 < afe.scaling_exponent < 1.0
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="available"):
+            block_by_name("quantum flux capacitor")
+
+    def test_block_validation(self):
+        with pytest.raises(ValueError):
+            SystemBlock("bad", BlockKind.ADC, 0.0, 1.0, True)
+
+
+class TestComposition:
+    def test_reference_node_is_valid(self):
+        design = reference_biosensor_node()
+        assert design.total_area_mm2 () > 0
+        assert design.total_power_mw() <= design.power_budget_mw
+
+    def test_analog_dominates_biosensing_soc(self):
+        """The quantitative root of the heterogeneous-integration
+        argument: most of a biosensing SoC is analog."""
+        design = reference_biosensor_node()
+        assert design.analog_fraction() > 0.5
+
+    def test_missing_required_block_rejected(self):
+        blocks = tuple(b for b in STANDARD_BLOCKS
+                       if b.kind is not BlockKind.POWER)
+        with pytest.raises(CompositionError, match="power"):
+            PlatformDesign(name="no-power", blocks=blocks)
+
+    def test_unsatisfied_interface_rejected(self):
+        # ADC alone requires analog_voltage and supply nobody provides.
+        blocks = tuple(b for b in STANDARD_BLOCKS
+                       if b.kind in (BlockKind.SENSOR, BlockKind.ADC,
+                                     BlockKind.ANALOG_FRONT_END,
+                                     BlockKind.DIGITAL_CONTROL,
+                                     BlockKind.POWER))
+        # This set is closed; removing the AFE breaks electrode_current.
+        broken = tuple(b for b in blocks
+                       if b.kind is not BlockKind.ANALOG_FRONT_END)
+        with pytest.raises(CompositionError):
+            PlatformDesign(name="broken", blocks=broken)
+
+    def test_power_budget_enforced(self):
+        with pytest.raises(CompositionError, match="exceeds"):
+            reference_biosensor_node(power_budget_mw=1.0)
+
+    def test_radio_optional(self):
+        with_radio = reference_biosensor_node(with_radio=True)
+        without = reference_biosensor_node(with_radio=False)
+        assert without.total_power_mw() < with_radio.total_power_mw()
+
+    def test_summary_accounts_blocks(self):
+        design = reference_biosensor_node()
+        summary = design.summary()
+        assert "total:" in summary
+        for block in design.blocks:
+            assert block.name in summary

@@ -1,0 +1,97 @@
+"""Tests for repro.techniques.chronoamperometry."""
+
+import numpy as np
+import pytest
+
+from repro.chem.doublelayer import DoubleLayer
+from repro.techniques.chronoamperometry import Chronoamperometry
+
+
+def linear_response(concentration_molar: float) -> float:
+    """Simple linear steady-state model: 1 uA per mM."""
+    return 1e-6 * concentration_molar / 1e-3
+
+
+@pytest.fixture()
+def ca():
+    return Chronoamperometry(potential_v=0.65, sampling_rate_hz=20.0)
+
+
+class TestSingleStep:
+    def test_plateau_reaches_steady_state(self, ca):
+        record = ca.simulate_step(linear_response, 1e-3, 20.0, 1.0)
+        assert record.current_a[-1] == pytest.approx(1e-6, rel=1e-3)
+
+    def test_first_order_relaxation(self, ca):
+        tau = 2.0
+        record = ca.simulate_step(linear_response, 1e-3, 20.0, tau)
+        idx_tau = int(tau * ca.sampling_rate_hz)
+        expected = 1e-6 * (1 - np.exp(-record.time_s[idx_tau] / tau))
+        assert record.current_a[idx_tau] == pytest.approx(expected, rel=1e-6)
+
+    def test_starts_from_initial_current(self, ca):
+        record = ca.simulate_step(linear_response, 1e-3, 20.0, 1.0,
+                                  initial_current_a=5e-7)
+        assert record.current_a[0] == pytest.approx(5e-7, rel=1e-3)
+
+    def test_paper_potential_default(self, ca):
+        record = ca.simulate_step(linear_response, 1e-3, 5.0, 1.0)
+        assert np.all(record.potential_v == 0.65)
+
+    def test_double_layer_spike_at_start(self, ca):
+        layer = DoubleLayer(capacitance_per_area=0.5, series_resistance=5000.0)
+        with_spike = ca.simulate_step(linear_response, 1e-3, 20.0, 1.0,
+                                      double_layer=layer, area_m2=1e-5)
+        without = ca.simulate_step(linear_response, 1e-3, 20.0, 1.0)
+        assert with_spike.current_a[0] > without.current_a[0]
+
+    def test_requires_double_layer_and_area_together(self, ca):
+        layer = DoubleLayer(capacitance_per_area=0.5)
+        with pytest.raises(ValueError, match="together"):
+            ca.simulate_step(linear_response, 1e-3, 20.0, 1.0,
+                             double_layer=layer)
+
+    def test_background_offset(self):
+        ca = Chronoamperometry(background_current_a=2e-8)
+        record = ca.simulate_step(linear_response, 0.0, 20.0, 1.0)
+        assert record.current_a[-1] == pytest.approx(2e-8, rel=1e-2)
+
+
+class TestAdditions:
+    def test_staircase_monotonic_levels(self, ca):
+        concentrations = [0.2e-3, 0.4e-3, 0.6e-3, 0.8e-3]
+        record = ca.simulate_additions(linear_response, concentrations,
+                                       20.0, 1.0)
+        n_step = int(20.0 * ca.sampling_rate_hz)
+        plateaus = [record.current_a[(k + 1) * n_step - 1]
+                    for k in range(len(concentrations))]
+        assert np.all(np.diff(plateaus) > 0)
+
+    def test_plateaus_match_response(self, ca):
+        concentrations = [0.5e-3, 1.0e-3]
+        record = ca.simulate_additions(linear_response, concentrations,
+                                       30.0, 1.0)
+        assert record.current_a[-1] == pytest.approx(
+            linear_response(1.0e-3), rel=1e-3)
+
+    def test_total_duration(self, ca):
+        record = ca.simulate_additions(linear_response, [1e-3] * 3, 10.0, 1.0)
+        assert record.time_s[-1] == pytest.approx(30.0, rel=1e-2)
+
+    def test_metadata_carries_schedule(self, ca):
+        record = ca.simulate_additions(linear_response, [1e-3], 10.0, 1.0)
+        assert record.metadata["concentrations_molar"] == [1e-3]
+
+    def test_rejects_empty_schedule(self, ca):
+        with pytest.raises(ValueError):
+            ca.simulate_additions(linear_response, [], 10.0, 1.0)
+
+    def test_continuity_between_steps(self, ca):
+        record = ca.simulate_additions(linear_response, [0.5e-3, 1.0e-3],
+                                       20.0, 1.0)
+        n_step = int(20.0 * ca.sampling_rate_hz)
+        # Current just after the second addition starts near the previous
+        # plateau, not at zero.
+        boundary_jump = abs(record.current_a[n_step]
+                            - record.current_a[n_step - 1])
+        assert boundary_jump < 0.2 * record.current_a[n_step - 1]

@@ -1,0 +1,98 @@
+"""Tests for linear-sweep and differential-pulse voltammetry."""
+
+import numpy as np
+import pytest
+
+from repro.chem.species import CYP_HEME, FERRICYANIDE
+from repro.techniques.differential_pulse import (
+    DifferentialPulseVoltammetry,
+    dpv_solution_peak_current,
+)
+from repro.techniques.linear_sweep import LinearSweepVoltammetry
+
+AREA = 7e-6
+
+
+class TestLinearSweep:
+    def test_cathodic_sweep_shows_reduction_peak(self):
+        lsv = LinearSweepVoltammetry(0.6, -0.2, 0.05, sampling_rate_hz=400.0)
+        record = lsv.simulate_solution_couple(
+            FERRICYANIDE.with_rate_enhancement(50.0), 1e-3, 0.0, AREA)
+        assert record.current_a.min() < 0
+        idx = int(np.argmin(record.current_a))
+        # Reversible cathodic peak sits ~28 mV negative of E0.
+        assert record.potential_v[idx] == pytest.approx(
+            FERRICYANIDE.formal_potential - 0.028, abs=0.02)
+
+    def test_matches_cv_forward_branch(self):
+        from repro.techniques.cyclic_voltammetry import CyclicVoltammetry
+
+        couple = FERRICYANIDE.with_rate_enhancement(50.0)
+        lsv = LinearSweepVoltammetry(0.6, -0.2, 0.05, sampling_rate_hz=400.0)
+        cv = CyclicVoltammetry(0.6, -0.2, 0.05, sampling_rate_hz=400.0)
+        lsv_record = lsv.simulate_solution_couple(couple, 1e-3, 0.0, AREA)
+        cv_record = cv.simulate_solution_couple(couple, 1e-3, 0.0, AREA)
+        lsv_peak = abs(lsv_record.current_a.min())
+        cv_forward = cv_record.current_a[: cv_record.time_s.size // 2]
+        assert lsv_peak == pytest.approx(abs(cv_forward.min()), rel=2e-2)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            LinearSweepVoltammetry(0.1, 0.1, 0.05)
+
+
+class TestDpvAnalytic:
+    def test_peak_linear_in_concentration(self):
+        p1 = dpv_solution_peak_current(FERRICYANIDE, 1e-4, AREA, 0.05, 0.05)
+        p2 = dpv_solution_peak_current(FERRICYANIDE, 2e-4, AREA, 0.05, 0.05)
+        assert p2 == pytest.approx(2 * p1, rel=1e-9)
+
+    def test_larger_pulse_larger_peak(self):
+        small = dpv_solution_peak_current(FERRICYANIDE, 1e-4, AREA, 0.01, 0.05)
+        large = dpv_solution_peak_current(FERRICYANIDE, 1e-4, AREA, 0.1, 0.05)
+        assert large > small
+
+    def test_zero_concentration_zero_peak(self):
+        assert dpv_solution_peak_current(FERRICYANIDE, 0.0, AREA, 0.05, 0.05) \
+            == 0.0
+
+    def test_rejects_bad_pulse(self):
+        with pytest.raises(ValueError):
+            dpv_solution_peak_current(FERRICYANIDE, 1e-4, AREA, 0.0, 0.05)
+
+
+class TestDpvScan:
+    def test_surface_scan_peaks_near_formal_potential(self):
+        dpv = DifferentialPulseVoltammetry(0.1, -0.8)
+        record = dpv.simulate_surface_couple(CYP_HEME, 1e-7, AREA)
+        idx = int(np.argmin(record.current_a))
+        assert record.potential_v[idx] == pytest.approx(
+            CYP_HEME.formal_potential, abs=0.05)
+
+    def test_surface_peak_linear_in_coverage(self):
+        dpv = DifferentialPulseVoltammetry(0.1, -0.8)
+        r1 = dpv.simulate_surface_couple(CYP_HEME, 1e-7, AREA)
+        r2 = dpv.simulate_surface_couple(CYP_HEME, 3e-7, AREA)
+        assert abs(r2.current_a).max() == pytest.approx(
+            3 * abs(r1.current_a).max(), rel=1e-9)
+
+    def test_solution_scan_bell_shape(self):
+        dpv = DifferentialPulseVoltammetry(0.6, -0.2)
+        record = dpv.simulate_solution_couple(FERRICYANIDE, 1e-4, AREA)
+        peak = abs(record.current_a).max()
+        expected = dpv_solution_peak_current(
+            FERRICYANIDE, 1e-4, AREA,
+            dpv.pulse_amplitude_v, dpv.pulse_width_s)
+        assert peak == pytest.approx(expected, rel=1e-6)
+        # Edges are near zero.
+        assert abs(record.current_a[0]) < 0.05 * peak
+
+    def test_potential_axis_covers_window(self):
+        dpv = DifferentialPulseVoltammetry(0.1, -0.8, step_v=0.01)
+        axis = dpv.potential_axis()
+        assert axis[0] == pytest.approx(0.1)
+        assert axis[-1] == pytest.approx(-0.8)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            DifferentialPulseVoltammetry(0.1, -0.8, step_v=0.0)

@@ -1,0 +1,110 @@
+"""Public-API surface tests.
+
+Every name a subpackage re-exports must import and be functional at the
+advertised level — the contract a downstream user relies on.  Also covers
+the few public helpers not exercised elsewhere (table rendering with
+results, stack volume, platform helpers).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    @pytest.mark.parametrize("subpackage", [
+        "analytes", "bio", "chem", "classification", "core", "electrodes",
+        "enzymes", "experiments", "instrument", "nano", "signal", "system",
+        "techniques", "transducers",
+    ])
+    def test_subpackage_all_resolves(self, subpackage):
+        module = getattr(repro, subpackage)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name) is not None, f"{subpackage}.{name}"
+
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_all(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestRenderTable2WithResults:
+    def test_render_groups_and_measured_values(self, glucose_sensor):
+        from repro.core.calibration import (
+            default_protocol_for_range,
+            run_calibration,
+        )
+        from repro.core.registry import spec_by_id
+        from repro.core.tables import render_table2
+
+        spec = spec_by_id("glucose/this-work")
+        result = run_calibration(glucose_sensor,
+                                 default_protocol_for_range(1e-3),
+                                 np.random.default_rng(2))
+        text = render_table2({spec.sensor_id: (spec, result)})
+        assert "GLUCOSE" in text.upper()
+        assert "measured" in text
+        assert "55.5" in text
+
+
+class TestStackGeometry:
+    def test_volume_consistency(self):
+        from repro.system.stack3d import guiducci_stack
+
+        stack = guiducci_stack()
+        expected = stack.footprint_mm2 * stack.total_thickness_um() * 1e-3
+        assert stack.volume_mm3() == pytest.approx(expected)
+
+    def test_volume_sub_cubic_centimetre(self):
+        """The implantability sanity check: the whole stack fits well
+        inside a cubic centimetre."""
+        from repro.system.stack3d import guiducci_stack
+
+        assert guiducci_stack().volume_mm3() < 1000.0
+
+
+class TestPlatformHelpers:
+    def test_default_calibration_upper(self):
+        from repro.core.platform import default_calibration_upper
+        from repro.core.registry import spec_by_id
+
+        upper = default_calibration_upper(spec_by_id("glucose/this-work"))
+        assert upper == pytest.approx(1e-3)
+
+
+class TestWaveformDetails:
+    def test_cyclic_scan_rate_signs(self):
+        from repro.techniques.waveform import cyclic_wave
+
+        wave = cyclic_wave(0.1, -0.8, 0.1, 100.0)
+        rates = wave.scan_rate_v_s()
+        n = rates.size
+        assert np.median(rates[: n // 2 - 2]) == pytest.approx(-0.1, rel=0.05)
+        assert np.median(rates[n // 2 + 2:]) == pytest.approx(0.1, rel=0.05)
+
+    def test_measurement_metadata_roundtrip(self, glucose_sensor):
+        record = glucose_sensor.ca_protocol.simulate_step(
+            glucose_sensor.steady_state_current, 1e-4, 5.0, 1.0)
+        assert record.metadata["concentration_molar"] == 1e-4
+        assert record.metadata["plateau_a"] == pytest.approx(
+            glucose_sensor.steady_state_current(1e-4))
+
+
+class TestAcquiredTraceDiagnostics:
+    def test_rms_error_zero_without_noise(self, glucose_sensor):
+        trace = np.full(400, 1e-8)
+        acquired = glucose_sensor.chain.acquire(
+            trace, glucose_sensor.ca_protocol.sampling_rate_hz,
+            add_noise=False)
+        # Noiseless path: the only error left is quantization.
+        assert acquired.rms_error_a < glucose_sensor.chain.adc.lsb_v \
+            / glucose_sensor.chain.tia.gain_v_per_a
+
+    def test_shape_mismatch_rejected(self):
+        from repro.instrument.chain import AcquiredTrace
+
+        with pytest.raises(ValueError):
+            AcquiredTrace(np.zeros(3), np.zeros(3), np.zeros(4))

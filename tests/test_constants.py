@@ -1,0 +1,57 @@
+"""Tests for repro.constants."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+class TestConstants:
+    def test_faraday_value(self):
+        assert constants.FARADAY == pytest.approx(96485.332, abs=0.01)
+
+    def test_gas_constant_value(self):
+        assert constants.GAS_CONSTANT == pytest.approx(8.31446, abs=1e-4)
+
+    def test_faraday_is_avogadro_times_charge(self):
+        derived = constants.AVOGADRO * constants.ELEMENTARY_CHARGE
+        assert derived == pytest.approx(constants.FARADAY, rel=1e-9)
+
+    def test_gas_constant_is_avogadro_times_boltzmann(self):
+        derived = constants.AVOGADRO * constants.BOLTZMANN
+        assert derived == pytest.approx(constants.GAS_CONSTANT, rel=1e-9)
+
+    def test_standard_temperature_is_25_celsius(self):
+        assert constants.STANDARD_TEMPERATURE == pytest.approx(
+            constants.ZERO_CELSIUS + 25.0)
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        assert constants.thermal_voltage() == pytest.approx(0.025693, rel=1e-3)
+
+    def test_scales_linearly_with_temperature(self):
+        doubled = constants.thermal_voltage(2 * constants.STANDARD_TEMPERATURE)
+        assert doubled == pytest.approx(2 * constants.thermal_voltage())
+
+    def test_rejects_non_positive_temperature(self):
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(-300.0)
+
+
+class TestNernstSlope:
+    def test_one_electron_decade_slope(self):
+        # 59 mV per decade at 25 C (slope * ln 10).
+        decade = constants.nernst_slope(1) * math.log(10.0)
+        assert decade == pytest.approx(0.05916, rel=1e-3)
+
+    def test_inverse_in_electron_count(self):
+        assert constants.nernst_slope(2) == pytest.approx(
+            constants.nernst_slope(1) / 2.0)
+
+    def test_rejects_zero_electrons(self):
+        with pytest.raises(ValueError):
+            constants.nernst_slope(0)

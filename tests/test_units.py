@@ -1,0 +1,119 @@
+"""Tests for repro.units, including round-trip property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+finite_positive = st.floats(min_value=1e-12, max_value=1e12,
+                            allow_nan=False, allow_infinity=False)
+
+
+class TestConcentration:
+    def test_millimolar_to_molar(self):
+        assert units.molar_from_millimolar(1.0) == pytest.approx(1e-3)
+
+    def test_micromolar_to_molar(self):
+        assert units.molar_from_micromolar(2.0) == pytest.approx(2e-6)
+
+    def test_micromolar_from_millimolar(self):
+        assert units.micromolar_from_millimolar(0.325) == pytest.approx(325.0)
+
+    @given(finite_positive)
+    def test_molar_millimolar_roundtrip(self, value):
+        roundtrip = units.millimolar_from_molar(
+            units.molar_from_millimolar(value))
+        assert roundtrip == pytest.approx(value, rel=1e-12)
+
+    @given(finite_positive)
+    def test_molar_micromolar_roundtrip(self, value):
+        roundtrip = units.micromolar_from_molar(
+            units.molar_from_micromolar(value))
+        assert roundtrip == pytest.approx(value, rel=1e-12)
+
+    @given(finite_positive)
+    def test_cubic_metre_roundtrip(self, value):
+        roundtrip = units.molar_from_mol_per_cubic_metre(
+            units.mol_per_cubic_metre_from_molar(value))
+        assert roundtrip == pytest.approx(value, rel=1e-12)
+
+
+class TestCurrent:
+    def test_microampere(self):
+        assert units.ampere_from_microampere(1.0) == pytest.approx(1e-6)
+        assert units.microampere_from_ampere(1e-6) == pytest.approx(1.0)
+
+    def test_nanoampere(self):
+        assert units.nanoampere_from_ampere(
+            units.ampere_from_nanoampere(3.3)) == pytest.approx(3.3)
+
+    def test_picoampere(self):
+        assert units.picoampere_from_ampere(1e-12) == pytest.approx(1.0)
+
+
+class TestArea:
+    def test_paper_spe_area(self):
+        # The paper's SPE working electrode: 13 mm^2 = 0.13 cm^2.
+        assert units.square_centimetre_from_square_millimetre(13.0) \
+            == pytest.approx(0.13)
+
+    def test_microchip_area(self):
+        # 0.25 mm^2 in m^2.
+        assert units.square_metre_from_square_millimetre(0.25) \
+            == pytest.approx(2.5e-7)
+
+    @given(finite_positive)
+    def test_m2_cm2_roundtrip(self, value):
+        roundtrip = units.square_centimetre_from_square_metre(
+            units.square_metre_from_square_centimetre(value))
+        assert roundtrip == pytest.approx(value, rel=1e-12)
+
+
+class TestSensitivity:
+    def test_paper_unit_to_si(self):
+        # 1 uA mM^-1 cm^-2 = 10 A M^-1 m^-2.
+        assert units.sensitivity_si_from_paper(1.0) == pytest.approx(10.0)
+
+    @given(finite_positive)
+    def test_sensitivity_roundtrip(self, value):
+        roundtrip = units.sensitivity_paper_from_si(
+            units.sensitivity_si_from_paper(value))
+        assert roundtrip == pytest.approx(value, rel=1e-12)
+
+    def test_slope_for_paper_glucose_sensor(self):
+        # 55.5 uA/mM/cm^2 on 0.25 mm^2: 55.5e-6/1e-3/1e-4 * 2.5e-7 A/M.
+        slope = units.slope_ampere_per_molar(55.5, 2.5e-7)
+        assert slope == pytest.approx(1.3875e-4, rel=1e-6)
+
+    @given(finite_positive, st.floats(min_value=1e-9, max_value=1.0))
+    def test_slope_sensitivity_roundtrip(self, sensitivity, area):
+        slope = units.slope_ampere_per_molar(sensitivity, area)
+        recovered = units.sensitivity_paper_from_slope(slope, area)
+        assert recovered == pytest.approx(sensitivity, rel=1e-9)
+
+    def test_slope_rejects_bad_area(self):
+        with pytest.raises(ValueError):
+            units.slope_ampere_per_molar(1.0, 0.0)
+        with pytest.raises(ValueError):
+            units.sensitivity_paper_from_slope(1.0, -1.0)
+
+
+class TestPotentialAndTime:
+    def test_working_potential(self):
+        # The paper's +650 mV working potential.
+        assert units.volt_from_millivolt(650.0) == pytest.approx(0.65)
+
+    def test_millivolt_roundtrip(self):
+        assert units.millivolt_from_volt(
+            units.volt_from_millivolt(123.4)) == pytest.approx(123.4)
+
+    def test_length_conversions(self):
+        # MWCNT: 10 nm diameter, 1-2 um length.
+        assert units.metre_from_nanometre(10.0) == pytest.approx(1e-8)
+        assert units.metre_from_micrometre(1.5) == pytest.approx(1.5e-6)
+        assert units.nanometre_from_metre(1e-8) == pytest.approx(10.0)
+        assert units.micrometre_from_metre(1.5e-6) == pytest.approx(1.5)
+
+    def test_time_frequency(self):
+        assert units.second_from_millisecond(250.0) == pytest.approx(0.25)
+        assert units.hertz_from_kilohertz(2.0) == pytest.approx(2000.0)

@@ -1,0 +1,74 @@
+"""Property tests for the transduction-class models (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chem.impedance import RandlesCircuit
+from repro.transducers.immunosensor import FaradicImmunosensor
+from repro.transducers.qcm import QuartzCrystalMicrobalance
+from repro.transducers.spr import SprSensor
+
+kds = st.floats(min_value=1e-12, max_value=1e-6,
+                allow_nan=False, allow_infinity=False)
+concs = st.floats(min_value=0.0, max_value=1e-5,
+                  allow_nan=False, allow_infinity=False)
+
+
+class TestSprProperties:
+    @given(kds, concs, concs)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_for_any_affinity(self, kd, c1, c2):
+        sensor = SprSensor(kd_molar=kd)
+        low, high = sorted((c1, c2))
+        assert sensor.angle_shift_millideg(low) \
+            <= sensor.angle_shift_millideg(high) + 1e-12
+
+    @given(kds)
+    @settings(max_examples=40, deadline=None)
+    def test_lod_at_three_sigma_for_any_affinity(self, kd):
+        sensor = SprSensor(kd_molar=kd)
+        lod = sensor.limit_of_detection_molar()
+        shift = sensor.angle_shift_millideg(lod)
+        assert shift == pytest.approx(3 * sensor.noise_millideg, rel=1e-6)
+
+    @given(kds, concs)
+    @settings(max_examples=40, deadline=None)
+    def test_signal_bounded_by_full_scale(self, kd, conc):
+        sensor = SprSensor(kd_molar=kd)
+        full = (sensor.angle_sensitivity_deg_per_riu
+                * sensor.max_index_shift * 1e3)
+        assert 0.0 <= sensor.angle_shift_millideg(conc) <= full
+
+
+class TestQcmProperties:
+    @given(kds, concs)
+    @settings(max_examples=40, deadline=None)
+    def test_shift_always_negative_or_zero(self, kd, conc):
+        qcm = QuartzCrystalMicrobalance(kd_molar=kd)
+        assert qcm.frequency_shift_hz(conc) <= 0.0
+
+    @given(kds, concs)
+    @settings(max_examples=40, deadline=None)
+    def test_mass_bounded_by_monolayer(self, kd, conc):
+        qcm = QuartzCrystalMicrobalance(kd_molar=kd)
+        monolayer = qcm.receptor_density_m2 * qcm.target_mass_kg
+        assert 0.0 <= qcm.bound_mass_kg_m2(conc) <= monolayer
+
+
+class TestImmunosensorProperties:
+    @given(kds, concs, concs)
+    @settings(max_examples=40, deadline=None)
+    def test_rct_monotone_for_any_affinity(self, kd, c1, c2):
+        sensor = FaradicImmunosensor(
+            baseline=RandlesCircuit(100.0, 5_000.0, 1e-6), kd_molar=kd)
+        low, high = sorted((c1, c2))
+        assert sensor.rct_shift_ohm(low) <= sensor.rct_shift_ohm(high) + 1e-9
+
+    @given(kds)
+    @settings(max_examples=40, deadline=None)
+    def test_lod_consistency(self, kd):
+        sensor = FaradicImmunosensor(
+            baseline=RandlesCircuit(100.0, 5_000.0, 1e-6), kd_molar=kd)
+        lod = sensor.limit_of_detection_molar()
+        assert sensor.rct_shift_ohm(lod) == pytest.approx(
+            3 * sensor.rct_noise_ohm, rel=1e-6)
