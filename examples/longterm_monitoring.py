@@ -19,7 +19,6 @@ from repro.core.longterm import (
     one_point_recalibration,
 )
 from repro.core.registry import build_sensor, spec_by_id
-from repro.core.detection import measure_point
 from repro.enzymes.stability import EnzymeStability
 from repro.system.composition import reference_biosensor_node
 from repro.system.energy import EnergyBudget

@@ -38,12 +38,12 @@ def main() -> None:
     print(f"Chip sample volume: "
           f"{platform.chip.sample_volume_estimate_l() * 1e6:.1f} uL")
 
-    print("\nCalibrating all channels...")
+    print("\nCalibrating all channels (one batched campaign)...")
     uppers = {0: molar_from_millimolar(1.0),
               1: molar_from_millimolar(1.0),
               2: molar_from_millimolar(2.0)}
-    calibrations = platform.calibrate(np.random.default_rng(7),
-                                      upper_molar_by_channel=uppers)
+    calibrations = platform.calibrate_batch(seed=7,
+                                            upper_molar_by_channel=uppers)
     for channel, result in calibrations.items():
         print(f"  ch{channel}: {result.summary()}")
 

@@ -6,10 +6,9 @@ sensitivity ~55.5 uA mM^-1 cm^-2, linear range 0-1 mM, LOD ~2 uM.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.core.calibration import default_protocol_for_range, run_calibration
+from repro.core.calibration import default_protocol_for_range
 from repro.core.registry import build_sensor, spec_by_id
+from repro.engine import run_calibration_batch
 from repro.units import molar_from_millimolar
 
 
@@ -25,7 +24,10 @@ def main() -> None:
 
     protocol = default_protocol_for_range(
         molar_from_millimolar(spec.paper_range_mm[1]))
-    result = run_calibration(sensor, protocol, np.random.default_rng(42))
+    # The batch engine evaluates the whole protocol (blanks + standards x
+    # replicates) as vectorized array operations with deterministic
+    # per-cell randomness derived from the seed.
+    result = run_calibration_batch(sensor, protocol, seed=42)
 
     print("\nCalibration (successive additions, 3 replicates/standard):")
     for point in result.points:

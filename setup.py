@@ -1,4 +1,11 @@
-"""Setup shim for legacy editable installs (offline environment lacks wheel)."""
+"""Setup shim for offline/legacy editable installs.
+
+All project metadata lives in pyproject.toml (the canonical config; CI
+installs with plain ``pip install -e .[dev]``).  This shim only exists for
+environments whose setuptools lacks the ``wheel`` package needed by PEP 660
+editable builds: there, use ``python setup.py develop`` or
+``PYTHONPATH=src`` instead.
+"""
 
 from setuptools import setup
 

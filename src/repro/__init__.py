@@ -37,8 +37,10 @@ from repro import (  # noqa: F401  (re-exported subpackages)
     electrodes,
     enzymes,
     experiments,
+    engine,
     instrument,
     nano,
+    rng,
     signal,
     system,
     techniques,
@@ -55,9 +57,11 @@ __all__ = [
     "core",
     "electrodes",
     "enzymes",
+    "engine",
     "experiments",
     "instrument",
     "nano",
+    "rng",
     "signal",
     "system",
     "techniques",

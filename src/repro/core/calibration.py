@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.detection import measure_point
 from repro.core.sensor import Biosensor
+from repro.rng import get_rng
 from repro.units import (
     micromolar_from_molar,
     millimolar_from_molar,
@@ -172,8 +173,7 @@ def run_calibration(sensor: Biosensor,
         CalibrationError: when the fitted slope is non-positive or fewer
             than three standards stay within the linear tolerance.
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = get_rng(rng)
 
     blanks = np.array([measure_point(sensor, 0.0, rng)
                        for __ in range(protocol.n_blanks)])
@@ -192,6 +192,29 @@ def run_calibration(sensor: Biosensor,
             n=replicates.size,
         ))
 
+    return extract_calibration_result(sensor, protocol, points,
+                                      blank_mean, blank_std)
+
+
+def extract_calibration_result(sensor: Biosensor,
+                               protocol: CalibrationProtocol,
+                               points: list[CalibrationPoint],
+                               blank_mean: float,
+                               blank_std: float,
+                               metadata: dict | None = None,
+                               ) -> CalibrationResult:
+    """Turn measured standards + blank statistics into Table 2 metrics.
+
+    The analysis half of :func:`run_calibration`, shared with the batch
+    engine (:mod:`repro.engine`): linear-region selection, slope fit with
+    quality gates, sensitivity / range / LOD extraction.  ``points`` must
+    be in ascending concentration order.
+
+    Raises:
+        CalibrationError: on a non-positive or insignificant slope, an
+            R^2 below the protocol gate, or fewer than three in-tolerance
+            standards.
+    """
     included = _linear_region(points, blank_mean,
                               protocol.linearity_tolerance, blank_std)
     if len(included) < 3:
@@ -227,6 +250,9 @@ def run_calibration(sensor: Biosensor,
     linear_high = included[-1].concentration_molar
     linear_low = min(loq, linear_high)
 
+    combined_metadata = {"protocol": protocol}
+    if metadata:
+        combined_metadata.update(metadata)
     return CalibrationResult(
         sensor_name=sensor.name,
         points=tuple(points),
@@ -241,7 +267,7 @@ def run_calibration(sensor: Biosensor,
         lod_molar=float(lod),
         n_linear_points=len(included),
         area_m2=sensor.area_m2,
-        metadata={"protocol": protocol},
+        metadata=combined_metadata,
     )
 
 

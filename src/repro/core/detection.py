@@ -18,8 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.sensor import Biosensor, ReadoutMode
+from repro.rng import get_rng
 from repro.signal.peaks import measure_peak
-from repro.signal.steady_state import extract_steady_state
 
 
 def measure_amperometric_point(sensor: Biosensor,
@@ -27,25 +27,29 @@ def measure_amperometric_point(sensor: Biosensor,
                                rng: np.random.Generator | None = None,
                                step_duration_s: float = 16.0,
                                add_noise: bool = True) -> float:
-    """Measure one chronoamperometric calibration point [A]."""
+    """Measure one chronoamperometric calibration point [A].
+
+    Thin single-cell wrapper over the batch engine
+    (:func:`repro.engine.measure.measure_amperometric_batch`): the value
+    is bit-identical to the historical scalar pipeline for the same
+    generator state.  The noiseless kernel is LRU-cached per plateau
+    set, so repeated scalar calls at the same concentration skip the
+    clean-chain recomputation (campaign runs key on their full grids
+    and keep their own entries).
+
+    With ``rng=None`` the shared seedable generator is used
+    (:mod:`repro.rng`), so a run seeded once via ``set_global_seed`` is
+    reproducible end-to-end.
+    """
+    # Imported here: the engine layers on top of core, not under it.
+    from repro.engine.measure import measure_amperometric_batch
+
     if concentration_molar < 0:
         raise ValueError("concentration must be >= 0")
-    if rng is None:
-        rng = np.random.default_rng()
-    record = sensor.ca_protocol.simulate_step(
-        sensor.steady_state_current,
-        concentration_molar,
-        duration_s=step_duration_s,
-        response_time_s=sensor.response_time_s,
-    )
-    acquired = sensor.chain.acquire(
-        record.current_a, record.sampling_rate_hz, rng=rng,
-        add_noise=add_noise)
-    plateau = extract_steady_state(acquired.time_s, acquired.current_a)
-    value = plateau.value
-    if add_noise and sensor.repeatability_std_a > 0:
-        value += float(rng.normal(0.0, sensor.repeatability_std_a))
-    return value
+    values = measure_amperometric_batch(
+        sensor, np.array([concentration_molar]), rngs=get_rng(rng),
+        add_noise=add_noise, step_duration_s=step_duration_s)
+    return float(values[0])
 
 
 def measure_voltammetric_point(sensor: Biosensor,
@@ -60,8 +64,7 @@ def measure_voltammetric_point(sensor: Biosensor,
     """
     if concentration_molar < 0:
         raise ValueError("concentration must be >= 0")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = get_rng(rng)
     couple = sensor.detected_couple()
     record = sensor.cv_protocol.simulate_catalytic_cyp(
         layer=sensor.layer,

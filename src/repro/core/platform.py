@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.calibration import (
+    CalibrationProtocol,
     CalibrationResult,
     default_protocol_for_range,
     run_calibration,
@@ -22,6 +23,7 @@ from repro.core.calibration import (
 from repro.core.detection import estimate_concentration, measure_point
 from repro.core.registry import SensorSpec, build_sensor
 from repro.core.sensor import Biosensor
+from repro.rng import get_rng
 from repro.electrodes.microchip import MicrofabricatedChip
 from repro.instrument.multiplexer import ChannelMultiplexer
 from repro.units import molar_from_millimolar
@@ -84,18 +86,54 @@ class MultiTargetPlatform:
             upper_molar_by_channel: optional expected range upper bound per
                 channel; defaults to the sensor's analytic linearity limit.
         """
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = get_rng(rng)
         results: dict[int, CalibrationResult] = {}
+        for channel, sensor, protocol in self._channel_protocols(
+                upper_molar_by_channel):
+            results[channel] = run_calibration(sensor, protocol, rng)
+        self.calibrations = results
+        return results
+
+    def _channel_protocols(self,
+                           upper_molar_by_channel: dict[int, float] | None,
+                           ) -> list[tuple[int, Biosensor, CalibrationProtocol]]:
+        """Resolve the calibration protocol for every channel, in order.
+
+        Shared by the scalar and batch calibration paths so their
+        protocol-selection policy cannot drift apart.
+        """
+        resolved = []
         for channel, sensor in sorted(self.channels.items()):
             if upper_molar_by_channel and channel in upper_molar_by_channel:
                 upper = upper_molar_by_channel[channel]
             else:
                 upper = sensor.linear_range_upper_molar()
-            protocol = default_protocol_for_range(upper)
-            results[channel] = run_calibration(sensor, protocol, rng)
-        self.calibrations = results
-        return results
+            resolved.append((channel, sensor,
+                             default_protocol_for_range(upper)))
+        return resolved
+
+    def calibrate_batch(self,
+                        seed: int | None = None,
+                        upper_molar_by_channel: dict[int, float] | None = None,
+                        ) -> dict[int, CalibrationResult]:
+        """Calibrate every channel as one batched campaign (engine path).
+
+        Vectorized counterpart of :meth:`calibrate`: the whole panel —
+        every channel's blanks, standards and replicates — evaluates
+        through :func:`repro.engine.run_campaign` with deterministic
+        per-cell randomness derived from ``seed``.  Results are stored
+        and returned exactly like :meth:`calibrate`.
+        """
+        from repro.engine import run_campaign
+
+        resolved = self._channel_protocols(upper_molar_by_channel)
+        results = run_campaign([sensor for __, sensor, __p in resolved],
+                               [protocol for __, __s, protocol in resolved],
+                               seed=seed)
+        self.calibrations = {channel: result
+                             for (channel, __, __p), result
+                             in zip(resolved, results)}
+        return self.calibrations
 
     def measure_sample(self,
                        concentrations_molar: dict[str, float],
@@ -109,8 +147,7 @@ class MultiTargetPlatform:
         """
         if not self.calibrations:
             raise RuntimeError("platform must be calibrated before measuring")
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = get_rng(rng)
         signals: dict[int, float] = {}
         for channel, sensor in sorted(self.channels.items()):
             true_level = concentrations_molar.get(sensor.analyte.name, 0.0)
@@ -153,8 +190,7 @@ class MultiTargetPlatform:
         Returns:
             analyte name -> estimated concentration series [mol/L].
         """
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = get_rng(rng)
         timeline_hours = np.asarray(timeline_hours, dtype=float)
         for name, profile in concentration_profiles.items():
             if np.asarray(profile).shape != timeline_hours.shape:

@@ -29,7 +29,7 @@ from repro.electrodes.geometry import ElectrodeGeometry
 from repro.electrodes.materials import material_by_name
 from repro.electrodes.microchip import MicrofabricatedChip
 from repro.electrodes.spe import screen_printed_electrode
-from repro.enzymes.catalog import EnzymeFamily, enzyme_by_name
+from repro.enzymes.catalog import enzyme_by_name
 from repro.enzymes.immobilization import ImmobilizedLayer, coverage_from_sensitivity
 from repro.enzymes.michaelis_menten import km_for_linear_range
 from repro.instrument.chain import AcquisitionChain

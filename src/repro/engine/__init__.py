@@ -1,0 +1,60 @@
+"""Batched, vectorized simulation engine for calibration campaigns.
+
+The scalar pipeline reproduces the bench protocol one point at a time:
+one (sensor, concentration, replicate) cell per call through technique →
+TIA → filter → ADC → DSP.  This package evaluates whole campaigns —
+sensor panel × concentration grid × replicates — as NumPy array
+operations:
+
+* :class:`BatchPlan` / :class:`BatchResult` describe and hold a campaign;
+* :func:`run_batch` executes it with deterministic per-cell randomness
+  (``np.random.SeedSequence`` spawning — results depend only on the seed
+  and the cell's position, never on batch grouping);
+* an LRU kernel cache (:mod:`repro.engine.kernels`) serves the repeated
+  noiseless step responses and ground-truth chain outputs;
+* :func:`run_calibration_batch` / :func:`run_campaign` produce the usual
+  :class:`~repro.core.calibration.CalibrationResult` rows through the
+  shared analysis stage.
+
+Quickstart::
+
+    from repro.core import build_sensor, spec_by_id
+    from repro.core import default_protocol_for_range
+    from repro.engine import run_calibration_batch
+
+    sensor = build_sensor(spec_by_id("glucose/this-work"))
+    protocol = default_protocol_for_range(1e-3)
+    result = run_calibration_batch(sensor, protocol, seed=7)
+    print(result.summary())
+
+The scalar API (:mod:`repro.core.detection`) remains available and the
+amperometric scalar path is a thin single-cell wrapper over this engine.
+"""
+
+from repro.engine import kernels
+from repro.engine.plan import BatchPlan, BatchResult, CellIndex
+from repro.engine.measure import (
+    measure_amperometric_batch,
+    measure_voltammetric_batch,
+)
+from repro.engine.runner import run_batch
+from repro.engine.calibrate import (
+    calibration_plan,
+    calibration_result_from_batch,
+    run_calibration_batch,
+    run_campaign,
+)
+
+__all__ = [
+    "BatchPlan",
+    "BatchResult",
+    "CellIndex",
+    "kernels",
+    "measure_amperometric_batch",
+    "measure_voltammetric_batch",
+    "run_batch",
+    "calibration_plan",
+    "calibration_result_from_batch",
+    "run_calibration_batch",
+    "run_campaign",
+]

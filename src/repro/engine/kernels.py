@@ -1,0 +1,80 @@
+"""Memoized noiseless kernels for the batch engine.
+
+Inside one campaign the same deterministic work repeats constantly: every
+replicate at a given concentration shares the same noiseless step response,
+and the acquisition chain's ground-truth ("clean") path re-filters that
+identical trace once per replicate.  Since every component involved is a
+frozen dataclass, the noiseless response is a pure function of
+``(chain, protocol, response time, duration, plateau set)`` — ideal LRU
+material.
+
+Cached arrays are returned read-only and must not be mutated; callers that
+need a scratch copy take one explicitly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.instrument.chain import AcquisitionChain
+from repro.signal.steady_state import extract_steady_state_batch
+from repro.techniques.chronoamperometry import Chronoamperometry
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+@lru_cache(maxsize=256)
+def amperometric_clean_rows(chain: AcquisitionChain,
+                            protocol: Chronoamperometry,
+                            response_time_s: float,
+                            duration_s: float,
+                            plateaus_a: tuple[float, ...],
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """Noiseless digitized step responses for a set of plateau currents.
+
+    Returns ``(time_s, clean_rows)`` with shapes ``(n_samples,)`` and
+    ``(len(plateaus_a), n_samples)``: the exact ground-truth rows the
+    scalar chain computes per measurement (TIA → anti-alias → ADC, noise
+    off), evaluated once per *unique* plateau instead of once per cell.
+    Both arrays are cached and read-only.
+    """
+    __, current = protocol.simulate_step_batch(
+        np.array(plateaus_a, dtype=float), duration_s, response_time_s)
+    trace = chain.acquire_batch(current, protocol.sampling_rate_hz,
+                                add_noise=False)
+    return _frozen(trace.time_s), _frozen(trace.current_a)
+
+
+@lru_cache(maxsize=256)
+def amperometric_clean_plateaus(chain: AcquisitionChain,
+                                protocol: Chronoamperometry,
+                                response_time_s: float,
+                                duration_s: float,
+                                plateaus_a: tuple[float, ...]) -> np.ndarray:
+    """Noiseless extracted plateau value [A] per unique plateau current.
+
+    The steady-state tail mean of :func:`amperometric_clean_rows` — the
+    value a noiseless scalar measurement reports.  Cached and read-only.
+    """
+    times, clean_rows = amperometric_clean_rows(
+        chain, protocol, response_time_s, duration_s, plateaus_a)
+    return _frozen(extract_steady_state_batch(times, clean_rows))
+
+
+def cache_info() -> dict[str, object]:
+    """Hit/miss statistics of the engine kernel caches (diagnostics)."""
+    return {
+        "clean_rows": amperometric_clean_rows.cache_info(),
+        "clean_plateaus": amperometric_clean_plateaus.cache_info(),
+    }
+
+
+def clear_caches() -> None:
+    """Drop every memoized kernel (tests and memory-pressure hooks)."""
+    amperometric_clean_rows.cache_clear()
+    amperometric_clean_plateaus.cache_clear()

@@ -1,0 +1,123 @@
+"""Vectorized single-point measurements over whole cell batches.
+
+The scalar procedures in :mod:`repro.core.detection` measure one
+(sensor, concentration) pair per call; these run a sensor's entire slice
+of a campaign in a few array passes.  The amperometric path is fully
+vectorized — one step-response synthesis, one acquisition-chain pass and
+one plateau extraction for all cells — with the deterministic
+ground-truth rows served from the engine's kernel cache.  The
+voltammetric path still iterates cells (a CV trace's length depends on
+the protocol, so rows don't share a grid yet) but keeps the same
+per-cell RNG contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detection import measure_voltammetric_point
+from repro.core.sensor import Biosensor
+from repro.engine import kernels
+from repro.rng import get_rng
+from repro.signal.steady_state import extract_steady_state_batch
+
+RngArg = "np.random.Generator | list[np.random.Generator] | None"
+
+
+def _per_cell_rngs(rngs, n_cells: int) -> list[np.random.Generator]:
+    """Normalize an RNG argument to one generator handle per cell.
+
+    A single generator is shared (cells draw from it consecutively); a
+    sequence must provide exactly one generator per cell.
+    """
+    if rngs is None or isinstance(rngs, np.random.Generator):
+        shared = get_rng(rngs)
+        return [shared] * n_cells
+    if len(rngs) != n_cells:
+        raise ValueError(
+            f"need one generator per cell: {len(rngs)} != {n_cells}")
+    return list(rngs)
+
+
+def measure_amperometric_batch(sensor: Biosensor,
+                               concentrations_molar: np.ndarray,
+                               rngs: RngArg = None,
+                               add_noise: bool = True,
+                               step_duration_s: float = 16.0) -> np.ndarray:
+    """Measure one chronoamperometric point per cell, vectorized [A].
+
+    Cell ``k`` of the returned array equals what
+    :func:`repro.core.detection.measure_amperometric_point` reports for
+    ``concentrations_molar[k]`` — exactly, on the noiseless path, and in
+    distribution (deterministically, given per-cell generators) on the
+    noisy path.
+
+    Args:
+        sensor: an amperometric sensor.
+        concentrations_molar: concentration per cell, shape ``(n_cells,)``.
+        rngs: one generator per cell, one shared generator, or ``None``
+            (shared seedable default).
+        add_noise: include instrument + repeatability noise.
+        step_duration_s: chronoamperometric step length [s].
+    """
+    concs = np.atleast_1d(np.asarray(concentrations_molar, dtype=float))
+    if concs.ndim != 1:
+        raise ValueError("concentrations must be a 1-D array of cells")
+    if concs.size == 0:
+        raise ValueError("need at least one cell")
+    if np.any(concs < 0):
+        raise ValueError("concentration must be >= 0")
+
+    # Resolved up front so a wrong-length generator list fails on the
+    # noiseless path too, not only once noise is switched on.
+    cell_rngs = _per_cell_rngs(rngs, concs.size)
+
+    protocol = sensor.ca_protocol
+    unique, inverse = np.unique(concs, return_inverse=True)
+    plateaus_unique = tuple(float(sensor.steady_state_current(c))
+                            for c in unique)
+    __, clean_rows = kernels.amperometric_clean_rows(
+        sensor.chain, protocol, sensor.response_time_s, step_duration_s,
+        plateaus_unique)
+
+    if not add_noise:
+        clean_values = kernels.amperometric_clean_plateaus(
+            sensor.chain, protocol, sensor.response_time_s, step_duration_s,
+            plateaus_unique)
+        return clean_values[inverse].copy()
+
+    plateaus = np.array(plateaus_unique)[inverse]
+    __, current = protocol.simulate_step_batch(
+        plateaus, step_duration_s, sensor.response_time_s)
+    trace = sensor.chain.acquire_batch(
+        current, protocol.sampling_rate_hz, rngs=cell_rngs,
+        add_noise=True, true_current_a=clean_rows[inverse])
+    values = extract_steady_state_batch(trace.time_s, trace.current_a)
+    if sensor.repeatability_std_a > 0:
+        values = values + np.array([
+            rng.normal(0.0, sensor.repeatability_std_a)
+            for rng in cell_rngs])
+    return values
+
+
+def measure_voltammetric_batch(sensor: Biosensor,
+                               concentrations_molar: np.ndarray,
+                               rngs: RngArg = None,
+                               add_noise: bool = True) -> np.ndarray:
+    """Measure one voltammetric peak height per cell [A].
+
+    Iterates cells through the scalar procedure (CV records don't share a
+    batched grid yet) while honoring the engine's per-cell RNG contract,
+    so voltammetric sensors participate in deterministic campaigns today
+    and pick up vectorization transparently later.
+    """
+    concs = np.atleast_1d(np.asarray(concentrations_molar, dtype=float))
+    if concs.ndim != 1:
+        raise ValueError("concentrations must be a 1-D array of cells")
+    if concs.size == 0:
+        raise ValueError("need at least one cell")
+    cell_rngs = _per_cell_rngs(rngs, concs.size)
+    return np.array([
+        measure_voltammetric_point(sensor, float(c), rng=rng,
+                                   add_noise=add_noise)
+        for c, rng in zip(concs, cell_rngs)])

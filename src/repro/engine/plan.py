@@ -1,0 +1,182 @@
+"""Batch campaign description: what to simulate, and in which cells.
+
+A *campaign* is the cross product the bench protocol walks one point at a
+time: sensor panel × concentration grid × replicates.  :class:`BatchPlan`
+describes the whole campaign declaratively; the runner
+(:func:`repro.engine.run_batch`) evaluates it as array operations instead
+of nested Python loops.
+
+Cell indexing is the engine's reproducibility contract: cells are
+enumerated sensor-major, then concentration, then replicate, and each cell
+gets its own child generator spawned from the plan seed
+(``np.random.SeedSequence``).  The result of a cell therefore never
+depends on how the campaign is grouped, vectorized, or split across
+workers — only on ``(seed, cell index)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+from repro.core.sensor import Biosensor
+
+
+class CellIndex(NamedTuple):
+    """Address of one simulation cell inside a campaign.
+
+    Attributes:
+        flat: position in the campaign-wide enumeration (seed order).
+        sensor: index into ``plan.sensors``.
+        concentration: index into that sensor's concentration grid.
+        replicate: replicate number at that concentration.
+    """
+
+    flat: int
+    sensor: int
+    concentration: int
+    replicate: int
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Declarative description of a calibration campaign.
+
+    Attributes:
+        sensors: the sensor panel (one entry per channel).
+        concentrations_molar: one concentration grid per sensor [mol/L];
+            grids may differ in length and values (each analyte has its
+            own range).  Zero entries are blanks.
+        replicates: replicate count — a single int applied everywhere, or
+            one tuple per sensor with one count per concentration (so a
+            calibration can take 8 blanks but 3 replicates per standard).
+        seed: root seed for the campaign's per-cell generators; ``None``
+            draws an entropy root (irreproducible, but cells stay
+            mutually independent).
+        add_noise: include instrument + repeatability noise.
+        step_duration_s: chronoamperometric step length per cell [s].
+    """
+
+    sensors: tuple[Biosensor, ...]
+    concentrations_molar: tuple[tuple[float, ...], ...]
+    replicates: int | tuple[tuple[int, ...], ...] = 3
+    seed: int | None = None
+    add_noise: bool = True
+    step_duration_s: float = 16.0
+
+    def __post_init__(self) -> None:
+        if not self.sensors:
+            raise ValueError("plan needs at least one sensor")
+        if len(self.concentrations_molar) != len(self.sensors):
+            raise ValueError(
+                f"{len(self.sensors)} sensors but "
+                f"{len(self.concentrations_molar)} concentration grids")
+        for grid in self.concentrations_molar:
+            if not grid:
+                raise ValueError("every sensor needs at least one "
+                                 "concentration (0.0 for a blank)")
+            for c in grid:
+                if not math.isfinite(c) or c < 0:
+                    raise ValueError(
+                        f"concentrations must be finite and >= 0, got {c}")
+        if isinstance(self.replicates, int):
+            if self.replicates < 1:
+                raise ValueError("replicates must be >= 1")
+        else:
+            if len(self.replicates) != len(self.sensors):
+                raise ValueError(
+                    f"{len(self.sensors)} sensors but "
+                    f"{len(self.replicates)} replicate tuples")
+            for grid, reps in zip(self.concentrations_molar, self.replicates):
+                if len(reps) != len(grid):
+                    raise ValueError(
+                        "replicate counts must match the concentration "
+                        f"grid: {len(reps)} != {len(grid)}")
+                if any(r < 1 for r in reps):
+                    raise ValueError("replicates must be >= 1")
+        if self.step_duration_s <= 0:
+            raise ValueError("step duration must be > 0")
+
+    def replicates_for(self, sensor_index: int) -> tuple[int, ...]:
+        """Replicate count at each concentration of one sensor."""
+        if isinstance(self.replicates, int):
+            return tuple(
+                self.replicates
+                for __ in self.concentrations_molar[sensor_index])
+        return self.replicates[sensor_index]
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of simulation cells in the campaign."""
+        return sum(sum(self.replicates_for(i))
+                   for i in range(len(self.sensors)))
+
+    def cells(self) -> Iterator[CellIndex]:
+        """Enumerate every cell in canonical (seed) order."""
+        flat = 0
+        for i, grid in enumerate(self.concentrations_molar):
+            reps = self.replicates_for(i)
+            for j in range(len(grid)):
+                for k in range(reps[j]):
+                    yield CellIndex(flat=flat, sensor=i,
+                                    concentration=j, replicate=k)
+                    flat += 1
+
+    def sensor_cell_span(self, sensor_index: int) -> tuple[int, int]:
+        """Half-open range of flat cell indices belonging to one sensor."""
+        start = sum(sum(self.replicates_for(i)) for i in range(sensor_index))
+        return start, start + sum(self.replicates_for(sensor_index))
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Evaluated campaign: one signal value per cell.
+
+    Attributes:
+        plan: the campaign that produced these values.
+        values_a: nested per-sensor, per-concentration replicate arrays —
+            ``values_a[i][j]`` is the ``(n_replicates,)`` array of signals
+            [A] for sensor ``i`` at its ``j``-th concentration.
+    """
+
+    plan: BatchPlan
+    values_a: tuple[tuple[np.ndarray, ...], ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.values_a) != len(self.plan.sensors):
+            raise ValueError("one value group per sensor required")
+        for i, groups in enumerate(self.values_a):
+            reps = self.plan.replicates_for(i)
+            if len(groups) != len(reps):
+                raise ValueError(
+                    f"sensor {i}: {len(groups)} concentration groups, "
+                    f"expected {len(reps)}")
+            for j, (group, n) in enumerate(zip(groups, reps)):
+                if group.shape != (n,):
+                    raise ValueError(
+                        f"sensor {i} concentration {j}: shape "
+                        f"{group.shape}, expected ({n},)")
+
+    def replicate_values(self, sensor_index: int,
+                         concentration_index: int) -> np.ndarray:
+        """Raw replicate signals [A] for one (sensor, concentration)."""
+        return self.values_a[sensor_index][concentration_index]
+
+    def means(self, sensor_index: int) -> np.ndarray:
+        """Replicate-mean signal [A] at each concentration of a sensor."""
+        return np.array([float(np.mean(group))
+                         for group in self.values_a[sensor_index]])
+
+    def stds(self, sensor_index: int) -> np.ndarray:
+        """Replicate sample std [A] per concentration (0 for one rep)."""
+        return np.array([
+            float(np.std(group, ddof=1)) if group.size > 1 else 0.0
+            for group in self.values_a[sensor_index]])
+
+    def flat_values(self) -> np.ndarray:
+        """All cell values in canonical (seed) order, ``(n_cells,)``."""
+        return np.concatenate(
+            [group for groups in self.values_a for group in groups])

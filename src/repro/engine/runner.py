@@ -1,0 +1,55 @@
+"""Campaign execution: evaluate a :class:`BatchPlan` as array operations.
+
+`run_batch` is the engine's entry point.  It spawns one child generator
+per cell from the plan seed, walks the sensor panel, and dispatches each
+sensor's whole cell slice to the appropriate batched measurement — fully
+vectorized for amperometric readouts, per-cell (but still deterministic)
+for voltammetric ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sensor import ReadoutMode
+from repro.engine.measure import (
+    measure_amperometric_batch,
+    measure_voltammetric_batch,
+)
+from repro.engine.plan import BatchPlan, BatchResult
+from repro.rng import spawn_generators
+
+
+def run_batch(plan: BatchPlan) -> BatchResult:
+    """Evaluate every cell of a campaign.
+
+    Returns a :class:`BatchResult` holding one signal value [A] per cell.
+    Determinism contract: with a fixed ``plan.seed``, every cell value is
+    reproducible and depends only on its position in the plan's canonical
+    enumeration — never on which other cells ran alongside it.
+    """
+    rngs = (spawn_generators(plan.seed, plan.n_cells)
+            if plan.add_noise else [None] * plan.n_cells)
+    values_per_sensor: list[tuple[np.ndarray, ...]] = []
+    for i, sensor in enumerate(plan.sensors):
+        grid = plan.concentrations_molar[i]
+        reps = plan.replicates_for(i)
+        concs_per_cell = np.repeat(grid, reps)
+        start, stop = plan.sensor_cell_span(i)
+        cell_rngs = rngs[start:stop]
+        if sensor.readout is ReadoutMode.AMPEROMETRIC_STEADY_STATE:
+            values = measure_amperometric_batch(
+                sensor, concs_per_cell,
+                rngs=cell_rngs if plan.add_noise else None,
+                add_noise=plan.add_noise,
+                step_duration_s=plan.step_duration_s)
+        elif sensor.readout is ReadoutMode.VOLTAMMETRIC_PEAK:
+            values = measure_voltammetric_batch(
+                sensor, concs_per_cell,
+                rngs=cell_rngs if plan.add_noise else None,
+                add_noise=plan.add_noise)
+        else:
+            raise ValueError(f"unhandled readout mode {sensor.readout}")
+        boundaries = np.cumsum(reps)[:-1]
+        values_per_sensor.append(tuple(np.split(values, boundaries)))
+    return BatchResult(plan=plan, values_a=tuple(values_per_sensor))

@@ -19,7 +19,11 @@ from repro.instrument.tia import TransimpedanceAmplifier
 from repro.instrument.adc import SarAdc
 from repro.instrument.filters import AnalogLowPass
 from repro.instrument.potentiostat import Potentiostat
-from repro.instrument.chain import AcquisitionChain, AcquiredTrace
+from repro.instrument.chain import (
+    AcquisitionChain,
+    AcquiredTrace,
+    BatchAcquiredTrace,
+)
 from repro.instrument.multiplexer import ChannelMultiplexer
 
 __all__ = [
@@ -33,5 +37,6 @@ __all__ = [
     "Potentiostat",
     "AcquisitionChain",
     "AcquiredTrace",
+    "BatchAcquiredTrace",
     "ChannelMultiplexer",
 ]

@@ -74,10 +74,14 @@ class SarAdc:
         Returns ``(sample_times_s, reconstructed_volts)``.  The input rate
         must be an integer multiple of the ADC rate (the simulators arrange
         this); a rate mismatch raises rather than silently resampling.
+
+        Accepts a 1-D trace or a ``(n_cells, n_samples)`` batch; batches
+        decimate and convert along the last axis and share one time grid.
         """
         voltage = np.asarray(voltage, dtype=float)
-        if voltage.ndim != 1:
-            raise ValueError("voltage trace must be one-dimensional")
+        if voltage.ndim not in (1, 2):
+            raise ValueError(
+                "voltage trace must be 1-D or (n_cells, n_samples)")
         if input_rate_hz <= 0:
             raise ValueError("input rate must be > 0")
         ratio = input_rate_hz / self.sampling_rate_hz
@@ -86,8 +90,8 @@ class SarAdc:
             raise ValueError(
                 f"input rate {input_rate_hz} Hz is not an integer multiple of "
                 f"the ADC rate {self.sampling_rate_hz} Hz")
-        sampled = voltage[::decimation]
-        times = np.arange(sampled.size) * decimation / input_rate_hz
+        sampled = voltage[..., ::decimation]
+        times = np.arange(sampled.shape[-1]) * decimation / input_rate_hz
         return times, self.convert(sampled)
 
     def effective_number_of_bits(self, signal_rms_v: float,

@@ -46,6 +46,42 @@ class AcquiredTrace:
 
 
 @dataclass(frozen=True)
+class BatchAcquiredTrace:
+    """Result of digitizing a whole batch of current traces at once.
+
+    Attributes:
+        time_s: ADC sample timestamps [s], shared by every cell
+            (``(n_samples,)``).
+        current_a: reconstructed currents, ``(n_cells, n_samples)``.
+        true_current_a: noiseless inputs decimated to the same grid,
+            ``(n_cells, n_samples)``.
+    """
+
+    time_s: np.ndarray
+    current_a: np.ndarray
+    true_current_a: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.current_a.ndim != 2:
+            raise ValueError("batch currents must be (n_cells, n_samples)")
+        if self.current_a.shape != self.true_current_a.shape:
+            raise ValueError("batch trace arrays must share one shape")
+        if self.time_s.shape != (self.current_a.shape[1],):
+            raise ValueError("time grid must match the sample axis")
+
+    @property
+    def n_cells(self) -> int:
+        """Number of independent traces in the batch."""
+        return self.current_a.shape[0]
+
+    def cell(self, index: int) -> AcquiredTrace:
+        """Extract one cell as a scalar-API :class:`AcquiredTrace`."""
+        return AcquiredTrace(time_s=self.time_s,
+                             current_a=self.current_a[index],
+                             true_current_a=self.true_current_a[index])
+
+
+@dataclass(frozen=True)
 class AcquisitionChain:
     """TIA + filter + ADC readout chain.
 
@@ -101,20 +137,67 @@ class AcquisitionChain:
         The input rate must be an integer multiple of the ADC rate.
         """
         current_a = np.asarray(current_a, dtype=float)
-        voltage = self.tia.amplify(current_a, input_rate_hz, rng=rng,
+        if current_a.ndim != 1:
+            raise ValueError("current trace must be one-dimensional")
+        batch = self.acquire_batch(current_a[None, :], input_rate_hz,
+                                   rngs=rng, add_noise=add_noise)
+        return batch.cell(0)
+
+    def acquire_batch(self,
+                      current_a: np.ndarray,
+                      input_rate_hz: float,
+                      rngs: "np.random.Generator | list[np.random.Generator] | None" = None,
+                      add_noise: bool = True,
+                      true_current_a: np.ndarray | None = None,
+                      ) -> BatchAcquiredTrace:
+        """Digitize ``(n_cells, n_samples)`` true current traces at once.
+
+        Vectorized counterpart of :meth:`acquire`: the TIA, anti-alias
+        filter and ADC all operate on the whole block along the sample
+        axis, so the per-trace Python overhead of a campaign collapses
+        into a handful of array passes.
+
+        Args:
+            current_a: true currents, one row per cell.
+            input_rate_hz: analog simulation rate (integer multiple of the
+                ADC rate, as in :meth:`acquire`).
+            rngs: one generator per row (deterministic per-cell noise), a
+                single shared generator, or ``None``.
+            add_noise: disable for noiseless reference runs.
+            true_current_a: precomputed noiseless decimated rows (e.g. from
+                the engine's kernel cache); when ``None`` the clean path is
+                recomputed here exactly as :meth:`acquire` does.
+        """
+        current_a = np.asarray(current_a, dtype=float)
+        if current_a.ndim != 2:
+            raise ValueError("batch input must be (n_cells, n_samples)")
+        voltage = self.tia.amplify(current_a, input_rate_hz, rng=rngs,
                                    add_noise=add_noise)
         if self.antialias is not None:
             voltage = self.antialias.apply(voltage, input_rate_hz)
         times, reconstructed_v = self.adc.sample_trace(voltage, input_rate_hz)
         measured = reconstructed_v / self.tia.gain_v_per_a
 
-        clean_v = self.tia.amplify(current_a, input_rate_hz, add_noise=False)
-        if self.antialias is not None:
-            clean_v = self.antialias.apply(clean_v, input_rate_hz)
-        __, clean_sampled = self.adc.sample_trace(clean_v, input_rate_hz)
-        true_current = clean_sampled / self.tia.gain_v_per_a
-        return AcquiredTrace(time_s=times, current_a=measured,
-                             true_current_a=true_current)
+        if true_current_a is None:
+            if not add_noise:
+                # The noisy path just ran noise-free: it IS the clean path.
+                true_current_a = measured
+            else:
+                clean_v = self.tia.amplify(current_a, input_rate_hz,
+                                           add_noise=False)
+                if self.antialias is not None:
+                    clean_v = self.antialias.apply(clean_v, input_rate_hz)
+                __, clean_sampled = self.adc.sample_trace(
+                    clean_v, input_rate_hz)
+                true_current_a = clean_sampled / self.tia.gain_v_per_a
+        else:
+            true_current_a = np.asarray(true_current_a, dtype=float)
+            if true_current_a.shape != measured.shape:
+                raise ValueError(
+                    f"precomputed clean rows {true_current_a.shape} do not "
+                    f"match the acquired shape {measured.shape}")
+        return BatchAcquiredTrace(time_s=times, current_a=measured,
+                                  true_current_a=true_current_a)
 
     def input_referred_noise_rms(self, f_low_hz: float = 0.01) -> float:
         """Total input-referred noise RMS [A] of the chain.

@@ -9,9 +9,21 @@ zero-phase form is available for offline re-analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy.signal import butter, sosfilt, sosfiltfilt
+
+
+@lru_cache(maxsize=128)
+def _butter_sos(order: int, normalized_cutoff: float) -> np.ndarray:
+    """Design (and memoize) a Butterworth section cascade.
+
+    The design is pure function of (order, cutoff/Nyquist); acquisition
+    chains redo it for every trace, which dominates short-trace filtering,
+    so the cascade is cached process-wide.
+    """
+    return butter(order, normalized_cutoff, output="sos")
 
 
 @dataclass(frozen=True)
@@ -38,14 +50,20 @@ class AnalogLowPass:
             raise ValueError(
                 f"cutoff {self.cutoff_hz} Hz must be below Nyquist "
                 f"{nyquist} Hz at fs = {sampling_rate_hz} Hz")
-        return butter(self.order, self.cutoff_hz / nyquist, output="sos")
+        # Copy: scipy's sosfilt kernel requires a writable buffer, and the
+        # cached design is shared between every chain in the process.
+        return _butter_sos(self.order, self.cutoff_hz / nyquist).copy()
 
     def apply(self, x: np.ndarray, sampling_rate_hz: float) -> np.ndarray:
-        """Causal filtering (what the analog chain does in real time)."""
+        """Causal filtering (what the analog chain does in real time).
+
+        Filters along the last axis: a 1-D trace or a ``(n_cells,
+        n_samples)`` batch both work, the batch in one vectorized pass.
+        """
         x = np.asarray(x, dtype=float)
         if sampling_rate_hz <= 0:
             raise ValueError("sampling rate must be > 0")
-        return sosfilt(self._sos(sampling_rate_hz), x)
+        return sosfilt(self._sos(sampling_rate_hz), x, axis=-1)
 
     def apply_zero_phase(self, x: np.ndarray,
                          sampling_rate_hz: float) -> np.ndarray:
@@ -53,7 +71,7 @@ class AnalogLowPass:
         x = np.asarray(x, dtype=float)
         if sampling_rate_hz <= 0:
             raise ValueError("sampling rate must be > 0")
-        return sosfiltfilt(self._sos(sampling_rate_hz), x)
+        return sosfiltfilt(self._sos(sampling_rate_hz), x, axis=-1)
 
     def noise_bandwidth_hz(self) -> float:
         """Equivalent noise bandwidth [Hz] of the Butterworth response.

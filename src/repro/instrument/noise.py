@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import BOLTZMANN, ELEMENTARY_CHARGE, STANDARD_TEMPERATURE
+from repro.rng import get_rng
 
 
 def thermal_current_noise_density(resistance_ohm: float,
@@ -113,17 +114,64 @@ class NoiseModel:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
         if sampling_rate_hz <= 0:
             raise ValueError("sampling rate must be > 0")
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = get_rng(rng)
         sigma_white = self.white_density_a_rthz * math.sqrt(sampling_rate_hz / 2.0)
         white = rng.normal(0.0, sigma_white, n_samples) if sigma_white > 0 \
             else np.zeros(n_samples)
         if self.flicker_corner_hz == 0.0 or sigma_white == 0.0:
             return white
-        spectrum = np.fft.rfft(white)
+        return self._shape_flicker(white, sampling_rate_hz)
+
+    def sample_batch(self,
+                     n_rows: int,
+                     n_samples: int,
+                     sampling_rate_hz: float,
+                     rngs: "np.random.Generator | list[np.random.Generator] | None" = None,
+                     ) -> np.ndarray:
+        """Synthesize ``(n_rows, n_samples)`` of noise, one row per cell [A].
+
+        Rows are statistically independent.  ``rngs`` is either one
+        generator (rows drawn consecutively from it) or a sequence of
+        ``n_rows`` generators, one per row — the latter is what the batch
+        engine uses so every cell replays deterministically regardless of
+        how a campaign is grouped.  The white draws happen per row but the
+        1/f spectral shaping runs vectorized over the whole block.
+        """
+        if n_rows < 1:
+            raise ValueError(f"n_rows must be >= 1, got {n_rows}")
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        if sampling_rate_hz <= 0:
+            raise ValueError("sampling rate must be > 0")
+        sigma_white = self.white_density_a_rthz * math.sqrt(sampling_rate_hz / 2.0)
+        if sigma_white == 0.0:
+            return np.zeros((n_rows, n_samples))
+        if rngs is None:
+            rngs = get_rng()
+        if isinstance(rngs, np.random.Generator):
+            white = rngs.normal(0.0, sigma_white, (n_rows, n_samples))
+        else:
+            if len(rngs) != n_rows:
+                raise ValueError(
+                    f"need one generator per row: {len(rngs)} != {n_rows}")
+            white = np.stack([rng.normal(0.0, sigma_white, n_samples)
+                              for rng in rngs])
+        if self.flicker_corner_hz == 0.0:
+            return white
+        return self._shape_flicker(white, sampling_rate_hz)
+
+    def _shape_flicker(self, white: np.ndarray,
+                       sampling_rate_hz: float) -> np.ndarray:
+        """Shape white rows so the PSD follows ``S_w^2 (1 + fc/f)``.
+
+        Operates along the last axis, so one call serves both the scalar
+        trace and a whole ``(n_rows, n_samples)`` batch.
+        """
+        n_samples = white.shape[-1]
+        spectrum = np.fft.rfft(white, axis=-1)
         freqs = np.fft.rfftfreq(n_samples, d=1.0 / sampling_rate_hz)
         shaping = np.ones_like(freqs)
         nonzero = freqs > 0
         shaping[nonzero] = np.sqrt(1.0 + self.flicker_corner_hz / freqs[nonzero])
         shaping[0] = 0.0  # no DC noise power (offset handled separately)
-        return np.fft.irfft(spectrum * shaping, n=n_samples)
+        return np.fft.irfft(spectrum * shaping, n=n_samples, axis=-1)

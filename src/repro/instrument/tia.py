@@ -62,28 +62,45 @@ class TransimpedanceAmplifier:
     def amplify(self,
                 current_a: np.ndarray,
                 sampling_rate_hz: float,
-                rng: np.random.Generator | None = None,
+                rng: "np.random.Generator | list[np.random.Generator] | None" = None,
                 add_noise: bool = True) -> np.ndarray:
         """Convert a current trace to the output voltage trace [V].
 
         Applies (in order): offset addition, input-referred noise, the
         single-pole low-pass response, and rail clipping.
+
+        Accepts a 1-D trace or a ``(n_cells, n_samples)`` batch; batches
+        are processed vectorized along the last axis.  For a batch, ``rng``
+        may be a sequence of per-row generators (deterministic per-cell
+        noise) or a single generator shared across rows.
         """
         current_a = np.asarray(current_a, dtype=float)
-        if current_a.ndim != 1:
-            raise ValueError("current trace must be one-dimensional")
+        if current_a.ndim not in (1, 2):
+            raise ValueError(
+                "current trace must be 1-D or (n_cells, n_samples)")
         if sampling_rate_hz <= 0:
             raise ValueError("sampling rate must be > 0")
         signal = current_a + self.offset_current_a
         if add_noise:
-            signal = signal + self.noise.sample(
-                signal.size, sampling_rate_hz, rng)
+            if signal.ndim == 1:
+                if not (rng is None or isinstance(rng, np.random.Generator)):
+                    raise ValueError(
+                        "per-row generator sequences require a 2-D batch")
+                signal = signal + self.noise.sample(
+                    signal.size, sampling_rate_hz, rng)
+            else:
+                signal = signal + self.noise.sample_batch(
+                    signal.shape[0], signal.shape[1], sampling_rate_hz, rng)
         filtered = self._single_pole(signal, sampling_rate_hz)
         voltage = self.gain_v_per_a * filtered
         return np.clip(voltage, -self.rail_v, self.rail_v)
 
     def _single_pole(self, x: np.ndarray, sampling_rate_hz: float) -> np.ndarray:
-        """Causal single-pole low-pass at the amplifier bandwidth."""
+        """Causal single-pole low-pass at the amplifier bandwidth.
+
+        Filters along the last axis, so 1-D traces and 2-D batches share
+        one code path (and one set of filter coefficients).
+        """
         from scipy.signal import lfilter
 
         alpha = 1.0 - math.exp(-2.0 * math.pi * self.bandwidth_hz
@@ -94,8 +111,8 @@ class TransimpedanceAmplifier:
         a = [1.0, -(1.0 - alpha)]
         # Start the filter settled at the first sample to avoid a synthetic
         # turn-on transient.
-        zi = [(1.0 - alpha) * x[0]]
-        y, __ = lfilter(b, a, x, zi=zi)
+        zi = (1.0 - alpha) * x[..., :1]
+        y, __ = lfilter(b, a, x, axis=-1, zi=zi)
         return y
 
     def input_referred_rms(self, f_low_hz: float = 0.01,

@@ -20,6 +20,7 @@ from repro.signal.peaks import PeakMeasurement, measure_peak, find_peak_index
 from repro.signal.steady_state import (
     SteadyStateResult,
     extract_steady_state,
+    extract_steady_state_batch,
     rise_time,
 )
 from repro.signal.drift import estimate_drift_rate, correct_linear_drift
@@ -41,6 +42,7 @@ __all__ = [
     "find_peak_index",
     "SteadyStateResult",
     "extract_steady_state",
+    "extract_steady_state_batch",
     "rise_time",
     "estimate_drift_rate",
     "correct_linear_drift",

@@ -68,6 +68,37 @@ def extract_steady_state(time_s: np.ndarray,
                              residual_slope_per_s=slope, settled=settled)
 
 
+def extract_steady_state_batch(time_s: np.ndarray,
+                               current_a: np.ndarray,
+                               tail_fraction: float = 0.25) -> np.ndarray:
+    """Vectorized plateau extraction over a batch of step records.
+
+    Args:
+        time_s: shared sample timestamps, shape ``(n_samples,)``.
+        current_a: batch of records, shape ``(n_cells, n_samples)``.
+        tail_fraction: portion of each record treated as plateau.
+
+    Returns:
+        Plateau estimates [A], shape ``(n_cells,)``.  Each entry equals
+        the ``value`` :func:`extract_steady_state` reports for the same
+        row (same tail-length rule, same mean), without the per-record
+        settledness diagnostic — batch callers that need the diagnostic
+        re-analyze the flagged rows individually.
+    """
+    time_s = np.asarray(time_s, dtype=float)
+    current_a = np.asarray(current_a, dtype=float)
+    if current_a.ndim != 2:
+        raise ValueError("batch records must be (n_cells, n_samples)")
+    if time_s.shape != (current_a.shape[1],):
+        raise ValueError("time grid must match the sample axis")
+    if time_s.size < 4:
+        raise ValueError("record too short for steady-state extraction")
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError(f"tail fraction must be in (0, 1], got {tail_fraction}")
+    n_tail = max(2, int(round(time_s.size * tail_fraction)))
+    return np.mean(current_a[:, -n_tail:], axis=1)
+
+
 def rise_time(time_s: np.ndarray,
               current_a: np.ndarray,
               low: float = 0.1,

@@ -9,7 +9,7 @@ complete, interface-consistent, power-feasible system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.system.blocks import BlockKind, SystemBlock, STANDARD_BLOCKS
 

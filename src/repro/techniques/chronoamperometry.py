@@ -108,6 +108,54 @@ class Chronoamperometry:
             },
         )
 
+    def simulate_step_batch(self,
+                            plateaus_a: np.ndarray,
+                            duration_s: float,
+                            response_time_s: float,
+                            initial_currents_a: np.ndarray | float = 0.0,
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """Simulate many concentration steps at once, vectorized.
+
+        The workhorse of the batch engine: every cell of a calibration
+        campaign shares the same time grid and relaxation kernel, so the
+        whole panel reduces to one outer product instead of one
+        :meth:`simulate_step` call per cell.
+
+        Args:
+            plateaus_a: steady-state plateau current per cell [A], shape
+                ``(n_cells,)`` — the raw ``steady_state_current(c)``
+                output, exactly what :meth:`simulate_step` computes from
+                its callable.  Do NOT pre-add this protocol's
+                ``background_current_a``; it is applied here, as in
+                :meth:`simulate_step`.
+            duration_s: shared step duration [s].
+            response_time_s: shared first-order response time [s].
+            initial_currents_a: starting current per cell (scalar or
+                ``(n_cells,)``).
+
+        Returns:
+            ``(time_s, current_a)`` with shapes ``(n_samples,)`` and
+            ``(n_cells, n_samples)``.  Matches the scalar
+            :meth:`simulate_step` row-by-row (no double-layer spike, no
+            conditioning — the single-point protocol's configuration).
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be > 0")
+        if response_time_s <= 0:
+            raise ValueError("response time must be > 0")
+        plateaus = np.atleast_1d(np.asarray(plateaus_a, dtype=float))
+        if plateaus.ndim != 1:
+            raise ValueError("plateaus must be a 1-D array of cells")
+        initial = np.broadcast_to(
+            np.asarray(initial_currents_a, dtype=float), plateaus.shape)
+        wave = self.waveform(duration_s)
+        relaxation = np.exp(-wave.time_s / response_time_s)
+        current = (plateaus[:, None]
+                   + (initial - plateaus)[:, None] * relaxation[None, :])
+        if self.background_current_a != 0.0:
+            current = current + self.background_current_a
+        return wave.time_s, current
+
     def simulate_additions(self,
                            steady_state_current: Callable[[float], float],
                            concentrations_molar: list[float],

@@ -1,6 +1,5 @@
 """Tests for repro.classification (taxonomy + literature survey)."""
 
-import pytest
 
 from repro.classification.literature import (
     LITERATURE_SENSORS,

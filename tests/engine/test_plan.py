@@ -1,0 +1,106 @@
+"""Tests for repro.engine.plan: campaign description and validation."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchPlan, BatchResult
+
+
+def make_plan(glucose_sensor, **overrides):
+    kwargs = dict(
+        sensors=(glucose_sensor,),
+        concentrations_molar=((0.0, 1e-4, 5e-4),),
+        replicates=2,
+        seed=1,
+    )
+    kwargs.update(overrides)
+    return BatchPlan(**kwargs)
+
+
+class TestBatchPlanValidation:
+    def test_accepts_well_formed(self, glucose_sensor):
+        plan = make_plan(glucose_sensor)
+        assert plan.n_cells == 6
+
+    def test_rejects_empty_sensor_panel(self):
+        with pytest.raises(ValueError, match="at least one sensor"):
+            BatchPlan(sensors=(), concentrations_molar=())
+
+    def test_rejects_grid_count_mismatch(self, glucose_sensor):
+        with pytest.raises(ValueError, match="concentration grids"):
+            make_plan(glucose_sensor,
+                      concentrations_molar=((0.0,), (1e-4,)))
+
+    def test_rejects_empty_grid(self, glucose_sensor):
+        with pytest.raises(ValueError, match="at least one"):
+            make_plan(glucose_sensor, concentrations_molar=((),))
+
+    def test_rejects_negative_concentration(self, glucose_sensor):
+        with pytest.raises(ValueError, match=">= 0"):
+            make_plan(glucose_sensor, concentrations_molar=((-1e-4,),))
+
+    def test_rejects_non_finite_concentration(self, glucose_sensor):
+        with pytest.raises(ValueError, match="finite"):
+            make_plan(glucose_sensor,
+                      concentrations_molar=((float("nan"),),))
+
+    def test_rejects_zero_replicates(self, glucose_sensor):
+        with pytest.raises(ValueError, match="replicates"):
+            make_plan(glucose_sensor, replicates=0)
+
+    def test_rejects_replicate_tuple_mismatch(self, glucose_sensor):
+        with pytest.raises(ValueError, match="replicate"):
+            make_plan(glucose_sensor, replicates=((2, 2),))
+
+    def test_rejects_non_positive_duration(self, glucose_sensor):
+        with pytest.raises(ValueError, match="duration"):
+            make_plan(glucose_sensor, step_duration_s=0.0)
+
+
+class TestCellEnumeration:
+    def test_canonical_order(self, glucose_sensor):
+        plan = make_plan(glucose_sensor, replicates=((3, 1, 2),))
+        cells = list(plan.cells())
+        assert [c.flat for c in cells] == list(range(6))
+        assert [c.concentration for c in cells] == [0, 0, 0, 1, 2, 2]
+        assert [c.replicate for c in cells] == [0, 1, 2, 0, 0, 1]
+
+    def test_sensor_cell_span(self, glucose_sensor, glutamate_sensor):
+        plan = BatchPlan(
+            sensors=(glucose_sensor, glutamate_sensor),
+            concentrations_molar=((0.0, 1e-4), (0.0, 1e-3, 2e-3)),
+            replicates=2, seed=0)
+        assert plan.sensor_cell_span(0) == (0, 4)
+        assert plan.sensor_cell_span(1) == (4, 10)
+        assert plan.n_cells == 10
+
+    def test_per_sensor_replicates(self, glucose_sensor):
+        plan = make_plan(glucose_sensor, replicates=((5, 3, 3),))
+        assert plan.replicates_for(0) == (5, 3, 3)
+        assert plan.n_cells == 11
+
+
+class TestBatchResult:
+    def test_accessors(self, glucose_sensor):
+        plan = make_plan(glucose_sensor, replicates=((3, 2, 2),))
+        values = ((np.array([1.0, 2.0, 3.0]),
+                   np.array([4.0, 6.0]),
+                   np.array([8.0, 8.0])),)
+        result = BatchResult(plan=plan, values_a=values)
+        np.testing.assert_allclose(result.means(0), [2.0, 5.0, 8.0])
+        np.testing.assert_allclose(result.stds(0),
+                                   [1.0, np.sqrt(2.0), 0.0])
+        np.testing.assert_allclose(result.flat_values(),
+                                   [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 8.0])
+        np.testing.assert_allclose(result.replicate_values(0, 1), [4.0, 6.0])
+
+    def test_rejects_wrong_group_count(self, glucose_sensor):
+        plan = make_plan(glucose_sensor)
+        with pytest.raises(ValueError, match="concentration groups"):
+            BatchResult(plan=plan, values_a=((np.zeros(2),),))
+
+    def test_rejects_wrong_replicate_shape(self, glucose_sensor):
+        plan = make_plan(glucose_sensor)
+        with pytest.raises(ValueError, match="shape"):
+            BatchResult(plan=plan, values_a=(
+                (np.zeros(2), np.zeros(3), np.zeros(2)),))

@@ -1,0 +1,202 @@
+"""Tests for the batch runner: equivalence, determinism, kernel cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import (
+    measure_amperometric_point,
+    measure_point,
+    measure_voltammetric_point,
+)
+from repro.engine import (
+    BatchPlan,
+    kernels,
+    measure_amperometric_batch,
+    measure_voltammetric_batch,
+    run_batch,
+)
+from repro.rng import spawn_generators
+
+GRID = (0.0, 1e-4, 3e-4, 5e-4, 1e-3)
+
+
+def reference_amperometric_point(sensor, concentration, rng=None,
+                                 add_noise=True, step_duration_s=16.0):
+    """The historical scalar pipeline, composed from primitives that do
+    NOT route through the engine (``simulate_step`` + ``chain.acquire``
+    + ``extract_steady_state``).  ``measure_amperometric_point`` is now a
+    thin wrapper over the batch path, so comparing against *it* would be
+    circular; this reference keeps the equivalence tests honest."""
+    from repro.signal.steady_state import extract_steady_state
+
+    record = sensor.ca_protocol.simulate_step(
+        sensor.steady_state_current, concentration,
+        duration_s=step_duration_s,
+        response_time_s=sensor.response_time_s)
+    acquired = sensor.chain.acquire(
+        record.current_a, record.sampling_rate_hz, rng=rng,
+        add_noise=add_noise)
+    value = extract_steady_state(acquired.time_s, acquired.current_a).value
+    if add_noise and sensor.repeatability_std_a > 0:
+        value += float(rng.normal(0.0, sensor.repeatability_std_a))
+    return value
+
+
+class TestNoiselessEquivalence:
+    """Batch and scalar noiseless paths must agree to 1e-12."""
+
+    def test_amperometric_vs_independent_reference(self, glucose_sensor):
+        concs = np.array(GRID)
+        batch = measure_amperometric_batch(glucose_sensor, concs,
+                                           add_noise=False)
+        reference = np.array([
+            reference_amperometric_point(glucose_sensor, c, add_noise=False)
+            for c in concs])
+        np.testing.assert_allclose(batch, reference, rtol=1e-12, atol=0.0)
+
+    def test_scalar_wrapper_matches_reference(self, glucose_sensor):
+        """The public scalar API (engine-backed wrapper) must still
+        report what the historical pipeline reported."""
+        for c in GRID:
+            wrapper = measure_amperometric_point(glucose_sensor, c,
+                                                 add_noise=False)
+            reference = reference_amperometric_point(glucose_sensor, c,
+                                                     add_noise=False)
+            assert wrapper == pytest.approx(reference, rel=1e-12)
+
+    def test_voltammetric(self, cp_sensor):
+        concs = np.array([0.0, 5e-6, 20e-6])
+        batch = measure_voltammetric_batch(cp_sensor, concs,
+                                           add_noise=False)
+        scalar = np.array([
+            measure_voltammetric_point(cp_sensor, c, add_noise=False)
+            for c in concs])
+        np.testing.assert_allclose(batch, scalar, rtol=1e-12, atol=0.0)
+
+    def test_run_batch_mixed_panel(self, glucose_sensor, cp_sensor):
+        plan = BatchPlan(
+            sensors=(glucose_sensor, cp_sensor),
+            concentrations_molar=(GRID, (0.0, 5e-6, 20e-6)),
+            replicates=2, seed=3, add_noise=False)
+        result = run_batch(plan)
+        for i, sensor in enumerate(plan.sensors):
+            for j, concentration in enumerate(plan.concentrations_molar[i]):
+                expected = measure_point(sensor, concentration,
+                                         add_noise=False)
+                np.testing.assert_allclose(
+                    result.replicate_values(i, j),
+                    np.full(2, expected), rtol=1e-12, atol=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_replays_bit_for_bit(self, glucose_sensor):
+        plan = BatchPlan(sensors=(glucose_sensor,),
+                         concentrations_molar=(GRID,),
+                         replicates=3, seed=99)
+        a = run_batch(plan).flat_values()
+        b = run_batch(plan).flat_values()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, glucose_sensor):
+        plan_a = BatchPlan(sensors=(glucose_sensor,),
+                           concentrations_molar=(GRID,),
+                           replicates=3, seed=1)
+        plan_b = BatchPlan(sensors=(glucose_sensor,),
+                           concentrations_molar=(GRID,),
+                           replicates=3, seed=2)
+        assert not np.array_equal(run_batch(plan_a).flat_values(),
+                                  run_batch(plan_b).flat_values())
+
+    def test_matches_scalar_loop_with_spawned_generators(self,
+                                                         glucose_sensor):
+        """Vectorization must not change the physics OR the randomness:
+        the batch equals the historical scalar pipeline driven by the
+        same per-cell spawned generators, bit for bit."""
+        plan = BatchPlan(sensors=(glucose_sensor,),
+                         concentrations_molar=(GRID,),
+                         replicates=2, seed=2024)
+        batch = run_batch(plan).flat_values()
+        rngs = spawn_generators(2024, plan.n_cells)
+        scalar = np.array([
+            reference_amperometric_point(
+                glucose_sensor,
+                plan.concentrations_molar[0][cell.concentration],
+                rngs[cell.flat])
+            for cell in plan.cells()])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_replicates_are_independent(self, glucose_sensor):
+        plan = BatchPlan(sensors=(glucose_sensor,),
+                         concentrations_molar=((5e-4,),),
+                         replicates=6, seed=5)
+        replicates = run_batch(plan).replicate_values(0, 0)
+        assert np.unique(replicates).size == replicates.size
+
+
+class TestBatchMeasureValidation:
+    def test_rejects_negative_concentration(self, glucose_sensor):
+        with pytest.raises(ValueError, match=">= 0"):
+            measure_amperometric_batch(glucose_sensor,
+                                       np.array([1e-4, -1e-4]))
+
+    def test_rejects_two_dimensional_grid(self, glucose_sensor):
+        with pytest.raises(ValueError, match="1-D"):
+            measure_amperometric_batch(glucose_sensor, np.zeros((2, 2)))
+
+    def test_rejects_empty_cells(self, glucose_sensor):
+        with pytest.raises(ValueError, match="at least one cell"):
+            measure_amperometric_batch(glucose_sensor, np.array([]))
+
+    def test_rejects_mismatched_generator_count(self, glucose_sensor):
+        rngs = spawn_generators(0, 3)
+        with pytest.raises(ValueError, match="one generator per cell"):
+            measure_amperometric_batch(glucose_sensor,
+                                       np.array([0.0, 1e-4]), rngs=rngs)
+
+    def test_rejects_mismatched_generators_noiseless_too(self,
+                                                         glucose_sensor):
+        """Campaign wiring errors must surface even in noiseless
+        debugging runs, not only once noise is switched on."""
+        rngs = spawn_generators(0, 3)
+        with pytest.raises(ValueError, match="one generator per cell"):
+            measure_amperometric_batch(glucose_sensor,
+                                       np.array([0.0, 1e-4]), rngs=rngs,
+                                       add_noise=False)
+
+
+class TestKernelCache:
+    def test_repeated_cells_hit_cache(self, glucose_sensor):
+        kernels.clear_caches()
+        concs = np.array(GRID)
+        first = measure_amperometric_batch(glucose_sensor, concs,
+                                           add_noise=False)
+        second = measure_amperometric_batch(glucose_sensor, concs,
+                                            add_noise=False)
+        info = kernels.cache_info()
+        assert info["clean_rows"].hits >= 1
+        assert info["clean_plateaus"].hits >= 1
+        np.testing.assert_array_equal(first, second)
+
+    def test_cached_arrays_are_read_only(self, glucose_sensor):
+        kernels.clear_caches()
+        measure_amperometric_batch(glucose_sensor, np.array([1e-4]),
+                                   add_noise=False)
+        times, rows = kernels.amperometric_clean_rows(
+            glucose_sensor.chain, glucose_sensor.ca_protocol,
+            glucose_sensor.response_time_s, 16.0,
+            (float(glucose_sensor.steady_state_current(1e-4)),))
+        assert not times.flags.writeable
+        assert not rows.flags.writeable
+        with pytest.raises(ValueError):
+            rows[0, 0] = 0.0
+
+    def test_noiseless_values_returned_writable(self, glucose_sensor):
+        """The public API hands out copies, not the cache's arrays."""
+        values = measure_amperometric_batch(glucose_sensor,
+                                            np.array([1e-4, 1e-4]),
+                                            add_noise=False)
+        values[0] = -1.0  # must not raise, and must not poison the cache
+        again = measure_amperometric_batch(glucose_sensor,
+                                           np.array([1e-4, 1e-4]),
+                                           add_noise=False)
+        assert again[0] != -1.0

@@ -60,9 +60,18 @@ class TestTia:
         noisy = tia.amplify(np.zeros(1000), 100.0, rng=rng)
         assert np.std(noisy) > 0
 
-    def test_rejects_two_dimensional_input(self):
+    def test_accepts_batch_rows_matching_scalar(self):
+        tia = quiet_tia()
+        rows = np.vstack([np.linspace(0.0, 1e-6, 50),
+                          np.linspace(1e-6, 0.0, 50)])
+        batched = tia.amplify(rows, 100.0, add_noise=False)
+        for row, trace in zip(batched, rows):
+            np.testing.assert_allclose(
+                row, tia.amplify(trace, 100.0, add_noise=False))
+
+    def test_rejects_three_dimensional_input(self):
         with pytest.raises(ValueError):
-            quiet_tia().amplify(np.zeros((10, 10)), 100.0)
+            quiet_tia().amplify(np.zeros((2, 10, 10)), 100.0)
 
 
 class TestAdc:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.calibration import default_protocol_for_range, run_calibration
-from repro.core.registry import build_sensor, spec_by_id, specs_by_group
+from repro.core.registry import build_sensor, specs_by_group
 from repro.core.validation import ranking_matches, within_factor
 from repro.experiments.table2 import run_table2
 from repro.units import molar_from_millimolar
