@@ -1,84 +1,99 @@
-"""Week-long wearable monitoring: drift, recalibration, battery.
+"""Week-long wearable monitoring of a patient cohort: drift,
+recalibration, battery.
 
-The chronic-patient scenario of the paper's introduction, end to end: a
-glucose channel worn at body temperature in a serum-like matrix drifts
-(enzyme decay + fouling); the drift budget schedules recalibrations to
-hold a 10 % clinical error bound; the energy model checks the battery
-survives the duty cycle.
+The chronic-patient scenario of the paper's introduction, end to end —
+now as a *cohort* through the streaming monitor engine
+(:mod:`repro.engine.monitor`): eight wearers of the glucose channel at
+body temperature in a serum-like matrix drift (enzyme decay + fouling +
+baseline wander) while their glucose follows circadian/meal
+trajectories; periodic finger-stick references trigger one-point
+recalibrations; the result reports per-patient MARD and time-in-spec.
+The drift budget's analytic schedule and the energy model round out the
+deployment picture.
 
 Run:  python examples/longterm_monitoring.py
 """
 
-import numpy as np
-
 from repro.bio.matrix import SERUM
-from repro.core.calibration import default_protocol_for_range, run_calibration
-from repro.core.longterm import (
-    DriftBudget,
-    drift_corrected_estimate,
-    one_point_recalibration,
+from repro.core.longterm import DriftBudget
+from repro.engine.monitor import (
+    MonitorPlan,
+    RecalibrationPolicy,
+    glucose_cohort,
+    run_monitor,
 )
-from repro.core.registry import build_sensor, spec_by_id
 from repro.enzymes.stability import EnzymeStability
 from repro.system.composition import reference_biosensor_node
 from repro.system.energy import EnergyBudget
 
 WEEK_S = 7 * 24 * 3600.0
+WEEK_H = 7 * 24.0
 
 
 def main() -> None:
-    rng = np.random.default_rng(23)
-    sensor = build_sensor(spec_by_id("glucose/this-work"))
-    calibration = run_calibration(
-        sensor, default_protocol_for_range(1e-3), rng)
-    print("Day-0 calibration:", calibration.summary())
-
+    # ------------------------------------------------------------------
+    # Analytic drift budget: when does a 10 % error bound force a recal?
+    # ------------------------------------------------------------------
     budget = DriftBudget(
         stability=EnzymeStability(half_life_s=2 * WEEK_S),
         matrix=SERUM)
     deadline_h = budget.hours_to_error(0.10)
-    schedule = budget.recalibration_schedule(7 * 24.0, 0.10)
-    print(f"\nDrift budget: 10 % error reached after {deadline_h:.0f} h; "
-          f"recalibrations over one week at "
-          f"{', '.join(f'{t:.0f} h' for t in schedule)}")
+    schedule = budget.recalibration_schedule(WEEK_H, 0.10)
+    print(f"Drift budget: 10 % error reached after {deadline_h:.0f} h; "
+          f"{len(schedule)} recalibrations needed over one week")
 
-    # Simulate a week of 4-hourly readings at a constant true 0.6 mM.
-    true_c = 0.6e-3
-    hours = np.arange(0.0, 7 * 24.0, 4.0)
-    slope = calibration.slope_a_per_molar
-    print("\nWeek of readings (true level 0.600 mM):")
-    print(f"{'t [h]':>6} {'retention':>10} {'naive [mM]':>11} "
-          f"{'corrected [mM]':>15}")
-    for hour in hours[:: 6]:
-        retention = budget.sensitivity_retention(float(hour))
-        signal = (slope * retention * true_c
-                  + rng.normal(0.0, sensor.repeatability_std_a))
-        naive = max(0.0, (signal - calibration.intercept_a) / slope)
-        corrected = drift_corrected_estimate(
-            signal, slope, calibration.intercept_a, retention)
-        print(f"{hour:6.0f} {retention:10.3f} {naive * 1e3:11.3f} "
-              f"{corrected * 1e3:15.3f}")
+    # ------------------------------------------------------------------
+    # Stream the cohort through a week of wear, 5-minute cadence.
+    # ------------------------------------------------------------------
+    channels = glucose_cohort(n_patients=8)
+    plan = MonitorPlan(
+        channels=channels,
+        duration_h=WEEK_H,
+        sample_period_s=300.0,
+        seed=42,
+        recalibration=RecalibrationPolicy(
+            reference_interval_h=6.0, tolerance=0.08),
+    )
+    result = run_monitor(plan)
+    print(f"\n{result.summary()}")
 
-    # One-point recalibration against a finger-stick reference at day 3.
-    hour = 72.0
-    retention = budget.sensitivity_retention(hour)
-    reference_c = 0.5e-3
-    signal = (slope * retention * reference_c
-              + rng.normal(0.0, sensor.repeatability_std_a))
-    new_slope = one_point_recalibration(
-        slope, reference_c, signal, calibration.intercept_a)
-    print(f"\nDay-3 one-point recalibration: slope "
-          f"{slope * 1e6:.2f} -> {new_slope * 1e6:.2f} uA/M "
-          f"(true decayed slope {slope * retention * 1e6:.2f})")
+    # The same cohort open-loop: what recalibration is worth.
+    open_loop = run_monitor(MonitorPlan(
+        channels=channels,
+        duration_h=WEEK_H,
+        sample_period_s=300.0,
+        seed=42,
+        recalibration=RecalibrationPolicy(enabled=False),
+        keep_traces=False,
+    ))
+    print(f"\nWithout recalibration the cohort MARD would be "
+          f"{float(open_loop.mard.mean()) * 100:.1f} % "
+          f"(vs {float(result.mard.mean()) * 100:.1f} % with the "
+          f"6-hourly finger-stick policy).")
 
-    # Energy: does a 100 mAh cell survive the week?
+    # One patient's morning, as the wearer would see it.
+    hours = result.time_h
+    mask = (hours >= 24.0) & (hours <= 30.0)
+    print("\npatient-000, day 2, 06:00-12:00 window (hourly):")
+    print(f"{'t [h]':>6} {'true [mM]':>10} {'estimated [mM]':>15}")
+    step = max(1, int(3600.0 / plan.sample_period_s))
+    for idx in range(0, hours.size, step):
+        if not mask[idx]:
+            continue
+        print(f"{hours[idx]:6.0f} "
+              f"{result.true_concentration_molar[0, idx] * 1e3:10.2f} "
+              f"{result.estimated_concentration_molar[0, idx] * 1e3:15.2f}")
+
+    # ------------------------------------------------------------------
+    # Energy: does a 100 mAh cell survive the week at this cadence?
+    # ------------------------------------------------------------------
     energy = EnergyBudget(design=reference_biosensor_node())
-    rate_per_hour = 1.0 / 4.0
+    rate_per_hour = 3600.0 / plan.sample_period_s
     life_days = energy.battery_life_days(100.0, rate_per_hour)
     print(f"\nEnergy: {energy.energy_per_measurement_mj():.0f} mJ per panel; "
-          f"4-hourly duty cycle -> average "
+          f"{plan.sample_period_s / 60:.0f}-minute duty cycle -> average "
           f"{energy.average_power_mw(rate_per_hour) * 1e3:.0f} uW; "
-          f"100 mAh cell lasts {life_days:.0f} days "
+          f"100 mAh cell lasts {life_days:.1f} days "
           f"({'OK' if life_days > 7 else 'INSUFFICIENT'} for the week)")
 
 

@@ -21,8 +21,9 @@ Quickstart::
     result = run_calibration(sensor, protocol)
     print(result.summary())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+The rendered documentation site (``mkdocs serve``; ``docs/`` +
+``mkdocs.yml``) carries the API reference, the continuous-monitoring
+guide and the paper-to-module map.
 """
 
 __version__ = "1.0.0"

@@ -15,6 +15,7 @@ from repro.analytes.catalog import (
 )
 from repro.analytes.physiological import (
     PhysiologicalRange,
+    ConcentrationTrajectory,
     physiological_range,
     covers_physiological_range,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "ALL_ANALYTES",
     "analyte_by_name",
     "PhysiologicalRange",
+    "ConcentrationTrajectory",
     "physiological_range",
     "covers_physiological_range",
 ]

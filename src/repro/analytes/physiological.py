@@ -1,14 +1,26 @@
-"""Physiological / therapeutic concentration ranges.
+"""Physiological / therapeutic concentration ranges and trajectories.
 
 Whether a sensor's linear range *covers the clinically relevant window* is
 the acceptance criterion behind several Table 2 narratives: the N-doped CNT
 lactate sensor [16] beats the paper's sensitivity but its 0.014-0.325 mM
 range "cannot fit with physiological lactate concentration" (section 3.2.2).
+
+For the continuous-monitoring workload (the paper's chronic-patient
+pitch), a static window is not enough: the streaming monitor
+(:mod:`repro.engine.monitor`) needs the concentration a patient actually
+*traverses* over days of wear.  :class:`ConcentrationTrajectory` models
+that as a circadian oscillation around a baseline plus periodic
+meal/dose excursions with first-order clearance — deterministic in time,
+so a cohort evaluates as one vectorized pass; the random physiological
+component rides on top as a seedable Ornstein-Uhlenbeck process managed
+by the monitor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -40,6 +52,137 @@ class PhysiologicalRange:
     def span_molar(self) -> float:
         """Window width [mol/L]."""
         return self.high_molar - self.low_molar
+
+
+@dataclass(frozen=True)
+class ConcentrationTrajectory:
+    """Concentration course of one monitored patient channel.
+
+    The deterministic part — evaluable at arbitrary wear times, which is
+    what makes chunked streaming reproducible — is a baseline with a
+    circadian oscillation plus periodic excursions (meals for metabolites,
+    doses for drugs) that clear first-order:
+
+    ``C(t) = baseline + A_c sin(2 pi (t - phase)/period)
+           + A_e exp(-dt/tau) / (1 - exp(-interval/tau))``
+
+    where ``dt`` is the time since the latest excursion (steady-state sum
+    over all past events).  The stochastic physiological component is
+    described by the OU parameters ``noise_sigma_molar``/``noise_tau_h``;
+    the streaming monitor draws it per channel via
+    :func:`repro.signal.drift.ou_process_batch`.
+
+    Attributes:
+        baseline_molar: resting concentration [mol/L].
+        circadian_amplitude_molar: amplitude of the 24 h oscillation
+            [mol/L] (0 disables it).
+        circadian_period_h: oscillation period [h].
+        circadian_phase_h: time of the oscillation's zero upcrossing [h].
+        excursion_amplitude_molar: peak height of each meal/dose
+            excursion [mol/L] (0 disables them).
+        excursion_interval_h: excursion cadence [h] (e.g. 6 h meals,
+            12 h doses).
+        excursion_tau_h: first-order clearance time of an excursion [h].
+        noise_sigma_molar: stationary std of the random physiological
+            component [mol/L] (consumed by the monitor).
+        noise_tau_h: correlation time of that component [h].
+        floor_molar: physical lower clamp [mol/L] applied after noise.
+    """
+
+    baseline_molar: float
+    circadian_amplitude_molar: float = 0.0
+    circadian_period_h: float = 24.0
+    circadian_phase_h: float = 0.0
+    excursion_amplitude_molar: float = 0.0
+    excursion_interval_h: float = 6.0
+    excursion_tau_h: float = 1.5
+    noise_sigma_molar: float = 0.0
+    noise_tau_h: float = 1.0
+    floor_molar: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.baseline_molar <= 0:
+            raise ValueError("baseline must be > 0")
+        if self.circadian_amplitude_molar < 0:
+            raise ValueError("circadian amplitude must be >= 0")
+        if self.circadian_period_h <= 0:
+            raise ValueError("circadian period must be > 0")
+        if self.excursion_amplitude_molar < 0:
+            raise ValueError("excursion amplitude must be >= 0")
+        if self.excursion_interval_h <= 0 or self.excursion_tau_h <= 0:
+            raise ValueError("excursion interval and tau must be > 0")
+        if self.noise_sigma_molar < 0:
+            raise ValueError("noise sigma must be >= 0")
+        if self.noise_tau_h <= 0:
+            raise ValueError("noise tau must be > 0")
+        if self.floor_molar < 0:
+            raise ValueError("floor must be >= 0")
+
+    def mean_molar(self, hours: np.ndarray | float) -> np.ndarray | float:
+        """Deterministic concentration [mol/L] at the given wear times.
+
+        Pure function of absolute wear time — never of how the caller
+        chunks the time axis — which is the property the streaming
+        monitor's chunk-invariance contract rests on.
+
+        Args:
+            hours: wear times [h], scalar or any array shape.
+
+        Returns:
+            Concentrations [mol/L], shaped like the input.
+        """
+        t = np.asarray(hours, dtype=float)
+        if np.any(t < 0):
+            raise ValueError("wear time must be >= 0")
+        value = np.full_like(t, self.baseline_molar, dtype=float)
+        if self.circadian_amplitude_molar > 0:
+            value = value + self.circadian_amplitude_molar * np.sin(
+                2.0 * np.pi * (t - self.circadian_phase_h)
+                / self.circadian_period_h)
+        if self.excursion_amplitude_molar > 0:
+            since_last = np.mod(t, self.excursion_interval_h)
+            # Steady-state geometric sum over all previous excursions.
+            normalization = 1.0 - np.exp(
+                -self.excursion_interval_h / self.excursion_tau_h)
+            value = value + (self.excursion_amplitude_molar
+                             * np.exp(-since_last / self.excursion_tau_h)
+                             / normalization)
+        value = np.maximum(value, self.floor_molar)
+        if np.isscalar(hours):
+            return float(value)
+        return value
+
+    @classmethod
+    def for_analyte(cls, analyte: str,
+                    relative_noise: float = 0.03) -> "ConcentrationTrajectory":
+        """Build a representative trajectory inside an analyte's window.
+
+        The baseline sits at the window midpoint; the circadian swing and
+        meal/dose excursions each span a fraction of the window, so the
+        whole course stays clinically plausible (and inside the linear
+        range of a sensor that covers the window).
+
+        Args:
+            analyte: key into the physiological-range catalog.
+            relative_noise: OU noise sigma as a fraction of the window
+                span.
+
+        Returns:
+            A :class:`ConcentrationTrajectory` for one patient channel.
+        """
+        window = physiological_range(analyte)
+        mid = 0.5 * (window.low_molar + window.high_molar)
+        span = window.span_molar
+        return cls(
+            baseline_molar=mid,
+            circadian_amplitude_molar=0.15 * span,
+            excursion_amplitude_molar=0.20 * span,
+            excursion_interval_h=6.0,
+            excursion_tau_h=1.5,
+            noise_sigma_molar=relative_noise * span,
+            noise_tau_h=1.0,
+            floor_molar=max(window.low_molar * 0.25, 0.0),
+        )
 
 
 _RANGES: dict[str, PhysiologicalRange] = {

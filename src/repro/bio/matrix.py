@@ -9,8 +9,9 @@ paper's Nafion films and integrated readout aim to close.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.bio.interference import (
     ASCORBATE,
@@ -55,22 +56,61 @@ class SampleMatrix:
         return total_interference_current(
             list(self.interferents), area_m2, potential_v, nafion_film)
 
+    def sensitivity_retention_batch(self,
+                                    elapsed_hours: "np.ndarray",
+                                    ) -> "np.ndarray":
+        """Fouling retention over an array of elapsed times, vectorized.
+
+        Batch-shaped kernel following the engine convention: exponential
+        decay ``exp(-rate * t)`` evaluated shape-preservingly (e.g. on a
+        ``(n_channels, n_samples)`` wear-time block).
+        :meth:`repro.core.longterm.DriftBudget.sensitivity_retention_batch`
+        composes the same fouling rate with enzyme decay into the fused
+        exponent the streaming monitor consumes.
+
+        Args:
+            elapsed_hours: elapsed times [h], any shape.
+
+        Returns:
+            Multiplicative sensitivity factors, same shape.
+        """
+        times = np.asarray(elapsed_hours, dtype=float)
+        if np.any(times < 0):
+            raise ValueError("elapsed time must be >= 0")
+        return np.exp(-self.fouling_rate_per_hour * times)
+
     def sensitivity_retention(self, elapsed_hours: float) -> float:
         """Multiplicative sensitivity factor after ``elapsed_hours`` of fouling.
 
-        Exponential decay: ``exp(-rate * t)``.
+        Thin scalar wrapper over :meth:`sensitivity_retention_batch`.
         """
-        if elapsed_hours < 0:
-            raise ValueError("elapsed time must be >= 0")
-        return math.exp(-self.fouling_rate_per_hour * elapsed_hours)
+        return float(
+            self.sensitivity_retention_batch(np.asarray(elapsed_hours)))
 
-    def baseline_drift_a(self, area_m2: float, elapsed_hours: float) -> float:
-        """Accumulated additive baseline shift [A] after ``elapsed_hours``."""
+    def baseline_drift_batch_a(self,
+                               area_m2: float,
+                               elapsed_hours: "np.ndarray") -> "np.ndarray":
+        """Accumulated additive baseline shift [A] over a time block.
+
+        Batch-shaped kernel (shape-preserving in ``elapsed_hours``); the
+        streaming monitor gathers the same
+        ``baseline_drift_a_per_hour_per_m2 * area`` coefficient per
+        channel when fusing it into its chunk evaluation.
+        """
         if area_m2 <= 0:
             raise ValueError("area must be > 0")
-        if elapsed_hours < 0:
+        times = np.asarray(elapsed_hours, dtype=float)
+        if np.any(times < 0):
             raise ValueError("elapsed time must be >= 0")
-        return self.baseline_drift_a_per_hour_per_m2 * area_m2 * elapsed_hours
+        return self.baseline_drift_a_per_hour_per_m2 * area_m2 * times
+
+    def baseline_drift_a(self, area_m2: float, elapsed_hours: float) -> float:
+        """Accumulated additive baseline shift [A] after ``elapsed_hours``.
+
+        Thin scalar wrapper over :meth:`baseline_drift_batch_a`.
+        """
+        return float(
+            self.baseline_drift_batch_a(area_m2, np.asarray(elapsed_hours)))
 
 
 #: Clean phosphate buffer: the calibration matrix.

@@ -36,7 +36,9 @@ from repro.core.platform import MultiTargetPlatform
 from repro.core.longterm import (
     DriftBudget,
     one_point_recalibration,
+    one_point_recalibration_batch,
     drift_corrected_estimate,
+    drift_corrected_estimate_batch,
 )
 from repro.core.selectivity import (
     cross_reactivity_factor,
@@ -72,7 +74,9 @@ __all__ = [
     "MultiTargetPlatform",
     "DriftBudget",
     "one_point_recalibration",
+    "one_point_recalibration_batch",
     "drift_corrected_estimate",
+    "drift_corrected_estimate_batch",
     "cross_reactivity_factor",
     "selectivity_matrix",
     "worst_cross_talk",

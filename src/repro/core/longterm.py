@@ -5,12 +5,20 @@ patients — which means the calibration must survive days of enzyme decay,
 electrode fouling and reference wander.  This module budgets those drift
 sources, schedules recalibrations so the total error stays within a
 clinical tolerance, and applies one-point recalibration corrections.
+
+Every quantitative routine exists in two forms, following the engine
+convention established in PR 1: a **batch kernel** operating on whole
+``(n_channels, ...)`` arrays — what the streaming monitor
+(:mod:`repro.engine.monitor`) consumes while advancing a cohort through
+wear-time — and the historical **scalar API**, kept as a thin wrapper.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.bio.matrix import SampleMatrix
 from repro.enzymes.stability import EnzymeStability
@@ -31,17 +39,46 @@ class DriftBudget:
     matrix: SampleMatrix
     temperature_k: float = 310.15
 
+    @property
+    def decay_rate_per_hour(self) -> float:
+        """Combined sensitivity decay rate [1/h].
+
+        Sum of the Arrhenius-scaled enzyme denaturation rate and the
+        matrix fouling rate — the single exponent governing
+        ``sensitivity_retention``.  The streaming monitor gathers this
+        scalar per channel to evaluate whole cohorts in one array pass.
+        """
+        return (self.stability.rate_at(self.temperature_k) * 3600.0
+                + self.matrix.fouling_rate_per_hour)
+
+    def sensitivity_retention_batch(self,
+                                    elapsed_hours: np.ndarray) -> np.ndarray:
+        """Sensitivity retention over an array of elapsed times.
+
+        Batch kernel: the product of enzyme decay (Arrhenius-scaled) and
+        matrix fouling, ``exp(-rate * t)``, evaluated shape-preservingly
+        (e.g. on a ``(n_channels, n_samples)`` wear-time block).
+
+        Args:
+            elapsed_hours: elapsed wear times [h], any shape.
+
+        Returns:
+            Fractions of the initial sensitivity left, same shape.
+        """
+        times = np.asarray(elapsed_hours, dtype=float)
+        if np.any(times < 0):
+            raise ValueError("elapsed time must be >= 0")
+        return np.exp(-self.decay_rate_per_hour * times)
+
     def sensitivity_retention(self, elapsed_hours: float) -> float:
         """Fraction of the initial sensitivity left after ``elapsed_hours``.
 
-        Product of enzyme decay (Arrhenius-scaled) and matrix fouling.
+        Thin scalar wrapper over :meth:`sensitivity_retention_batch`.
         """
         if elapsed_hours < 0:
             raise ValueError("elapsed time must be >= 0")
-        enzyme = self.stability.remaining_activity(
-            elapsed_hours * 3600.0, temperature_k=self.temperature_k)
-        fouling = self.matrix.sensitivity_retention(elapsed_hours)
-        return float(enzyme) * fouling
+        return float(
+            self.sensitivity_retention_batch(np.asarray(elapsed_hours)))
 
     def hours_to_error(self, max_relative_error: float) -> float:
         """Hours until the un-recalibrated reading error hits the limit.
@@ -52,9 +89,7 @@ class DriftBudget:
         """
         if not 0.0 < max_relative_error < 1.0:
             raise ValueError("error limit must be in (0, 1)")
-        rate_per_hour = (
-            self.stability.rate_at(self.temperature_k) * 3600.0
-            + self.matrix.fouling_rate_per_hour)
+        rate_per_hour = self.decay_rate_per_hour
         if rate_per_hour == 0.0:
             return float("inf")
         return -math.log(1.0 - max_relative_error) / rate_per_hour
@@ -80,6 +115,46 @@ class DriftBudget:
         return times
 
 
+def one_point_recalibration_batch(slopes_a_per_molar: np.ndarray,
+                                  reference_concentrations_molar: np.ndarray,
+                                  measured_signals_a: np.ndarray,
+                                  intercepts_a: np.ndarray | float = 0.0,
+                                  ) -> tuple[np.ndarray, np.ndarray]:
+    """One-point recalibration across a whole cohort of channels.
+
+    Vectorized counterpart of :func:`one_point_recalibration` with the
+    field-robust failure semantics a streaming monitor needs: a channel
+    whose reference measurement implies a non-positive slope (sensor dead,
+    reference mis-draw) *keeps its prior slope* and is flagged instead of
+    aborting the whole cohort.
+
+    Args:
+        slopes_a_per_molar: prior calibration slopes, ``(n_channels,)``.
+        reference_concentrations_molar: reference (finger-stick / spiked)
+            concentrations per channel [mol/L], > 0.
+        measured_signals_a: sensor signals at the reference samples [A].
+        intercepts_a: calibration intercepts (scalar broadcasts).
+
+    Returns:
+        ``(new_slopes, applied)``: the updated ``(n_channels,)`` slopes
+        and a boolean mask of channels whose recalibration was accepted.
+    """
+    slopes = np.atleast_1d(np.asarray(slopes_a_per_molar, dtype=float))
+    references = np.broadcast_to(
+        np.asarray(reference_concentrations_molar, dtype=float), slopes.shape)
+    signals = np.broadcast_to(
+        np.asarray(measured_signals_a, dtype=float), slopes.shape)
+    intercepts = np.broadcast_to(
+        np.asarray(intercepts_a, dtype=float), slopes.shape)
+    if np.any(slopes <= 0):
+        raise ValueError("prior slopes must be > 0")
+    if np.any(references <= 0):
+        raise ValueError("reference concentrations must be > 0")
+    implied = (signals - intercepts) / references
+    applied = implied > 0
+    return np.where(applied, implied, slopes), applied
+
+
 def one_point_recalibration(slope_a_per_molar: float,
                             reference_concentration_molar: float,
                             measured_signal_a: float,
@@ -92,19 +167,61 @@ def one_point_recalibration(slope_a_per_molar: float,
 
     ``slope' = (signal - intercept) / C_ref``
 
+    Thin scalar wrapper over :func:`one_point_recalibration_batch`.
     Raises when the implied slope is non-positive (sensor dead or the
     reference measurement failed).
     """
-    if slope_a_per_molar <= 0:
-        raise ValueError("prior slope must be > 0")
-    if reference_concentration_molar <= 0:
-        raise ValueError("reference concentration must be > 0")
-    implied = (measured_signal_a - intercept_a) / reference_concentration_molar
-    if implied <= 0:
+    new_slopes, applied = one_point_recalibration_batch(
+        np.array([slope_a_per_molar]),
+        np.array([reference_concentration_molar]),
+        np.array([measured_signal_a]),
+        np.array([intercept_a]))
+    if not applied[0]:
         raise ValueError(
             "reference measurement implies a non-positive slope; "
             "recalibration aborted")
-    return implied
+    return float(new_slopes[0])
+
+
+def drift_corrected_estimate_batch(signals_a: np.ndarray,
+                                   slopes_a_per_molar: np.ndarray,
+                                   intercepts_a: np.ndarray | float,
+                                   retentions: np.ndarray,
+                                   ) -> np.ndarray:
+    """Drift-corrected concentration estimates over a cohort block.
+
+    Vectorized counterpart of :func:`drift_corrected_estimate`:
+    per-channel slopes/intercepts (column broadcast) against a
+    ``(n_channels, n_samples)`` block of signals and modeled retentions.
+    Negative estimates (blank noise) clip to zero.
+
+    Args:
+        signals_a: measured signals [A], ``(n_channels, n_samples)`` or
+            ``(n_channels,)``.
+        slopes_a_per_molar: calibrated slopes, ``(n_channels,)``.
+        intercepts_a: calibration intercepts (scalar broadcasts).
+        retentions: modeled sensitivity retention at each sample, shaped
+            like ``signals_a`` (or broadcastable to it), in (0, 1].
+
+    Returns:
+        Concentration estimates [mol/L], shaped like ``signals_a``.
+    """
+    signals = np.asarray(signals_a, dtype=float)
+    slopes = np.atleast_1d(np.asarray(slopes_a_per_molar, dtype=float))
+    retention = np.asarray(retentions, dtype=float)
+    if np.any(slopes <= 0):
+        raise ValueError("slopes must be > 0")
+    if np.any(retention <= 0) or np.any(retention > 1.0):
+        raise ValueError("retention must be in (0, 1]")
+    if signals.ndim == 2:
+        slopes = slopes[:, None]
+        intercepts = np.asarray(intercepts_a, dtype=float)
+        if intercepts.ndim == 1:
+            intercepts = intercepts[:, None]
+    else:
+        intercepts = np.asarray(intercepts_a, dtype=float)
+    return np.maximum(
+        0.0, (signals - intercepts) / (slopes * retention))
 
 
 def drift_corrected_estimate(signal_a: float,
@@ -115,10 +232,8 @@ def drift_corrected_estimate(signal_a: float,
 
     When the retention model says the slope has decayed to ``retention``
     of its calibrated value, dividing it out de-biases the estimate.
+    Thin scalar wrapper over :func:`drift_corrected_estimate_batch`.
     """
-    if not 0.0 < retention <= 1.0:
-        raise ValueError("retention must be in (0, 1]")
-    if slope_a_per_molar <= 0:
-        raise ValueError("slope must be > 0")
-    effective_slope = slope_a_per_molar * retention
-    return max(0.0, (signal_a - intercept_a) / effective_slope)
+    return float(drift_corrected_estimate_batch(
+        np.array([signal_a]), np.array([slope_a_per_molar]),
+        np.array([intercept_a]), np.array([retention]))[0])

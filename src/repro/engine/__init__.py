@@ -29,9 +29,16 @@ Quickstart::
 
 The scalar API (:mod:`repro.core.detection`) remains available and the
 amperometric scalar path is a thin single-cell wrapper over this engine.
+
+Beyond single-shot campaigns, :mod:`repro.engine.monitor` streams whole
+cohorts of (patient × sensor) channels through days of wear-time as
+chunked ``(n_channels, chunk_samples)`` blocks — drift, fouling,
+physiological trajectories, online recalibration — with per-channel
+MARD / time-in-spec summaries (:class:`MonitorResult`).
 """
 
 from repro.engine import kernels
+from repro.engine import monitor
 from repro.engine.plan import BatchPlan, BatchResult, CellIndex
 from repro.engine.measure import (
     measure_amperometric_batch,
@@ -44,12 +51,31 @@ from repro.engine.calibrate import (
     run_calibration_batch,
     run_campaign,
 )
+from repro.engine.monitor import (
+    MonitorChannel,
+    MonitorPlan,
+    MonitorResult,
+    RecalibrationPolicy,
+    cohort,
+    glucose_cohort,
+    run_monitor,
+    run_monitor_scalar,
+)
 
 __all__ = [
     "BatchPlan",
     "BatchResult",
     "CellIndex",
     "kernels",
+    "monitor",
+    "MonitorChannel",
+    "MonitorPlan",
+    "MonitorResult",
+    "RecalibrationPolicy",
+    "cohort",
+    "glucose_cohort",
+    "run_monitor",
+    "run_monitor_scalar",
     "measure_amperometric_batch",
     "measure_voltammetric_batch",
     "run_batch",

@@ -1,0 +1,693 @@
+"""Streaming long-term monitoring engine: cohorts through wear-time.
+
+The batch engine of PR 1 made single-shot calibration campaigns fast;
+this module opens the paper's actual workload — *continuous* monitoring
+of chronic patients over days-to-weeks of wear — as a second vectorized
+workload class.  A cohort of (patient × sensor) channels advances through
+wear-time in ``(n_channels, chunk_samples)`` NumPy blocks, composing:
+
+* physiological concentration trajectories
+  (:class:`repro.analytes.physiological.ConcentrationTrajectory`) with a
+  seedable Ornstein-Uhlenbeck physiological noise component;
+* sensitivity drift — enzyme/film degradation (Arrhenius-scaled) and
+  matrix fouling via :class:`repro.core.longterm.DriftBudget`;
+* additive baseline drift and reference-electrode wander
+  (:func:`repro.signal.drift.ou_process_batch`);
+* the existing instrument chain: the chain's input-referred noise floor,
+  TIA rail saturation and SAR-ADC quantization shape every reading;
+* online recalibration scheduling — periodic reference samples
+  (finger-stick protocol) trigger a one-point re-fit
+  (:func:`repro.core.longterm.one_point_recalibration_batch`) whenever
+  the reading error exceeds the policy tolerance.
+
+Determinism contract (mirrors :mod:`repro.engine.plan`): every channel
+owns three independent generator streams spawned from the plan seed —
+trajectory noise, baseline wander, measurement noise — each consumed
+strictly sequentially along the sample axis.  Results therefore depend
+only on ``(seed, channel position, sample index)``, never on
+``chunk_samples``: streaming a week in one block or in 4-sample slivers
+produces identical traces.  Recalibration decisions fire at absolute
+sample indices, so they are chunk-invariant too.
+
+Quickstart::
+
+    from repro.engine.monitor import MonitorPlan, glucose_cohort, run_monitor
+
+    plan = MonitorPlan(channels=glucose_cohort(n_patients=8),
+                       duration_h=7 * 24.0, seed=42)
+    result = run_monitor(plan)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.analytes.physiological import ConcentrationTrajectory
+from repro.bio.matrix import SERUM
+from repro.core.longterm import (
+    DriftBudget,
+    one_point_recalibration,
+    one_point_recalibration_batch,
+)
+from repro.core.sensor import Biosensor
+from repro.enzymes.stability import EnzymeStability
+from repro.rng import spawn_generators
+from repro.signal.drift import ou_process_batch
+
+#: Generator streams spawned per channel (trajectory, wander, measurement).
+_STREAMS_PER_CHANNEL = 3
+
+
+@dataclass(frozen=True)
+class RecalibrationPolicy:
+    """When and how a deployed channel is re-fit in the field.
+
+    Attributes:
+        reference_interval_h: cadence of reference measurements [h]
+            (finger-stick / spiked-sample availability).
+        tolerance: relative reading error at a reference sample beyond
+            which a one-point recalibration is applied.
+        enabled: disable to monitor open-loop (drift uncorrected).
+    """
+
+    reference_interval_h: float = 12.0
+    tolerance: float = 0.10
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.reference_interval_h <= 0:
+            raise ValueError("reference interval must be > 0")
+        if not 0.0 < self.tolerance < 1.0:
+            raise ValueError("tolerance must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class MonitorChannel:
+    """One (patient × sensor) channel of a monitoring cohort.
+
+    Attributes:
+        patient_id: cohort identity of the wearer.
+        sensor: the deployed biosensor.
+        trajectory: the patient's concentration course.
+        budget: sensitivity-drift model (enzyme decay + fouling) for this
+            deployment.
+        wander_sigma_a: stationary RMS of the reference-electrode /
+            baseline wander [A] (0 disables it).
+        wander_tau_h: correlation time of the wander [h].
+        slope_a_per_molar: day-0 calibrated slope [A/M]; ``None`` uses
+            the sensor's analytic linear-regime slope.
+        intercept_a: day-0 calibration intercept [A] the estimator
+            subtracts; ``None`` uses the sensor's stationary background
+            current.  Pass the fitted intercept when wiring a
+            :class:`~repro.core.calibration.CalibrationResult` in.
+    """
+
+    patient_id: str
+    sensor: Biosensor
+    trajectory: ConcentrationTrajectory
+    budget: DriftBudget
+    wander_sigma_a: float = 0.0
+    wander_tau_h: float = 6.0
+    slope_a_per_molar: float | None = None
+    intercept_a: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.wander_sigma_a < 0:
+            raise ValueError("wander sigma must be >= 0")
+        if self.wander_tau_h <= 0:
+            raise ValueError("wander tau must be > 0")
+        if self.slope_a_per_molar is not None and self.slope_a_per_molar <= 0:
+            raise ValueError("day-0 slope must be > 0")
+
+    @property
+    def day0_slope_a_per_molar(self) -> float:
+        """The slope [A/M] the channel's estimator starts from."""
+        if self.slope_a_per_molar is not None:
+            return self.slope_a_per_molar
+        return self.sensor.expected_slope_a_per_molar()
+
+    @property
+    def day0_intercept_a(self) -> float:
+        """The intercept [A] the channel's estimator starts from."""
+        if self.intercept_a is not None:
+            return self.intercept_a
+        return self.sensor.background_current_a
+
+
+@dataclass(frozen=True)
+class MonitorPlan:
+    """Declarative description of a cohort wear-time simulation.
+
+    Attributes:
+        channels: the cohort, one entry per (patient × sensor) channel.
+        duration_h: wear horizon [h].
+        sample_period_s: monitoring cadence [s] (one reading per period).
+        chunk_samples: samples advanced per vectorized block; purely a
+            memory/throughput knob — results are chunk-size-invariant.
+        seed: root seed for the per-channel generator streams; ``None``
+            draws an entropy root (irreproducible, channels still
+            mutually independent).
+        add_noise: include every stochastic component (physiological
+            noise, wander, instrument noise); disable for deterministic
+            reference runs.
+        recalibration: the online re-fit policy.
+        spec_tolerance: relative error bound defining "time in spec"
+            (the CGM-style accuracy window, e.g. 0.20 for ±20 %).
+        keep_traces: store full per-sample traces on the result (disable
+            for long cohorts where only summaries matter).
+    """
+
+    channels: tuple[MonitorChannel, ...]
+    duration_h: float
+    sample_period_s: float = 300.0
+    chunk_samples: int = 4096
+    seed: int | None = None
+    add_noise: bool = True
+    recalibration: RecalibrationPolicy = field(
+        default_factory=RecalibrationPolicy)
+    spec_tolerance: float = 0.20
+    keep_traces: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ValueError("plan needs at least one channel")
+        if self.duration_h <= 0:
+            raise ValueError("duration must be > 0")
+        if self.sample_period_s <= 0:
+            raise ValueError("sample period must be > 0")
+        if self.chunk_samples < 1:
+            raise ValueError("chunk size must be >= 1")
+        if not 0.0 < self.spec_tolerance < 1.0:
+            raise ValueError("spec tolerance must be in (0, 1)")
+        if self.n_samples < 1:
+            raise ValueError("horizon shorter than one sample period")
+        if (self.recalibration.enabled
+                and self.recalibration.reference_interval_h * 3600.0
+                < self.sample_period_s):
+            raise ValueError(
+                "reference interval shorter than the sample period")
+
+    @property
+    def n_channels(self) -> int:
+        """Number of (patient × sensor) channels in the cohort."""
+        return len(self.channels)
+
+    @property
+    def n_samples(self) -> int:
+        """Total readings per channel over the wear horizon."""
+        return int(self.duration_h * 3600.0 // self.sample_period_s)
+
+    @property
+    def reference_every_samples(self) -> int:
+        """Reference-measurement cadence in samples (>= 1)."""
+        return max(1, int(round(
+            self.recalibration.reference_interval_h * 3600.0
+            / self.sample_period_s)))
+
+    def sample_times_h(self, start: int, stop: int) -> np.ndarray:
+        """Wear times [h] of the samples in ``[start, stop)``.
+
+        Sample ``k`` is taken at ``(k + 1) * sample_period_s`` — the
+        first reading lands one period after the day-0 calibration, and
+        times depend only on the absolute index (chunk-invariance).
+        """
+        return ((np.arange(start, stop) + 1)
+                * (self.sample_period_s / 3600.0))
+
+
+@dataclass(frozen=True)
+class MonitorResult:
+    """Evaluated wear-time simulation: per-channel accuracy summaries.
+
+    Attributes:
+        plan: the simulation that produced these numbers.
+        mard: mean absolute relative difference between estimated and
+            true concentration per channel (the CGM accuracy metric),
+            shape ``(n_channels,)``.
+        time_in_spec: fraction of readings whose relative error stays
+            within ``plan.spec_tolerance``, shape ``(n_channels,)``.
+        n_recalibrations: accepted one-point re-fits per channel.
+        recalibration_times_h: the wear times [h] at which each channel
+            was re-fit (one tuple per channel).
+        final_retention: modeled sensitivity retention at the end of
+            wear, shape ``(n_channels,)``.
+        final_slope_a_per_molar: the estimator's slope after the last
+            re-fit, shape ``(n_channels,)``.
+        time_h: sample times [h] (``None`` unless ``plan.keep_traces``).
+        true_concentration_molar / estimated_concentration_molar:
+            ``(n_channels, n_samples)`` traces (``None`` unless
+            ``plan.keep_traces``).
+        measured_current_a: digitized readings [A] (``None`` unless
+            ``plan.keep_traces``).
+    """
+
+    plan: MonitorPlan
+    mard: np.ndarray
+    time_in_spec: np.ndarray
+    n_recalibrations: np.ndarray
+    recalibration_times_h: tuple[tuple[float, ...], ...]
+    final_retention: np.ndarray
+    final_slope_a_per_molar: np.ndarray
+    time_h: np.ndarray | None = field(default=None, repr=False)
+    true_concentration_molar: np.ndarray | None = field(
+        default=None, repr=False)
+    estimated_concentration_molar: np.ndarray | None = field(
+        default=None, repr=False)
+    measured_current_a: np.ndarray | None = field(default=None, repr=False)
+
+    def channel_summary(self, index: int) -> str:
+        """One-line accuracy summary for one channel."""
+        channel = self.plan.channels[index]
+        return (
+            f"{channel.patient_id} [{channel.sensor.analyte.name}]: "
+            f"MARD {self.mard[index] * 100:.1f} %, "
+            f"in-spec {self.time_in_spec[index] * 100:.1f} %, "
+            f"{int(self.n_recalibrations[index])} recals, "
+            f"retention {self.final_retention[index]:.3f}")
+
+    def summary(self) -> str:
+        """Cohort-level summary plus one line per channel."""
+        lines = [
+            f"{self.plan.n_channels} channels x {self.plan.n_samples} "
+            f"samples over {self.plan.duration_h:.0f} h "
+            f"(every {self.plan.sample_period_s / 60:.0f} min): "
+            f"cohort MARD {float(np.mean(self.mard)) * 100:.1f} %, "
+            f"in-spec {float(np.mean(self.time_in_spec)) * 100:.1f} %, "
+            f"{int(np.sum(self.n_recalibrations))} recalibrations"]
+        lines += [f"  {self.channel_summary(i)}"
+                  for i in range(self.plan.n_channels)]
+        return "\n".join(lines)
+
+
+@dataclass
+class _ChannelParams:
+    """Per-channel scalars gathered once so chunks evaluate as arrays."""
+
+    decay_rate_per_hour: np.ndarray
+    background_a: np.ndarray
+    baseline_drift_a_per_hour: np.ndarray
+    wander_sigma_a: np.ndarray
+    wander_tau_s: np.ndarray
+    noise_sigma_molar: np.ndarray
+    noise_tau_s: np.ndarray
+    floor_molar: np.ndarray
+    measurement_sigma_a: np.ndarray
+    day0_slope: np.ndarray
+    day0_intercept: np.ndarray
+
+
+def _gather(plan: MonitorPlan) -> _ChannelParams:
+    """Collect the per-channel scalar parameters of a cohort."""
+    channels = plan.channels
+    return _ChannelParams(
+        decay_rate_per_hour=np.array(
+            [c.budget.decay_rate_per_hour for c in channels]),
+        background_a=np.array(
+            [c.sensor.background_current_a for c in channels]),
+        baseline_drift_a_per_hour=np.array(
+            [c.budget.matrix.baseline_drift_a_per_hour_per_m2
+             * c.sensor.area_m2 for c in channels]),
+        wander_sigma_a=np.array([c.wander_sigma_a for c in channels]),
+        wander_tau_s=np.array(
+            [c.wander_tau_h * 3600.0 for c in channels]),
+        noise_sigma_molar=np.array(
+            [c.trajectory.noise_sigma_molar for c in channels]),
+        noise_tau_s=np.array(
+            [c.trajectory.noise_tau_h * 3600.0 for c in channels]),
+        floor_molar=np.array(
+            [c.trajectory.floor_molar for c in channels]),
+        measurement_sigma_a=np.array([
+            float(np.hypot(c.sensor.chain.input_referred_noise_rms(),
+                           c.sensor.repeatability_std_a))
+            for c in channels]),
+        day0_slope=np.array(
+            [c.day0_slope_a_per_molar for c in channels]),
+        day0_intercept=np.array(
+            [c.day0_intercept_a for c in channels]),
+    )
+
+
+def _digitize_rows(plan: MonitorPlan, currents: np.ndarray) -> np.ndarray:
+    """Push reading currents through each channel's acquisition chain.
+
+    At monitoring cadence every reading is a settled plateau, so the
+    chain's contribution per sample is its static transfer: TIA gain with
+    rail saturation, then SAR-ADC quantization, referred back to input.
+    (The chain's *noise* floor enters separately as part of the
+    per-reading measurement sigma.)
+    """
+    digitized = np.empty_like(currents)
+    for i, channel in enumerate(plan.channels):
+        chain = channel.sensor.chain
+        volts = np.clip(currents[i] * chain.tia.gain_v_per_a,
+                        -chain.tia.rail_v, chain.tia.rail_v)
+        digitized[i] = chain.adc.convert(volts) / chain.tia.gain_v_per_a
+    return digitized
+
+
+def run_monitor(plan: MonitorPlan) -> MonitorResult:
+    """Stream a cohort through wear-time in chunked, vectorized blocks.
+
+    The engine entry point for the monitoring workload.  Each chunk
+    advances every channel by up to ``plan.chunk_samples`` readings as
+    ``(n_channels, chunk)`` array passes; recalibration state (the
+    estimator slope) carries across chunk boundaries.
+
+    Returns:
+        A :class:`MonitorResult` with per-channel MARD / time-in-spec
+        summaries (and full traces when ``plan.keep_traces``).
+
+    Determinism: with a fixed ``plan.seed`` the result is reproducible
+    and independent of ``plan.chunk_samples`` (asserted to <= 1e-9 in
+    ``benchmarks/bench_monitor_stream.py``).
+    """
+    params = _gather(plan)
+    n_channels, n_samples = plan.n_channels, plan.n_samples
+    rngs = spawn_generators(plan.seed, _STREAMS_PER_CHANNEL * n_channels)
+    trajectory_rngs = rngs[0::_STREAMS_PER_CHANNEL]
+    wander_rngs = rngs[1::_STREAMS_PER_CHANNEL]
+    measurement_rngs = rngs[2::_STREAMS_PER_CHANNEL]
+
+    slopes = params.day0_slope.copy()
+    intercepts = params.day0_intercept
+    trajectory_state = np.zeros(n_channels)
+    wander_state = np.zeros(n_channels)
+    ref_every = plan.reference_every_samples
+    policy = plan.recalibration
+
+    abs_rel_error_sum = np.zeros(n_channels)
+    in_spec_count = np.zeros(n_channels)
+    valid_count = np.zeros(n_channels)
+    recal_times: list[list[float]] = [[] for _ in range(n_channels)]
+    if plan.keep_traces:
+        true_c = np.empty((n_channels, n_samples))
+        est_c = np.empty((n_channels, n_samples))
+        meas_i = np.empty((n_channels, n_samples))
+
+    for start in range(0, n_samples, plan.chunk_samples):
+        stop = min(start + plan.chunk_samples, n_samples)
+        chunk = stop - start
+        t_h = plan.sample_times_h(start, stop)
+
+        # --- truth: physiological concentration per channel ------------
+        c_mean = np.stack([
+            channel.trajectory.mean_molar(t_h)
+            for channel in plan.channels])
+        if plan.add_noise:
+            c_noise, trajectory_state = ou_process_batch(
+                chunk, plan.sample_period_s, params.noise_tau_s,
+                params.noise_sigma_molar, trajectory_state,
+                rngs=trajectory_rngs)
+        else:
+            c_noise = np.zeros((n_channels, chunk))
+        c = np.maximum(c_mean + c_noise, params.floor_molar[:, None])
+
+        # --- sensor physics: drifted faradaic response + baseline ------
+        faradaic = np.stack([
+            np.asarray(channel.sensor.layer.steady_state_current(
+                c[i], channel.sensor.area_m2), dtype=float)
+            for i, channel in enumerate(plan.channels)])
+        retention = np.exp(
+            -params.decay_rate_per_hour[:, None] * t_h[None, :])
+        baseline = (params.background_a[:, None]
+                    + params.baseline_drift_a_per_hour[:, None]
+                    * t_h[None, :])
+        if plan.add_noise:
+            wander, wander_state = ou_process_batch(
+                chunk, plan.sample_period_s, params.wander_tau_s,
+                params.wander_sigma_a, wander_state, rngs=wander_rngs)
+        else:
+            wander = np.zeros((n_channels, chunk))
+        current = retention * faradaic + baseline + wander
+
+        # --- instrument chain: noise floor, rails, quantization --------
+        if plan.add_noise:
+            shocks = np.stack([
+                rng.standard_normal(chunk) for rng in measurement_rngs])
+            current = current + params.measurement_sigma_a[:, None] * shocks
+        measured = _digitize_rows(plan, current)
+
+        # --- estimation + online recalibration, segment-wise -----------
+        estimates = np.empty((n_channels, chunk))
+        segment_start = start
+        while segment_start < stop:
+            if policy.enabled:
+                # Next reference sample at an absolute index (chunk-
+                # invariant): k is a reference when (k + 1) % ref == 0.
+                next_ref = ((segment_start + ref_every)
+                            // ref_every) * ref_every - 1
+                segment_stop = min(stop, next_ref + 1)
+            else:
+                segment_stop = stop
+            local = slice(segment_start - start, segment_stop - start)
+            estimates[:, local] = np.maximum(
+                0.0, (measured[:, local] - intercepts[:, None])
+                / slopes[:, None])
+            last = segment_stop - 1
+            is_reference = policy.enabled and (last + 1) % ref_every == 0
+            if is_reference:
+                j = last - start
+                reference_c = c[:, j]
+                # A channel whose true level sits at a 0.0 trajectory
+                # floor has no usable reference draw this round: skip
+                # its re-fit instead of aborting the cohort.
+                has_reference = reference_c > 0
+                rel_error = np.zeros(n_channels)
+                np.divide(np.abs(estimates[:, j] - reference_c),
+                          reference_c, out=rel_error, where=has_reference)
+                triggered = has_reference & (rel_error > policy.tolerance)
+                if np.any(triggered):
+                    refit, applied = one_point_recalibration_batch(
+                        slopes, np.where(has_reference, reference_c, 1.0),
+                        measured[:, j], intercepts)
+                    accepted = triggered & applied
+                    slopes = np.where(accepted, refit, slopes)
+                    when = float(t_h[j])
+                    for i in np.flatnonzero(accepted):
+                        recal_times[i].append(when)
+            segment_start = segment_stop
+
+        # --- accuracy accounting ---------------------------------------
+        valid = c > 0
+        rel_errors = np.zeros((n_channels, chunk))
+        np.divide(np.abs(estimates - c), c, out=rel_errors, where=valid)
+        abs_rel_error_sum += np.sum(rel_errors, axis=1, where=valid)
+        in_spec_count += np.sum(
+            (rel_errors <= plan.spec_tolerance) & valid, axis=1)
+        valid_count += np.sum(valid, axis=1)
+        if plan.keep_traces:
+            true_c[:, start:stop] = c
+            est_c[:, start:stop] = estimates
+            meas_i[:, start:stop] = measured
+
+    safe_n = np.maximum(valid_count, 1.0)
+    return MonitorResult(
+        plan=plan,
+        mard=abs_rel_error_sum / safe_n,
+        time_in_spec=in_spec_count / safe_n,
+        n_recalibrations=np.array([len(times) for times in recal_times]),
+        recalibration_times_h=tuple(tuple(times) for times in recal_times),
+        final_retention=np.exp(
+            -params.decay_rate_per_hour
+            * float(plan.sample_times_h(n_samples - 1, n_samples)[0])),
+        final_slope_a_per_molar=slopes,
+        time_h=plan.sample_times_h(0, n_samples)
+        if plan.keep_traces else None,
+        true_concentration_molar=true_c if plan.keep_traces else None,
+        estimated_concentration_molar=est_c if plan.keep_traces else None,
+        measured_current_a=meas_i if plan.keep_traces else None,
+    )
+
+
+def run_monitor_scalar(plan: MonitorPlan) -> MonitorResult:
+    """Day-by-day scalar reference: one channel, one sample at a time.
+
+    The historical way the long-term examples advanced wear-time — a
+    Python loop over every (channel, sample) pair through the *scalar*
+    APIs (``DriftBudget.sensitivity_retention``, scalar OU updates,
+    scalar ``one_point_recalibration``).  Consumes the same per-channel
+    generator streams as :func:`run_monitor`, so the two paths agree to
+    floating-point reassociation (asserted to <= 1e-9) — which is exactly
+    why the chunked engine exists: same physics, >= 5x the throughput
+    (``benchmarks/bench_monitor_stream.py``).
+    """
+    params = _gather(plan)
+    n_channels, n_samples = plan.n_channels, plan.n_samples
+    rngs = spawn_generators(plan.seed, _STREAMS_PER_CHANNEL * n_channels)
+    dt_s = plan.sample_period_s
+    ref_every = plan.reference_every_samples
+    policy = plan.recalibration
+
+    mard = np.zeros(n_channels)
+    time_in_spec = np.zeros(n_channels)
+    final_slopes = np.zeros(n_channels)
+    recal_times: list[tuple[float, ...]] = []
+    if plan.keep_traces:
+        true_c = np.empty((n_channels, n_samples))
+        est_c = np.empty((n_channels, n_samples))
+        meas_i = np.empty((n_channels, n_samples))
+
+    for i, channel in enumerate(plan.channels):
+        trajectory_rng = rngs[_STREAMS_PER_CHANNEL * i]
+        wander_rng = rngs[_STREAMS_PER_CHANNEL * i + 1]
+        measurement_rng = rngs[_STREAMS_PER_CHANNEL * i + 2]
+        sensor = channel.sensor
+        chain = sensor.chain
+        slope = float(params.day0_slope[i])
+        intercept = float(params.day0_intercept[i])
+        background = float(params.background_a[i])
+        noise_a = np.exp(-dt_s / params.noise_tau_s[i])
+        noise_scale = (params.noise_sigma_molar[i]
+                       * np.sqrt(1.0 - noise_a ** 2))
+        wander_a = np.exp(-dt_s / params.wander_tau_s[i])
+        wander_scale = (params.wander_sigma_a[i]
+                        * np.sqrt(1.0 - wander_a ** 2))
+        trajectory_state = 0.0
+        wander_state = 0.0
+        error_sum = 0.0
+        in_spec = 0
+        valid = 0
+        times: list[float] = []
+
+        for k in range(n_samples):
+            t_h = (k + 1) * dt_s / 3600.0
+            mean = channel.trajectory.mean_molar(t_h)
+            if plan.add_noise:
+                trajectory_state = (noise_a * trajectory_state
+                                    + noise_scale
+                                    * trajectory_rng.standard_normal())
+            c = max(mean + trajectory_state, channel.trajectory.floor_molar)
+            faradaic = float(sensor.layer.steady_state_current(
+                c, sensor.area_m2))
+            retention = channel.budget.sensitivity_retention(t_h)
+            baseline = (background
+                        + channel.budget.matrix.baseline_drift_a(
+                            sensor.area_m2, t_h))
+            if plan.add_noise:
+                wander_state = (wander_a * wander_state
+                                + wander_scale
+                                * wander_rng.standard_normal())
+            current = retention * faradaic + baseline + wander_state
+            if plan.add_noise:
+                current += (params.measurement_sigma_a[i]
+                            * measurement_rng.standard_normal())
+            volts = float(np.clip(current * chain.tia.gain_v_per_a,
+                                  -chain.tia.rail_v, chain.tia.rail_v))
+            measured = float(chain.adc.convert(volts)[0]
+                             / chain.tia.gain_v_per_a)
+            estimate = max(0.0, (measured - intercept) / slope)
+            if policy.enabled and (k + 1) % ref_every == 0 and c > 0:
+                rel_error = abs(estimate - c) / c
+                if rel_error > policy.tolerance:
+                    try:
+                        slope = one_point_recalibration(
+                            slope, c, measured, intercept)
+                        times.append(t_h)
+                    except ValueError:
+                        pass
+            if c > 0:
+                error_sum += abs(estimate - c) / c
+                in_spec += abs(estimate - c) / c <= plan.spec_tolerance
+                valid += 1
+            if plan.keep_traces:
+                true_c[i, k] = c
+                est_c[i, k] = estimate
+                meas_i[i, k] = measured
+
+        mard[i] = error_sum / max(valid, 1)
+        time_in_spec[i] = in_spec / max(valid, 1)
+        final_slopes[i] = slope
+        recal_times.append(tuple(times))
+
+    final_t_h = n_samples * dt_s / 3600.0
+    return MonitorResult(
+        plan=plan,
+        mard=mard,
+        time_in_spec=time_in_spec,
+        n_recalibrations=np.array([len(t) for t in recal_times]),
+        recalibration_times_h=tuple(recal_times),
+        final_retention=np.exp(-params.decay_rate_per_hour * final_t_h),
+        final_slope_a_per_molar=final_slopes,
+        time_h=plan.sample_times_h(0, n_samples)
+        if plan.keep_traces else None,
+        true_concentration_molar=true_c if plan.keep_traces else None,
+        estimated_concentration_molar=est_c if plan.keep_traces else None,
+        measured_current_a=meas_i if plan.keep_traces else None,
+    )
+
+
+def cohort(sensor: Biosensor,
+           analyte: str,
+           n_patients: int,
+           matrix=SERUM,
+           enzyme_half_life_s: float = 2 * 7 * 24 * 3600.0,
+           temperature_k: float = 310.15,
+           wander_sigma_a: float = 0.0) -> tuple[MonitorChannel, ...]:
+    """Build a cohort of patients wearing copies of one sensor.
+
+    Patients differ deterministically — circadian phases and baselines
+    spread across the clinical window as a function of the patient index,
+    no randomness — so cohorts are reproducible even before seeding.
+
+    Args:
+        sensor: the deployed sensor design (shared by every patient).
+        analyte: key into the physiological-range catalog.
+        n_patients: cohort size.
+        matrix: wear matrix (fouling / baseline drift source).
+        enzyme_half_life_s: operational half-life of the immobilized
+            enzyme at its reference temperature.
+        temperature_k: wear temperature (body temperature default).
+        wander_sigma_a: per-channel baseline-wander RMS [A].
+
+    Returns:
+        ``n_patients`` :class:`MonitorChannel` entries.
+    """
+    if n_patients < 1:
+        raise ValueError("need at least one patient")
+    base = ConcentrationTrajectory.for_analyte(analyte)
+    budget = DriftBudget(
+        stability=EnzymeStability(half_life_s=enzyme_half_life_s),
+        matrix=matrix,
+        temperature_k=temperature_k)
+    channels = []
+    for i in range(n_patients):
+        spread = (i / n_patients - 0.5)  # in [-0.5, 0.5)
+        trajectory = replace(
+            base,
+            baseline_molar=base.baseline_molar * (1.0 + 0.4 * spread),
+            circadian_phase_h=(i * 24.0 / max(n_patients, 1)) % 24.0,
+        )
+        channels.append(MonitorChannel(
+            patient_id=f"patient-{i:03d}",
+            sensor=sensor,
+            trajectory=trajectory,
+            budget=budget,
+            wander_sigma_a=wander_sigma_a,
+        ))
+    return tuple(channels)
+
+
+def glucose_cohort(n_patients: int = 8,
+                   wander_sigma_a: float = 2e-9) -> tuple[MonitorChannel, ...]:
+    """A ready-made glucose cohort on the paper's "this work" sensor.
+
+    Convenience for examples, tests and docs: ``n_patients`` wearers of
+    the MWCNT/Nafion + GOD glucose sensor in serum at body temperature.
+
+    Args:
+        n_patients: cohort size.
+        wander_sigma_a: baseline-wander RMS [A] per channel.
+
+    Returns:
+        ``n_patients`` :class:`MonitorChannel` entries.
+    """
+    # Imported here: the registry composes sensors out of half the
+    # library, and the monitor only needs it for this convenience.
+    from repro.core.registry import build_sensor, spec_by_id
+
+    sensor = build_sensor(spec_by_id("glucose/this-work"))
+    return cohort(sensor, "glucose", n_patients,
+                  wander_sigma_a=wander_sigma_a)

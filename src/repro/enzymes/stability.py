@@ -47,13 +47,33 @@ class EnzymeStability:
         """First-order denaturation rate constant [1/s] at the reference T."""
         return math.log(2.0) / self.half_life_s
 
+    def rates_at(self, temperatures_k: np.ndarray) -> np.ndarray:
+        """Arrhenius-scaled decay rates [1/s] at an array of temperatures.
+
+        Batch kernel consumed by the streaming monitor: one operating
+        temperature per channel of a cohort, shape-preserving.
+
+        Args:
+            temperatures_k: absolute temperatures [K], any shape.
+
+        Returns:
+            Decay rate constants [1/s], same shape as the input.
+        """
+        temps = np.asarray(temperatures_k, dtype=float)
+        if np.any(temps <= 0):
+            raise ValueError("temperature must be > 0")
+        exponent = (-self.activation_energy_j_mol / GAS_CONSTANT
+                    * (1.0 / temps - 1.0 / self.reference_temperature_k))
+        return self.decay_rate_per_s * np.exp(exponent)
+
     def rate_at(self, temperature_k: float) -> float:
-        """Arrhenius-scaled decay rate [1/s] at ``temperature_k``."""
+        """Arrhenius-scaled decay rate [1/s] at ``temperature_k``.
+
+        Thin scalar wrapper over :meth:`rates_at`.
+        """
         if temperature_k <= 0:
             raise ValueError(f"temperature must be > 0, got {temperature_k}")
-        exponent = (-self.activation_energy_j_mol / GAS_CONSTANT
-                    * (1.0 / temperature_k - 1.0 / self.reference_temperature_k))
-        return self.decay_rate_per_s * math.exp(exponent)
+        return float(self.rates_at(np.asarray(temperature_k)))
 
     def remaining_activity(self,
                            elapsed_s: np.ndarray | float,
@@ -69,6 +89,37 @@ class EnzymeStability:
         if np.isscalar(elapsed_s):
             return float(value)
         return value
+
+    def remaining_activity_batch(self,
+                                 elapsed_s: np.ndarray,
+                                 temperatures_k: np.ndarray | float | None = None,
+                                 ) -> np.ndarray:
+        """Remaining activity for a batch of channels, vectorized.
+
+        Batch kernel for the streaming monitor: per-channel elapsed
+        times (rows) decay at per-channel Arrhenius rates.
+
+        Args:
+            elapsed_s: elapsed times [s], shape ``(n_channels, n_samples)``
+                (or any shape broadcastable against the rates).
+            temperatures_k: per-channel operating temperatures [K],
+                shape ``(n_channels,)`` (broadcast column-wise), a scalar
+                applied to every channel, or ``None`` for the reference
+                temperature.
+
+        Returns:
+            Activity fractions, shaped like ``elapsed_s``.
+        """
+        times = np.asarray(elapsed_s, dtype=float)
+        if np.any(times < 0):
+            raise ValueError("elapsed time must be >= 0")
+        if temperatures_k is None:
+            rates = np.asarray(self.decay_rate_per_s)
+        else:
+            rates = self.rates_at(np.asarray(temperatures_k, dtype=float))
+        if rates.ndim == 1 and times.ndim == 2:
+            rates = rates[:, None]
+        return np.exp(-rates * times)
 
     def lifetime_to_fraction(self, fraction: float,
                              temperature_k: float | None = None) -> float:

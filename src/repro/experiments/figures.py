@@ -13,6 +13,7 @@ import numpy as np
 from repro.core.detection import measure_point
 from repro.core.registry import SensorSpec, build_sensor, spec_by_id
 from repro.techniques.base import Measurement
+from repro.rng import generator_from_seed
 from repro.units import molar_from_millimolar
 
 
@@ -38,7 +39,7 @@ def chrono_staircase_figure(sensor_id: str = "glucose/this-work",
         double_layer=sensor.double_layer(),
         area_m2=sensor.area_m2,
     )
-    rng = np.random.default_rng(seed)
+    rng = generator_from_seed(seed)
     acquired = sensor.chain.acquire(record.current_a,
                                     record.sampling_rate_hz, rng=rng)
     return {
@@ -74,7 +75,7 @@ def cv_family_figure(sensor_id: str = "cyp/cyclophosphamide",
             double_layer=sensor.double_layer(),
         )
         voltammograms.append((level, record))
-    rng = np.random.default_rng(seed)
+    rng = generator_from_seed(seed)
     peak_heights = [measure_point(sensor, level, rng) for level in levels]
     return {
         "sensor": sensor.name,
@@ -97,7 +98,7 @@ def calibration_curve_figure(spec: SensorSpec,
     sensor = build_sensor(spec)
     upper = molar_from_millimolar(spec.paper_range_mm[1])
     concentrations = np.linspace(0.0, 2.0 * upper, n_points)
-    rng = np.random.default_rng(seed)
+    rng = generator_from_seed(seed)
     signals = np.array([
         np.mean([measure_point(sensor, float(c), rng)
                  for __ in range(n_replicates)])

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.calibration import (
     CalibrationResult,
     default_protocol_for_range,
@@ -24,6 +22,7 @@ from repro.core.registry import (
     specs_by_group,
 )
 from repro.engine import run_campaign
+from repro.rng import generator_from_seed
 from repro.units import micromolar_from_molar, millimolar_from_molar, molar_from_millimolar
 
 
@@ -103,7 +102,7 @@ def run_table2(groups: list[str] | None = None,
     if use_engine:
         results = run_campaign(sensors, protocols, seed=seed)
     else:
-        rng = np.random.default_rng(seed)
+        rng = generator_from_seed(seed)
         results = [run_calibration(sensor, protocol, rng)
                    for sensor, protocol in zip(sensors, protocols)]
     rows: dict[str, Table2Row] = {}

@@ -52,6 +52,21 @@ def get_rng(rng: np.random.Generator | None = None) -> np.random.Generator:
     return _shared_rng
 
 
+def generator_from_seed(seed: int | None) -> np.random.Generator:
+    """Resolve an optional *seed* argument to a concrete generator.
+
+    The seed-flavored sibling of :func:`get_rng`: an explicit integer
+    seed gets its own fresh generator (independent of the shared
+    stream), while ``None`` falls back to the shared seedable generator
+    instead of silently drawing OS entropy — so a script that seeds once
+    via :func:`set_global_seed` stays reproducible even through
+    ``seed=None`` call sites.
+    """
+    if seed is None:
+        return get_rng(None)
+    return np.random.default_rng(seed)
+
+
 def spawn_generators(seed: int | np.random.SeedSequence | None,
                      n: int) -> list[np.random.Generator]:
     """Derive ``n`` independent generators from one root seed.

@@ -23,7 +23,13 @@ from repro.signal.steady_state import (
     extract_steady_state_batch,
     rise_time,
 )
-from repro.signal.drift import estimate_drift_rate, correct_linear_drift
+from repro.signal.drift import (
+    estimate_drift_rate,
+    estimate_drift_rate_batch,
+    correct_linear_drift,
+    correct_linear_drift_batch,
+    ou_process_batch,
+)
 from repro.signal.eis_fitting import (
     RandlesFit,
     fit_randles,
@@ -45,7 +51,10 @@ __all__ = [
     "extract_steady_state_batch",
     "rise_time",
     "estimate_drift_rate",
+    "estimate_drift_rate_batch",
     "correct_linear_drift",
+    "correct_linear_drift_batch",
+    "ou_process_batch",
     "RandlesFit",
     "fit_randles",
     "measure_rct_from_spectrum",

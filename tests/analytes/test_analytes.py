@@ -1,5 +1,6 @@
 """Tests for repro.analytes."""
 
+import numpy as np
 import pytest
 
 from repro.analytes.catalog import (
@@ -12,6 +13,7 @@ from repro.analytes.catalog import (
     analyte_by_name,
 )
 from repro.analytes.physiological import (
+    ConcentrationTrajectory,
     covers_physiological_range,
     physiological_range,
 )
@@ -89,3 +91,67 @@ class TestCoverageClaims:
     def test_rejects_bad_range(self):
         with pytest.raises(ValueError):
             covers_physiological_range("glucose", 1e-3, 1e-3)
+
+
+class TestConcentrationTrajectory:
+    def test_constant_without_components(self):
+        trajectory = ConcentrationTrajectory(baseline_molar=1e-3)
+        hours = np.linspace(0.0, 48.0, 97)
+        np.testing.assert_allclose(trajectory.mean_molar(hours), 1e-3)
+
+    def test_scalar_and_array_agree(self):
+        trajectory = ConcentrationTrajectory.for_analyte("glucose")
+        hours = np.array([0.0, 5.5, 23.9, 100.0])
+        array = trajectory.mean_molar(hours)
+        for i, h in enumerate(hours):
+            assert array[i] == pytest.approx(
+                trajectory.mean_molar(float(h)), rel=1e-12)
+
+    def test_circadian_period(self):
+        trajectory = ConcentrationTrajectory(
+            baseline_molar=1e-3, circadian_amplitude_molar=2e-4)
+        assert trajectory.mean_molar(30.0) == pytest.approx(
+            trajectory.mean_molar(6.0), rel=1e-12)
+
+    def test_excursions_decay_between_events(self):
+        trajectory = ConcentrationTrajectory(
+            baseline_molar=1e-3,
+            excursion_amplitude_molar=5e-4,
+            excursion_interval_h=6.0,
+            excursion_tau_h=1.0)
+        just_after = trajectory.mean_molar(6.01)
+        just_before = trajectory.mean_molar(5.99)
+        assert just_after > just_before
+
+    def test_floor_clamps(self):
+        trajectory = ConcentrationTrajectory(
+            baseline_molar=1e-4,
+            circadian_amplitude_molar=5e-4,
+            floor_molar=5e-5)
+        hours = np.linspace(0.0, 24.0, 241)
+        assert float(np.min(trajectory.mean_molar(hours))) \
+            == pytest.approx(5e-5)
+
+    def test_for_analyte_stays_clinically_plausible(self):
+        for analyte in ("glucose", "lactate", "cyclophosphamide"):
+            window = physiological_range(analyte)
+            trajectory = ConcentrationTrajectory.for_analyte(analyte)
+            hours = np.linspace(0.0, 72.0, 432)
+            mean = trajectory.mean_molar(hours)
+            assert float(np.min(mean)) > 0.0
+            assert float(np.max(mean)) < 2.0 * window.high_molar
+
+    def test_rejects_negative_time(self):
+        trajectory = ConcentrationTrajectory(baseline_molar=1e-3)
+        with pytest.raises(ValueError):
+            trajectory.mean_molar(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConcentrationTrajectory(baseline_molar=0.0)
+        with pytest.raises(ValueError):
+            ConcentrationTrajectory(baseline_molar=1e-3,
+                                    noise_sigma_molar=-1.0)
+        with pytest.raises(ValueError):
+            ConcentrationTrajectory(baseline_molar=1e-3,
+                                    excursion_tau_h=0.0)

@@ -1,5 +1,6 @@
 """Tests for repro.bio (matrices and interferents)."""
 
+import numpy as np
 import pytest
 
 from repro.bio.interference import (
@@ -89,3 +90,32 @@ class TestMatrices:
     def test_rejects_negative_time(self):
         with pytest.raises(ValueError):
             SERUM.sensitivity_retention(-1.0)
+
+
+class TestMatrixBatchKernels:
+    def test_retention_batch_matches_scalar(self):
+        hours = np.array([[0.0, 12.0, 48.0], [6.0, 24.0, 168.0]])
+        batch = SERUM.sensitivity_retention_batch(hours)
+        for row in range(hours.shape[0]):
+            for col in range(hours.shape[1]):
+                assert batch[row, col] == pytest.approx(
+                    SERUM.sensitivity_retention(float(hours[row, col])),
+                    rel=1e-12)
+
+    def test_baseline_drift_batch_matches_scalar(self):
+        hours = np.array([[0.0, 24.0], [12.0, 168.0]])
+        area = 1e-6
+        batch = SERUM.baseline_drift_batch_a(area, hours)
+        for row in range(hours.shape[0]):
+            for col in range(hours.shape[1]):
+                assert batch[row, col] == pytest.approx(
+                    SERUM.baseline_drift_a(area, float(hours[row, col])),
+                    rel=1e-12)
+
+    def test_batch_kernels_validate(self):
+        with pytest.raises(ValueError):
+            SERUM.sensitivity_retention_batch(np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            SERUM.baseline_drift_batch_a(0.0, np.array([1.0]))
+        with pytest.raises(ValueError):
+            SERUM.baseline_drift_batch_a(1e-6, np.array([-1.0]))

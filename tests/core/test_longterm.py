@@ -1,12 +1,15 @@
 """Tests for repro.core.longterm (drift budget and recalibration)."""
 
+import numpy as np
 import pytest
 
 from repro.bio.matrix import BUFFER, SERUM
 from repro.core.longterm import (
     DriftBudget,
     drift_corrected_estimate,
+    drift_corrected_estimate_batch,
     one_point_recalibration,
+    one_point_recalibration_batch,
 )
 from repro.enzymes.stability import EnzymeStability
 
@@ -95,3 +98,76 @@ class TestRecalibration:
     def test_rejects_bad_retention(self):
         with pytest.raises(ValueError):
             drift_corrected_estimate(1e-9, 1e-4, 0.0, 0.0)
+
+
+class TestBatchKernels:
+    """Scalar-vs-batch equivalence: the scalar API is the contract, the
+    batch kernels are what the streaming monitor actually runs."""
+
+    def test_retention_batch_matches_scalar(self, budget):
+        hours = np.array([[0.0, 12.0, 48.0], [6.0, 24.0, 168.0]])
+        batch = budget.sensitivity_retention_batch(hours)
+        for row in range(hours.shape[0]):
+            for col in range(hours.shape[1]):
+                assert batch[row, col] == pytest.approx(
+                    budget.sensitivity_retention(float(hours[row, col])),
+                    rel=1e-12)
+
+    def test_decay_rate_consistent_with_hours_to_error(self, budget):
+        assert budget.hours_to_error(0.1) == pytest.approx(
+            -np.log(0.9) / budget.decay_rate_per_hour)
+
+    def test_one_point_batch_matches_scalar(self):
+        slopes = np.array([2e-4, 1e-4, 3e-4])
+        references = np.array([0.5e-3, 1e-3, 0.2e-3])
+        signals = np.array([1.4e-4 * 0.5e-3, 0.9e-4 * 1e-3, 2.5e-4 * 0.2e-3])
+        batch, applied = one_point_recalibration_batch(
+            slopes, references, signals)
+        assert applied.all()
+        for i in range(slopes.size):
+            assert batch[i] == pytest.approx(one_point_recalibration(
+                float(slopes[i]), float(references[i]), float(signals[i])),
+                rel=1e-12)
+
+    def test_one_point_batch_keeps_slope_on_dead_channel(self):
+        slopes = np.array([2e-4, 1e-4])
+        batch, applied = one_point_recalibration_batch(
+            slopes, np.array([0.5e-3, 0.5e-3]),
+            np.array([1.4e-4 * 0.5e-3, 0.0]),
+            intercepts_a=np.array([0.0, 1e-6]))
+        assert applied.tolist() == [True, False]
+        assert batch[1] == slopes[1]
+
+    def test_one_point_batch_validation(self):
+        with pytest.raises(ValueError):
+            one_point_recalibration_batch(
+                np.array([-1.0]), np.array([1e-3]), np.array([1e-7]))
+        with pytest.raises(ValueError):
+            one_point_recalibration_batch(
+                np.array([1e-4]), np.array([0.0]), np.array([1e-7]))
+
+    def test_drift_corrected_batch_matches_scalar(self):
+        signals = np.array([[1e-7, 2e-7], [3e-7, 4e-7]])
+        slopes = np.array([1e-4, 2e-4])
+        intercepts = np.array([0.0, 1e-9])
+        retentions = np.array([[1.0, 0.9], [0.8, 0.7]])
+        batch = drift_corrected_estimate_batch(
+            signals, slopes, intercepts, retentions)
+        for i in range(2):
+            for j in range(2):
+                assert batch[i, j] == pytest.approx(
+                    drift_corrected_estimate(
+                        float(signals[i, j]), float(slopes[i]),
+                        float(intercepts[i]), float(retentions[i, j])),
+                    rel=1e-12)
+
+    def test_drift_corrected_batch_clips_negative(self):
+        batch = drift_corrected_estimate_batch(
+            np.array([[-1e-9]]), np.array([1e-4]), 0.0, np.array([[0.9]]))
+        assert batch[0, 0] == 0.0
+
+    def test_drift_corrected_batch_rejects_bad_retention(self):
+        with pytest.raises(ValueError):
+            drift_corrected_estimate_batch(
+                np.array([[1e-9]]), np.array([1e-4]), 0.0,
+                np.array([[1.5]]))

@@ -1,0 +1,294 @@
+"""Tests for repro.engine.monitor (streaming wear-time simulation)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analytes.physiological import ConcentrationTrajectory
+from repro.bio.matrix import BUFFER, SERUM
+from repro.core.longterm import DriftBudget
+from repro.engine.monitor import (
+    MonitorChannel,
+    MonitorPlan,
+    RecalibrationPolicy,
+    cohort,
+    glucose_cohort,
+    run_monitor,
+    run_monitor_scalar,
+)
+from repro.enzymes.stability import EnzymeStability
+
+WEEK_S = 7 * 24 * 3600.0
+
+
+@pytest.fixture(scope="module")
+def channels():
+    return glucose_cohort(n_patients=3)
+
+
+def short_plan(channels, **overrides) -> MonitorPlan:
+    settings = dict(channels=channels, duration_h=36.0,
+                    sample_period_s=900.0, chunk_samples=32, seed=99)
+    settings.update(overrides)
+    return MonitorPlan(**settings)
+
+
+class TestPlanValidation:
+    def test_rejects_empty_cohort(self):
+        with pytest.raises(ValueError):
+            MonitorPlan(channels=(), duration_h=24.0)
+
+    def test_rejects_non_positive_duration(self, channels):
+        with pytest.raises(ValueError):
+            MonitorPlan(channels=channels, duration_h=0.0)
+
+    def test_rejects_horizon_shorter_than_period(self, channels):
+        with pytest.raises(ValueError):
+            MonitorPlan(channels=channels, duration_h=0.01,
+                        sample_period_s=3600.0)
+
+    def test_rejects_reference_faster_than_sampling(self, channels):
+        with pytest.raises(ValueError):
+            MonitorPlan(channels=channels, duration_h=24.0,
+                        sample_period_s=3600.0,
+                        recalibration=RecalibrationPolicy(
+                            reference_interval_h=0.5))
+
+    def test_rejects_bad_spec_tolerance(self, channels):
+        with pytest.raises(ValueError):
+            MonitorPlan(channels=channels, duration_h=24.0,
+                        spec_tolerance=1.5)
+
+    def test_sample_count(self, channels):
+        plan = MonitorPlan(channels=channels, duration_h=24.0,
+                           sample_period_s=3600.0)
+        assert plan.n_samples == 24
+        assert plan.n_channels == 3
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RecalibrationPolicy(reference_interval_h=-1.0)
+        with pytest.raises(ValueError):
+            RecalibrationPolicy(tolerance=0.0)
+
+    def test_channel_validation(self, channels):
+        with pytest.raises(ValueError):
+            replace(channels[0], wander_sigma_a=-1.0)
+        with pytest.raises(ValueError):
+            replace(channels[0], slope_a_per_molar=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_replays(self, channels):
+        a = run_monitor(short_plan(channels))
+        b = run_monitor(short_plan(channels))
+        np.testing.assert_array_equal(a.measured_current_a,
+                                      b.measured_current_a)
+        np.testing.assert_array_equal(a.mard, b.mard)
+
+    def test_different_seed_differs(self, channels):
+        a = run_monitor(short_plan(channels))
+        b = run_monitor(short_plan(channels, seed=100))
+        assert np.any(a.measured_current_a != b.measured_current_a)
+
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 10 ** 6])
+    def test_chunk_size_invariance(self, channels, chunk):
+        reference = run_monitor(short_plan(channels, chunk_samples=13))
+        other = run_monitor(short_plan(channels, chunk_samples=chunk))
+        np.testing.assert_allclose(
+            other.estimated_concentration_molar,
+            reference.estimated_concentration_molar,
+            rtol=0.0, atol=1e-9)
+        np.testing.assert_allclose(other.mard, reference.mard,
+                                   rtol=0.0, atol=1e-9)
+        assert (other.recalibration_times_h
+                == reference.recalibration_times_h)
+
+    def test_noiseless_run_is_deterministic_without_seed(self, channels):
+        a = run_monitor(short_plan(channels, seed=None, add_noise=False))
+        b = run_monitor(short_plan(channels, seed=None, add_noise=False))
+        np.testing.assert_array_equal(a.measured_current_a,
+                                      b.measured_current_a)
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("add_noise", [True, False])
+    def test_traces_match(self, channels, add_noise):
+        plan = short_plan(channels, add_noise=add_noise)
+        batch = run_monitor(plan)
+        scalar = run_monitor_scalar(plan)
+        np.testing.assert_allclose(
+            batch.true_concentration_molar,
+            scalar.true_concentration_molar, rtol=0.0, atol=1e-9)
+        np.testing.assert_allclose(
+            batch.measured_current_a, scalar.measured_current_a,
+            rtol=0.0, atol=1e-15)
+        np.testing.assert_allclose(
+            batch.estimated_concentration_molar,
+            scalar.estimated_concentration_molar, rtol=0.0, atol=1e-9)
+        np.testing.assert_allclose(batch.mard, scalar.mard,
+                                   rtol=0.0, atol=1e-9)
+        np.testing.assert_allclose(batch.time_in_spec,
+                                   scalar.time_in_spec,
+                                   rtol=0.0, atol=1e-12)
+        np.testing.assert_array_equal(batch.n_recalibrations,
+                                      scalar.n_recalibrations)
+        assert batch.recalibration_times_h == scalar.recalibration_times_h
+
+
+class TestDriftAndRecalibration:
+    def test_open_loop_mard_grows_with_drift(self, channels):
+        policy = RecalibrationPolicy(enabled=False)
+        short = run_monitor(short_plan(channels, duration_h=12.0,
+                                       recalibration=policy,
+                                       add_noise=False))
+        long = run_monitor(short_plan(channels, duration_h=72.0,
+                                      recalibration=policy,
+                                      add_noise=False))
+        assert float(np.mean(long.mard)) > float(np.mean(short.mard))
+
+    def test_recalibration_reduces_mard(self, channels):
+        open_loop = run_monitor(short_plan(
+            channels, duration_h=72.0,
+            recalibration=RecalibrationPolicy(enabled=False)))
+        closed = run_monitor(short_plan(
+            channels, duration_h=72.0,
+            recalibration=RecalibrationPolicy(
+                reference_interval_h=6.0, tolerance=0.05)))
+        assert float(np.mean(closed.mard)) < float(np.mean(open_loop.mard))
+        assert np.all(closed.n_recalibrations >= 1)
+        assert np.all(open_loop.n_recalibrations == 0)
+
+    def test_recalibration_times_are_reference_aligned(self, channels):
+        policy = RecalibrationPolicy(reference_interval_h=6.0,
+                                     tolerance=0.05)
+        result = run_monitor(short_plan(channels, duration_h=72.0,
+                                        recalibration=policy))
+        for times in result.recalibration_times_h:
+            for t in times:
+                assert t / 6.0 == pytest.approx(round(t / 6.0))
+
+    def test_no_drift_no_recalibration(self):
+        # Concentrations deep inside the linear range (C << Km), so the
+        # linear estimator carries no Michaelis-Menten bias: with no
+        # drift and no noise there is nothing for a re-fit to absorb.
+        stable = MonitorChannel(
+            patient_id="stable",
+            sensor=glucose_cohort(1)[0].sensor,
+            trajectory=ConcentrationTrajectory(
+                baseline_molar=5e-5,
+                circadian_amplitude_molar=1e-5,
+                floor_molar=1e-5),
+            budget=DriftBudget(
+                stability=EnzymeStability(half_life_s=1e9 * WEEK_S),
+                matrix=BUFFER,
+                temperature_k=298.15),
+        )
+        result = run_monitor(short_plan((stable,), duration_h=72.0,
+                                        add_noise=False))
+        assert int(result.n_recalibrations[0]) == 0
+        assert result.final_retention[0] > 0.999
+        # Quantization-only error: estimates essentially perfect.
+        assert float(result.mard[0]) < 0.01
+
+    def test_zero_floor_reference_sample_skips_recal(self, channels):
+        """Regression: a channel whose true level clamps to a 0.0
+        trajectory floor at a reference sample must skip that re-fit,
+        not crash the cohort (on either path)."""
+        noisy = MonitorChannel(
+            patient_id="noisy",
+            sensor=channels[0].sensor,
+            trajectory=ConcentrationTrajectory(
+                baseline_molar=1e-4,
+                noise_sigma_molar=5e-4,   # clamps to the floor often
+                noise_tau_h=0.5,
+                floor_molar=0.0),
+            budget=channels[0].budget,
+        )
+        plan = short_plan((noisy,), duration_h=48.0,
+                          recalibration=RecalibrationPolicy(
+                              reference_interval_h=0.25,
+                              tolerance=0.05),
+                          sample_period_s=900.0)
+        batch = run_monitor(plan)
+        scalar = run_monitor_scalar(plan)
+        assert np.any(batch.true_concentration_molar == 0.0)
+        assert np.isfinite(batch.mard).all()
+        np.testing.assert_allclose(
+            batch.estimated_concentration_molar,
+            scalar.estimated_concentration_molar, rtol=0.0, atol=1e-9)
+        assert batch.recalibration_times_h == scalar.recalibration_times_h
+
+    def test_final_retention_matches_budget(self, channels):
+        result = run_monitor(short_plan(channels))
+        t_end_h = result.plan.n_samples * result.plan.sample_period_s / 3600
+        for i, channel in enumerate(channels):
+            assert result.final_retention[i] == pytest.approx(
+                channel.budget.sensitivity_retention(t_end_h))
+
+
+class TestMonitorResult:
+    def test_trace_shapes(self, channels):
+        plan = short_plan(channels)
+        result = run_monitor(plan)
+        shape = (plan.n_channels, plan.n_samples)
+        assert result.true_concentration_molar.shape == shape
+        assert result.estimated_concentration_molar.shape == shape
+        assert result.measured_current_a.shape == shape
+        assert result.time_h.shape == (plan.n_samples,)
+        assert result.mard.shape == (plan.n_channels,)
+
+    def test_keep_traces_off(self, channels):
+        result = run_monitor(short_plan(channels, keep_traces=False))
+        assert result.true_concentration_molar is None
+        assert result.estimated_concentration_molar is None
+        assert result.measured_current_a is None
+        assert result.time_h is None
+        assert result.mard.shape == (len(channels),)
+
+    def test_summary_mentions_every_patient(self, channels):
+        result = run_monitor(short_plan(channels))
+        text = result.summary()
+        for channel in channels:
+            assert channel.patient_id in text
+        assert "MARD" in text
+
+    def test_time_in_spec_bounds(self, channels):
+        result = run_monitor(short_plan(channels))
+        assert np.all(result.time_in_spec >= 0.0)
+        assert np.all(result.time_in_spec <= 1.0)
+        assert np.all(result.mard >= 0.0)
+
+
+class TestCohortBuilders:
+    def test_cohort_size_and_ids(self, channels):
+        assert len(channels) == 3
+        assert len({c.patient_id for c in channels}) == 3
+
+    def test_patients_differ_deterministically(self, channels):
+        baselines = {c.trajectory.baseline_molar for c in channels}
+        assert len(baselines) == 3
+        again = glucose_cohort(n_patients=3)
+        for a, b in zip(channels, again):
+            assert a.trajectory == b.trajectory
+
+    def test_rejects_empty_cohort(self):
+        with pytest.raises(ValueError):
+            cohort(glucose_cohort(1)[0].sensor, "glucose", 0)
+
+    def test_custom_matrix(self):
+        sensor = glucose_cohort(1)[0].sensor
+        channels = cohort(sensor, "glucose", 2, matrix=SERUM)
+        assert all(c.budget.matrix is SERUM for c in channels)
+
+    def test_day0_overrides(self, channels):
+        custom = replace(channels[0], slope_a_per_molar=1.0,
+                         intercept_a=2.0)
+        assert custom.day0_slope_a_per_molar == 1.0
+        assert custom.day0_intercept_a == 2.0
+        default = channels[0]
+        assert (default.day0_slope_a_per_molar
+                == default.sensor.expected_slope_a_per_molar())
+        assert (default.day0_intercept_a
+                == default.sensor.background_current_a)

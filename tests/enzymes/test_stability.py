@@ -79,3 +79,36 @@ class TestValidation:
     def test_rejects_negative_activation_energy(self):
         with pytest.raises(ValueError):
             EnzymeStability(half_life_s=1.0, activation_energy_j_mol=-1.0)
+
+
+class TestBatchKernels:
+    def test_rates_at_matches_scalar(self, stability):
+        temps = np.array([277.0, 298.15, 310.15, 330.0])
+        batch = stability.rates_at(temps)
+        scalar = np.array([stability.rate_at(t) for t in temps])
+        np.testing.assert_allclose(batch, scalar, rtol=1e-12)
+
+    def test_rates_at_rejects_non_positive(self, stability):
+        with pytest.raises(ValueError):
+            stability.rates_at(np.array([300.0, 0.0]))
+
+    def test_remaining_activity_batch_matches_scalar(self, stability):
+        times = np.array([[0.0, WEEK_S, 2 * WEEK_S],
+                          [WEEK_S / 2, WEEK_S, 3 * WEEK_S]])
+        temps = np.array([298.15, 310.15])
+        batch = stability.remaining_activity_batch(times, temps)
+        for i, temp in enumerate(temps):
+            for j, t in enumerate(times[i]):
+                assert batch[i, j] == pytest.approx(
+                    stability.remaining_activity(float(t),
+                                                 temperature_k=float(temp)),
+                    rel=1e-12)
+
+    def test_remaining_activity_batch_default_temperature(self, stability):
+        times = np.array([[0.0, WEEK_S]])
+        batch = stability.remaining_activity_batch(times)
+        np.testing.assert_allclose(batch, [[1.0, 0.5]], rtol=1e-12)
+
+    def test_remaining_activity_batch_rejects_negative_time(self, stability):
+        with pytest.raises(ValueError):
+            stability.remaining_activity_batch(np.array([[-1.0]]))

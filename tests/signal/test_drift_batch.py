@@ -1,0 +1,126 @@
+"""Tests for the batch drift kernels in repro.signal.drift."""
+
+import numpy as np
+import pytest
+
+import repro.rng
+from repro.signal.drift import (
+    correct_linear_drift,
+    correct_linear_drift_batch,
+    estimate_drift_rate,
+    estimate_drift_rate_batch,
+    ou_process_batch,
+)
+from repro.rng import spawn_generators
+
+
+@pytest.fixture()
+def traces():
+    time_s = np.linspace(0.0, 100.0, 51)
+    rates = np.array([0.5, -0.2, 0.0])
+    offsets = np.array([1.0, 2.0, -3.0])
+    y = offsets[:, None] + rates[:, None] * time_s[None, :]
+    return time_s, y, rates
+
+
+class TestEstimateBatch:
+    def test_matches_scalar_per_channel(self, traces):
+        time_s, y, __ = traces
+        batch = estimate_drift_rate_batch(time_s, y)
+        scalar = np.array([estimate_drift_rate(time_s, row) for row in y])
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+
+    def test_recovers_known_rates(self, traces):
+        time_s, y, rates = traces
+        np.testing.assert_allclose(
+            estimate_drift_rate_batch(time_s, y), rates, atol=1e-12)
+
+    def test_shape_validation(self, traces):
+        time_s, y, __ = traces
+        with pytest.raises(ValueError):
+            estimate_drift_rate_batch(time_s, y[:, :-1])
+        with pytest.raises(ValueError):
+            estimate_drift_rate_batch(time_s[:1], y[:, :1])
+        with pytest.raises(ValueError):
+            estimate_drift_rate_batch(np.zeros(51), y)
+
+
+class TestCorrectBatch:
+    def test_roundtrip_flattens(self, traces):
+        time_s, y, rates = traces
+        corrected = correct_linear_drift_batch(time_s, y, rates)
+        residual_rates = estimate_drift_rate_batch(time_s, corrected)
+        np.testing.assert_allclose(residual_rates, 0.0, atol=1e-12)
+
+    def test_matches_scalar_per_channel(self, traces):
+        time_s, y, rates = traces
+        batch = correct_linear_drift_batch(time_s, y, rates)
+        for i, row in enumerate(y):
+            np.testing.assert_array_equal(
+                batch[i], correct_linear_drift(time_s, row, rates[i]))
+
+    def test_anchor_preserved(self, traces):
+        time_s, y, rates = traces
+        corrected = correct_linear_drift_batch(time_s, y, rates)
+        np.testing.assert_allclose(corrected[:, 0], y[:, 0])
+
+    def test_rate_count_validation(self, traces):
+        time_s, y, __ = traces
+        with pytest.raises(ValueError):
+            correct_linear_drift_batch(time_s, y, np.zeros(2))
+
+
+class TestOuProcess:
+    def test_chunk_invariance(self):
+        """The monitor's streaming contract: chunk boundaries with
+        carried state reproduce one long call exactly."""
+        whole, __ = ou_process_batch(
+            100, 1.0, 30.0, 2.0, np.zeros(4),
+            rngs=spawn_generators(5, 4))
+        rngs = spawn_generators(5, 4)
+        state = np.zeros(4)
+        pieces = []
+        for chunk in (7, 13, 41, 39):
+            values, state = ou_process_batch(
+                chunk, 1.0, 30.0, 2.0, state, rngs=rngs)
+            pieces.append(values)
+        np.testing.assert_array_equal(np.hstack(pieces), whole)
+
+    def test_stationary_statistics(self):
+        values, __ = ou_process_batch(
+            20000, 1.0, 5.0, 3.0, np.zeros(8),
+            rngs=spawn_generators(1, 8))
+        tail = values[:, 100:]
+        assert float(np.mean(tail)) == pytest.approx(0.0, abs=0.3)
+        assert float(np.std(tail)) == pytest.approx(3.0, rel=0.1)
+
+    def test_zero_sigma_is_deterministic_decay(self):
+        values, state = ou_process_batch(
+            10, 1.0, 2.0, 0.0, np.array([8.0]),
+            rngs=spawn_generators(0, 1))
+        expected = 8.0 * np.exp(-np.arange(1, 11) / 2.0)
+        np.testing.assert_allclose(values[0], expected, rtol=1e-12)
+        assert state[0] == values[0, -1]
+
+    def test_seedable_via_global_seed(self):
+        """rng=None draws from the shared stream: reproducible under
+        set_global_seed (the PR's seedability guarantee)."""
+        repro.rng.set_global_seed(77)
+        a, __ = ou_process_batch(50, 1.0, 10.0, 1.0, np.zeros(2))
+        repro.rng.set_global_seed(77)
+        b, __ = ou_process_batch(50, 1.0, 10.0, 1.0, np.zeros(2))
+        repro.rng.set_global_seed(None)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ou_process_batch(0, 1.0, 1.0, 1.0, np.zeros(1))
+        with pytest.raises(ValueError):
+            ou_process_batch(5, -1.0, 1.0, 1.0, np.zeros(1))
+        with pytest.raises(ValueError):
+            ou_process_batch(5, 1.0, 0.0, 1.0, np.zeros(1))
+        with pytest.raises(ValueError):
+            ou_process_batch(5, 1.0, 1.0, -1.0, np.zeros(1))
+        with pytest.raises(ValueError):
+            ou_process_batch(5, 1.0, 1.0, 1.0, np.zeros(2),
+                             rngs=spawn_generators(0, 3))
