@@ -5,7 +5,16 @@ full simulated pipeline, asserts the *shape* claims (who wins, rough
 factors, crossovers) and prints the regenerated rows so the run log doubles
 as the reproduction record.  Heavy end-to-end benches run one round
 (``benchmark.pedantic``); micro-benches use the default calibration.
+
+Perf trajectory: engine benches also drop a machine-readable
+``BENCH_<name>.json`` next to this file (override the directory with
+``BENCH_JSON_DIR``) through the :func:`bench_json` fixture, so speedups
+are *tracked* across PRs, not just asserted once.
 """
+
+import json
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -14,3 +23,25 @@ import pytest
 @pytest.fixture()
 def rng():
     return np.random.default_rng(2012)  # DAC 2012
+
+
+@pytest.fixture()
+def bench_json():
+    """Writer for machine-readable benchmark records.
+
+    Returns a callable ``write(name, **payload)`` that serializes the
+    payload (sorted keys, 2-space indent) to ``BENCH_<name>.json`` in
+    ``BENCH_JSON_DIR`` (default: the benchmarks directory) and returns
+    the path.  Keep payloads flat and numeric so cross-PR tooling can
+    diff them without schema knowledge.
+    """
+    def write(name: str, **payload) -> Path:
+        directory = Path(os.environ.get("BENCH_JSON_DIR",
+                                        Path(__file__).resolve().parent))
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+    return write

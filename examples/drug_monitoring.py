@@ -1,89 +1,150 @@
-"""Therapeutic drug monitoring with the CYP cyclic-voltammetry sensors.
+"""Closed-loop therapeutic drug monitoring: the personalized-medicine loop.
 
-The personalized-medicine scenario of the paper's introduction: an
-anticancer drug (cyclophosphamide) is monitored in a patient sample; the
-estimated plasma level is compared against the therapeutic window.  A
-second part shows the drug-mixture hazard: a co-administered CYP2B6
-inhibitor silently depresses the reading — the multi-panel detection
-problem of Carrara et al. [9].  A third part streams a three-day
-chemotherapy course through the monitor engine
-(:mod:`repro.engine.monitor`): 12-hourly doses with first-order
-clearance, sensor drift, and daily reference-draw recalibrations.
+The scenario the paper's title promises, end to end.  A cohort of
+virtual patients — stratified by CYP3A4 metabolizer phenotype — starts a
+cyclosporine course.  The CYP electrode (the CYP3A4 sensor parameters of
+Table 2) measures each patient's drug level through the full wear
+physics; a dosing controller turns the readouts into the next dose.
+Three rungs are compared on the same cohort:
+
+1. **fixed population dosing** — everyone gets the textbook dose;
+2. **reactive trough titration** — scale the dose by target/measured;
+3. **model-informed Bayesian dosing** — refit each patient's clearance
+   from their own readouts, then invert the PK model for the dose.
+
+A coda shows the drug-mixture hazard of Carrara et al. [9] (a
+co-administered inhibitor silently depresses the reading) and bridges
+PK-driven trajectories back into the long-term monitor via
+``ConcentrationTrajectory.from_pk``.
 
 Run:  python examples/drug_monitoring.py
 """
 
 import numpy as np
 
-from repro.analytes.physiological import (
-    ConcentrationTrajectory,
-    physiological_range,
+from repro.analytes.physiological import ConcentrationTrajectory
+from repro.engine.therapy import TherapyPlan, run_therapy
+from repro.pk import CYCLOSPORINE, CYPPhenotype
+from repro.pk.dosing import steady_state_trough_per_mol
+from repro.therapy import (
+    BayesianTroughController,
+    FixedRegimenController,
+    ProportionalTroughController,
 )
-from repro.core.calibration import default_protocol_for_range, run_calibration
-from repro.core.detection import estimate_concentration, measure_point
-from repro.core.registry import build_sensor, spec_by_id
-from repro.enzymes.inhibition import InhibitionType, Inhibitor, apparent_parameters
-from repro.units import molar_from_micromolar, molar_from_millimolar
 
 
 def main() -> None:
+    drug = CYCLOSPORINE
+    window = drug.window
+    print(f"Drug: {drug.name} ({drug.cyp_isoform}-cleared), "
+          f"window {window.low_molar * 1e6:.0f}-"
+          f"{window.high_molar * 1e6:.0f} uM, "
+          f"target trough {window.target_trough_molar * 1e6:.1f} uM")
+
+    # ------------------------------------------------------------------
+    # The treated cohort: CYP3A4 phenotypes and covariates.
+    # ------------------------------------------------------------------
+    cohort = drug.population.sample(n_patients=16, seed=7)
+    print("Cohort:", cohort.summary())
+
+    # The dose that puts the *population-typical* patient on target —
+    # what a label recommends, and all a fixed regimen can do.
+    per_mol = float(steady_state_trough_per_mol(
+        drug.typical_model().params(), 12.0)[0])
+    label_dose = window.target_trough_molar / per_mol
+    print(f"Label dose (typical patient to target): "
+          f"{drug.mg_from_dose_mol(label_dose):.0f} mg q12h\n")
+
+    controllers = {
+        "fixed regimen": FixedRegimenController(dose_mol=label_dose),
+        "proportional titration": ProportionalTroughController(
+            initial_dose_mol=label_dose,
+            target_trough_molar=window.target_trough_molar),
+        "bayesian (model-informed)": BayesianTroughController(
+            prior=drug.typical_model(),
+            target_trough_molar=window.target_trough_molar,
+            observation_sigma_molar=4e-7),
+    }
+    results = {}
+    for name, controller in controllers.items():
+        plan = TherapyPlan.for_drug(
+            drug, cohort, controller=controller, n_doses=6,
+            dose_interval_h=12.0, sample_period_s=900.0, seed=42,
+            process_noise_sigma_molar=1e-7, wander_sigma_a=2e-9)
+        results[name] = run_therapy(plan)
+
+    print("Three-day course, 12-hourly doses, 15-minute readings, "
+          "daily reference draws:")
+    for name, result in results.items():
+        print(f"\n--- {name} ---")
+        print(result.summary())
+
+    # ------------------------------------------------------------------
+    # What personalization did: follow one poor metabolizer's doses.
+    # ------------------------------------------------------------------
+    bayes = results["bayesian (model-informed)"]
+    fixed = results["fixed regimen"]
+    for phenotype in (CYPPhenotype.POOR, CYPPhenotype.ULTRARAPID):
+        mask = cohort.phenotype_mask(phenotype)
+        if not np.any(mask):
+            continue
+        i = int(np.flatnonzero(mask)[0])
+        doses_mg = [drug.mg_from_dose_mol(d) for d in bayes.doses_mol[i]]
+        print(f"\n{cohort.patients[i].patient_id} "
+              f"({phenotype.value} metabolizer, clearance "
+              f"{cohort.patients[i].clearance_l_per_h:.1f} L/h):")
+        print("  bayesian doses [mg]: "
+              + " -> ".join(f"{d:.0f}" for d in doses_mg))
+        print(f"  final trough: bayesian "
+              f"{bayes.trough_true_molar[i, -1] * 1e6:.2f} uM vs fixed "
+              f"{fixed.trough_true_molar[i, -1] * 1e6:.2f} uM "
+              f"(target {window.target_trough_molar * 1e6:.1f})")
+
+    # ------------------------------------------------------------------
+    # Drug-mixture hazard: a competitive CYP inhibitor in the sample.
+    # ------------------------------------------------------------------
+    from dataclasses import replace
+
+    from repro.core.calibration import (
+        default_protocol_for_range,
+        run_calibration,
+    )
+    from repro.core.detection import estimate_concentration, measure_point
+    from repro.enzymes.inhibition import (
+        InhibitionType,
+        Inhibitor,
+        apparent_parameters,
+    )
+    from repro.units import molar_from_micromolar
+
+    sensor = bayes.plan.sensor
     rng = np.random.default_rng(5)
-    spec = spec_by_id("cyp/cyclophosphamide")
-    sensor = build_sensor(spec)
-    print("Sensor:", sensor.describe())
-
-    protocol = default_protocol_for_range(
-        molar_from_millimolar(spec.paper_range_mm[1]))
-    calibration = run_calibration(sensor, protocol, rng)
-    print("Calibration:", calibration.summary())
-
-    window = physiological_range("cyclophosphamide")
-    print(f"\nTherapeutic window: "
-          f"{window.low_molar * 1e6:.0f}-{window.high_molar * 1e6:.0f} uM "
-          f"({window.context})")
-
-    print("\nPatient samples:")
-    for true_um in (5.0, 30.0, 65.0):
-        true_molar = molar_from_micromolar(true_um)
-        signal = measure_point(sensor, true_molar, rng)
-        estimate = estimate_concentration(
-            signal, calibration.slope_a_per_molar, calibration.intercept_a)
-        status = ("below window" if estimate < window.low_molar else
-                  "IN WINDOW" if estimate <= window.high_molar else
-                  "ABOVE window")
-        print(f"  true {true_um:5.1f} uM -> measured "
-              f"{estimate * 1e6:5.1f} uM  [{status}]")
-
-    # ------------------------------------------------------------------
-    # Drug-mixture hazard: a competitive CYP2B6 inhibitor in the sample.
-    # ------------------------------------------------------------------
-    print("\nDrug-mixture interference (competitive CYP2B6 inhibitor):")
-    inhibitor = Inhibitor(name="co-administered drug",
-                          ki_molar=40e-6,
+    calibration = run_calibration(
+        sensor, default_protocol_for_range(window.high_molar * 4), rng)
+    print("\nDrug-mixture interference (competitive CYP inhibitor):")
+    inhibitor = Inhibitor(name="co-administered drug", ki_molar=40e-6,
                           mode=InhibitionType.COMPETITIVE)
-    true_cp = molar_from_micromolar(30.0)
+    true_level = window.target_trough_molar
     for inhibitor_um in (0.0, 20.0, 80.0):
         vmax_scale, km_app = apparent_parameters(
             1.0, sensor.layer.apparent_km, inhibitor,
             molar_from_micromolar(inhibitor_um))
-        # The inhibited enzyme layer: same coverage, distorted kinetics.
-        from dataclasses import replace
         inhibited_layer = replace(
-            sensor.layer,
-            km_app_molar=km_app,
+            sensor.layer, km_app_molar=km_app,
             activity_retention=sensor.layer.activity_retention * vmax_scale)
         inhibited_sensor = replace(sensor, layer=inhibited_layer)
-        signal = measure_point(inhibited_sensor, true_cp, rng)
+        signal = measure_point(inhibited_sensor, true_level, rng)
         estimate = estimate_concentration(
             signal, calibration.slope_a_per_molar, calibration.intercept_a)
-        bias = (estimate - true_cp) / true_cp * 100.0
-        print(f"  inhibitor {inhibitor_um:5.1f} uM -> CP reads "
-              f"{estimate * 1e6:5.1f} uM ({bias:+.0f} % bias)")
+        bias = (estimate - true_level) / true_level * 100.0
+        print(f"  inhibitor {inhibitor_um:5.1f} uM -> level reads "
+              f"{estimate * 1e6:5.2f} uM ({bias:+.0f} % bias)")
     print("  -> co-medication silently depresses the reading: the reason "
           "the paper argues for multi-panel detection.")
 
     # ------------------------------------------------------------------
-    # Three-day chemotherapy course through the streaming monitor.
+    # Bridge to the long-term monitor: a stabilized maintenance regimen
+    # becomes an ordinary ConcentrationTrajectory via from_pk.
     # ------------------------------------------------------------------
     from repro.bio.matrix import SERUM
     from repro.core.longterm import DriftBudget
@@ -95,51 +156,31 @@ def main() -> None:
     )
     from repro.enzymes.stability import EnzymeStability
 
-    print("\nThree-day course, 12-hourly doses, 15-minute readings:")
-    trajectory = ConcentrationTrajectory(
-        baseline_molar=window.low_molar,
-        excursion_amplitude_molar=(window.high_molar - window.low_molar)
-        * 0.6,
-        excursion_interval_h=12.0,      # dose cadence
-        excursion_tau_h=4.0,            # plasma clearance
-        noise_sigma_molar=0.02 * window.span_molar,
-        floor_molar=0.0,
-    )
+    maintenance = cohort.patients[0]
+    final_dose = float(bayes.doses_mol[0, -1])
+    trajectory = ConcentrationTrajectory.from_pk(
+        maintenance.one_compartment(), dose_mol=final_dose,
+        interval_h=12.0, relative_noise=0.03)
     channel = MonitorChannel(
-        patient_id="chemo-patient",
+        patient_id=maintenance.patient_id,
         sensor=sensor,
         trajectory=trajectory,
         budget=DriftBudget(
             stability=EnzymeStability(half_life_s=2 * 7 * 24 * 3600.0),
-            matrix=SERUM),
-    )
-    monitor_result = run_monitor(MonitorPlan(
-        channels=(channel,),
-        duration_h=72.0,
-        sample_period_s=900.0,
-        seed=7,
-        recalibration=RecalibrationPolicy(
+            matrix=SERUM))
+    maintenance_result = run_monitor(MonitorPlan(
+        channels=(channel,), duration_h=72.0, sample_period_s=900.0,
+        seed=11, recalibration=RecalibrationPolicy(
             reference_interval_h=12.0,  # a lab draw with every dose
-            tolerance=0.10),
-    ))
-    print(monitor_result.summary())
-    hours = monitor_result.time_h
-    estimates = monitor_result.estimated_concentration_molar[0]
-    in_window = ((estimates >= window.low_molar)
-                 & (estimates <= window.high_molar))
-    # Dose peaks: the reading right after each 12 h administration.
-    peak_mask = np.isclose(np.mod(hours, 12.0), hours[0])
-    peak_mean_um = float(np.mean(estimates[peak_mask])) * 1e6
-    trough_mean_um = float(np.mean(estimates[~peak_mask])) * 1e6
-    recal_label = ", ".join(
-        f"{t:.0f} h" for t in monitor_result.recalibration_times_h[0])
-    print(f"  estimated level in the therapeutic window for "
-          f"{float(np.mean(in_window)) * 100:.0f} % of the course; "
-          f"post-dose readings average {peak_mean_um:.1f} uM vs "
-          f"{trough_mean_um:.1f} uM between doses (the dose/clearance "
-          f"swing the monitor tracks); recalibrated at "
-          f"{recal_label or 'no point'} "
-          f"against per-dose lab draws over {hours[-1]:.0f} h of wear.")
+            tolerance=0.10)))
+    print(f"\nMaintenance phase on the stabilized regimen "
+          f"({drug.mg_from_dose_mol(final_dose):.0f} mg q12h), "
+          f"monitored continuously with per-dose reference draws:")
+    print(maintenance_result.summary())
+    print("  -> drug monitoring is far harder than glucose: troughs "
+          "decay toward the assay's LOD, so relative error is "
+          "noise-dominated between doses — the quantitative case for "
+          "the trough-anchored controllers above.")
 
 
 if __name__ == "__main__":

@@ -41,10 +41,12 @@ from repro import (  # noqa: F401  (re-exported subpackages)
     engine,
     instrument,
     nano,
+    pk,
     rng,
     signal,
     system,
     techniques,
+    therapy,
     transducers,
     units,
 )
@@ -62,10 +64,12 @@ __all__ = [
     "experiments",
     "instrument",
     "nano",
+    "pk",
     "rng",
     "signal",
     "system",
     "techniques",
+    "therapy",
     "transducers",
     "units",
     "__version__",

@@ -101,8 +101,12 @@ class ConcentrationTrajectory:
     floor_molar: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.baseline_molar <= 0:
-            raise ValueError("baseline must be > 0")
+        if self.baseline_molar < 0 or (
+                self.baseline_molar == 0.0
+                and self.excursion_amplitude_molar == 0.0):
+            # A zero baseline is legal only when excursions carry the
+            # signal (PK-driven drug courses decay to ~zero troughs).
+            raise ValueError("baseline must be > 0 (or excursions present)")
         if self.circadian_amplitude_molar < 0:
             raise ValueError("circadian amplitude must be >= 0")
         if self.circadian_period_h <= 0:
@@ -151,6 +155,57 @@ class ConcentrationTrajectory:
         if np.isscalar(hours):
             return float(value)
         return value
+
+    @classmethod
+    def from_pk(cls, model: "OneCompartmentPK",  # noqa: F821 (lazy import)
+                dose_mol: float,
+                interval_h: float,
+                relative_noise: float = 0.0,
+                noise_tau_h: float = 1.0,
+                baseline_molar: float = 0.0) -> "ConcentrationTrajectory":
+        """Map a steady-state repeat-dose regimen onto the trajectory.
+
+        The excursion term of this class *is* the steady-state
+        superposition of a mono-exponentially cleared repeated input —
+        so a one-compartment IV bolus regimen maps onto it **exactly**:
+        amplitude ``F D / V``, clearance time ``1/ke``, cadence the
+        dosing interval.  For oral dosing the same mapping is the
+        standard peak envelope (absorption smooths the rising edge but
+        leaves the cleared tail, which dominates trough behavior,
+        unchanged).  This is the bridge that lets existing monitor
+        workloads (:mod:`repro.engine.monitor`) consume PK-driven drug
+        courses without adopting the full therapy engine.
+
+        Args:
+            model: the patient's one-compartment model
+                (:class:`repro.pk.models.OneCompartmentPK`).
+            dose_mol: maintenance dose [mol].
+            interval_h: dosing interval [h], > 0.
+            relative_noise: OU noise sigma as a fraction of the
+                excursion amplitude.
+            noise_tau_h: correlation time of that noise [h].
+            baseline_molar: endogenous background level [mol/L]
+                (0 for xenobiotic drugs).
+
+        Returns:
+            The equivalent :class:`ConcentrationTrajectory`.
+        """
+        if dose_mol <= 0:
+            raise ValueError("dose must be > 0")
+        if interval_h <= 0:
+            raise ValueError("dose interval must be > 0")
+        if relative_noise < 0:
+            raise ValueError("relative noise must be >= 0")
+        amplitude = (model.bioavailability * dose_mol / model.volume_l)
+        return cls(
+            baseline_molar=baseline_molar,
+            excursion_amplitude_molar=amplitude,
+            excursion_interval_h=interval_h,
+            excursion_tau_h=1.0 / model.elimination_rate_per_h,
+            noise_sigma_molar=relative_noise * amplitude,
+            noise_tau_h=noise_tau_h,
+            floor_molar=0.0,
+        )
 
     @classmethod
     def for_analyte(cls, analyte: str,

@@ -35,10 +35,18 @@ cohorts of (patient × sensor) channels through days of wear-time as
 chunked ``(n_channels, chunk_samples)`` blocks — drift, fouling,
 physiological trajectories, online recalibration — with per-channel
 MARD / time-in-spec summaries (:class:`MonitorResult`).
+
+The third workload class closes the personalized-medicine loop:
+:mod:`repro.engine.therapy` doses virtual patient cohorts
+(:mod:`repro.pk`), measures the resulting drug levels through the same
+wear physics, and lets a :mod:`repro.therapy` controller adjust every
+patient's next dose — scored against the therapeutic window
+(:class:`TherapyResult`).
 """
 
 from repro.engine import kernels
 from repro.engine import monitor
+from repro.engine import therapy
 from repro.engine.plan import BatchPlan, BatchResult, CellIndex
 from repro.engine.measure import (
     measure_amperometric_batch,
@@ -57,9 +65,17 @@ from repro.engine.monitor import (
     MonitorResult,
     RecalibrationPolicy,
     cohort,
+    digitize_rows,
     glucose_cohort,
+    reading_noise_sigma_a,
     run_monitor,
     run_monitor_scalar,
+)
+from repro.engine.therapy import (
+    TherapyPlan,
+    TherapyResult,
+    run_therapy,
+    run_therapy_scalar,
 )
 
 __all__ = [
@@ -73,9 +89,16 @@ __all__ = [
     "MonitorResult",
     "RecalibrationPolicy",
     "cohort",
+    "digitize_rows",
     "glucose_cohort",
+    "reading_noise_sigma_a",
     "run_monitor",
     "run_monitor_scalar",
+    "therapy",
+    "TherapyPlan",
+    "TherapyResult",
+    "run_therapy",
+    "run_therapy_scalar",
     "measure_amperometric_batch",
     "measure_voltammetric_batch",
     "run_batch",

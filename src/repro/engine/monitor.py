@@ -207,6 +207,21 @@ class MonitorPlan:
             self.recalibration.reference_interval_h * 3600.0
             / self.sample_period_s)))
 
+    @property
+    def n_reference_draws(self) -> int:
+        """Reference draws that actually fire within the wear horizon.
+
+        Zero when the policy is disabled — or when the reference
+        interval is longer than the wear time, in which case the plan
+        degrades to open-loop monitoring *by design*: short regimens
+        (e.g. a 6 h course with 12-hourly lab draws, the situation every
+        short ``run_therapy`` regimen hits) are legal, they just never
+        recalibrate.  Both engine paths branch on this explicitly.
+        """
+        if not self.recalibration.enabled:
+            return 0
+        return self.n_samples // self.reference_every_samples
+
     def sample_times_h(self, start: int, stop: int) -> np.ndarray:
         """Wear times [h] of the samples in ``[start, stop)``.
 
@@ -319,10 +334,8 @@ def _gather(plan: MonitorPlan) -> _ChannelParams:
             [c.trajectory.noise_tau_h * 3600.0 for c in channels]),
         floor_molar=np.array(
             [c.trajectory.floor_molar for c in channels]),
-        measurement_sigma_a=np.array([
-            float(np.hypot(c.sensor.chain.input_referred_noise_rms(),
-                           c.sensor.repeatability_std_a))
-            for c in channels]),
+        measurement_sigma_a=np.array(
+            [reading_noise_sigma_a(c.sensor) for c in channels]),
         day0_slope=np.array(
             [c.day0_slope_a_per_molar for c in channels]),
         day0_intercept=np.array(
@@ -330,22 +343,132 @@ def _gather(plan: MonitorPlan) -> _ChannelParams:
     )
 
 
-def _digitize_rows(plan: MonitorPlan, currents: np.ndarray) -> np.ndarray:
-    """Push reading currents through each channel's acquisition chain.
+def reading_noise_sigma_a(sensor: Biosensor) -> float:
+    """Per-reading 1-sigma measurement noise of a deployed sensor [A].
+
+    The acquisition chain's input-referred noise floor combined with the
+    sensor's repeatability — the sigma both streaming engines (monitor
+    and therapy) inject per digitized reading.
+    """
+    return float(np.hypot(sensor.chain.input_referred_noise_rms(),
+                          sensor.repeatability_std_a))
+
+
+def digitize_rows(sensors: "list[Biosensor] | tuple[Biosensor, ...]",
+                  currents: np.ndarray) -> np.ndarray:
+    """Push reading currents through each row's acquisition chain.
 
     At monitoring cadence every reading is a settled plateau, so the
     chain's contribution per sample is its static transfer: TIA gain with
     rail saturation, then SAR-ADC quantization, referred back to input.
     (The chain's *noise* floor enters separately as part of the
-    per-reading measurement sigma.)
+    per-reading measurement sigma.)  Shared by the monitor and therapy
+    engines — row ``i`` of ``currents`` goes through ``sensors[i]``.
+
+    Args:
+        sensors: one deployed sensor per row (repeat an instance for a
+            cohort wearing copies of one design).
+        currents: reading currents [A], ``(n_rows, n_samples)``.
+
+    Returns:
+        Input-referred digitized readings [A], same shape.
     """
     digitized = np.empty_like(currents)
-    for i, channel in enumerate(plan.channels):
-        chain = channel.sensor.chain
+    for i, sensor in enumerate(sensors):
+        chain = sensor.chain
         volts = np.clip(currents[i] * chain.tia.gain_v_per_a,
                         -chain.tia.rail_v, chain.tia.rail_v)
         digitized[i] = chain.adc.convert(volts) / chain.tia.gain_v_per_a
     return digitized
+
+
+def _digitize_rows(plan: MonitorPlan, currents: np.ndarray) -> np.ndarray:
+    """Digitize a monitor chunk through the cohort's chains."""
+    return digitize_rows([c.sensor for c in plan.channels], currents)
+
+
+def estimate_chunk_with_recalibration(
+        measured: np.ndarray,
+        reference_concentration: np.ndarray,
+        start: int,
+        stop: int,
+        slopes: np.ndarray,
+        intercepts: np.ndarray,
+        ref_every: int,
+        tolerance: float,
+        policy_active: bool,
+) -> tuple[np.ndarray, np.ndarray, list[tuple[int, np.ndarray]]]:
+    """Linear estimation with segment-wise one-point recalibration.
+
+    The shared vector-path core of both streaming engines (monitor and
+    therapy): a chunk of digitized readings is inverted through the
+    current per-channel calibration, split at the absolute reference
+    sample indices so re-fits apply *from the next sample on* — the
+    arithmetic the chunk-invariance contract rests on.  A reference
+    fires at absolute index ``k`` when ``(k + 1) % ref_every == 0``;
+    channels whose reading error at a reference exceeds ``tolerance``
+    are re-fit via :func:`one_point_recalibration_batch` (a channel
+    with a non-positive reference level skips its re-fit).  With
+    ``policy_active`` false — disabled policy *or* a schedule that
+    cannot fire inside the horizon — the chunk estimates in one segment
+    with no recalibration arithmetic at all.
+
+    Args:
+        measured: digitized readings [A], ``(n_channels, chunk)``.
+        reference_concentration: true levels at each sample [mol/L]
+            (the lab-draw ground truth), same shape.
+        start / stop: absolute sample range ``[start, stop)`` of the
+            chunk.
+        slopes / intercepts: current calibration, ``(n_channels,)``.
+        ref_every: reference cadence in samples.
+        tolerance: relative error triggering a re-fit.
+        policy_active: whether any reference can fire this run.
+
+    Returns:
+        ``(estimates, slopes, events)``: the ``(n_channels, chunk)``
+        concentration estimates, the (possibly re-fit) slopes, and one
+        ``(absolute_index, accepted_mask)`` entry per reference sample
+        where at least one channel was re-fit.
+    """
+    n_channels, chunk = measured.shape
+    estimates = np.empty((n_channels, chunk))
+    events: list[tuple[int, np.ndarray]] = []
+    segment_start = start
+    while segment_start < stop:
+        if policy_active:
+            # Next reference sample at an absolute index (chunk-
+            # invariant): k is a reference when (k + 1) % ref == 0.
+            next_ref = ((segment_start + ref_every)
+                        // ref_every) * ref_every - 1
+            segment_stop = min(stop, next_ref + 1)
+        else:
+            segment_stop = stop
+        local = slice(segment_start - start, segment_stop - start)
+        estimates[:, local] = np.maximum(
+            0.0, (measured[:, local] - intercepts[:, None])
+            / slopes[:, None])
+        last = segment_stop - 1
+        if policy_active and (last + 1) % ref_every == 0:
+            j = last - start
+            reference_c = reference_concentration[:, j]
+            # A channel whose true level sits at a 0.0 trajectory
+            # floor has no usable reference draw this round: skip
+            # its re-fit instead of aborting the cohort.
+            has_reference = reference_c > 0
+            rel_error = np.zeros(n_channels)
+            np.divide(np.abs(estimates[:, j] - reference_c),
+                      reference_c, out=rel_error, where=has_reference)
+            triggered = has_reference & (rel_error > tolerance)
+            if np.any(triggered):
+                refit, applied = one_point_recalibration_batch(
+                    slopes, np.where(has_reference, reference_c, 1.0),
+                    measured[:, j], intercepts)
+                accepted = triggered & applied
+                slopes = np.where(accepted, refit, slopes)
+                if np.any(accepted):
+                    events.append((last, accepted))
+        segment_start = segment_stop
+    return estimates, slopes, events
 
 
 def run_monitor(plan: MonitorPlan) -> MonitorResult:
@@ -377,6 +500,10 @@ def run_monitor(plan: MonitorPlan) -> MonitorResult:
     wander_state = np.zeros(n_channels)
     ref_every = plan.reference_every_samples
     policy = plan.recalibration
+    # The explicit zero-recalibration path: a reference schedule that
+    # cannot fire inside the horizon (interval > wear time) degrades to
+    # open-loop monitoring instead of dead segment-splitting arithmetic.
+    policy_active = plan.n_reference_draws > 0
 
     abs_rel_error_sum = np.zeros(n_channels)
     in_spec_count = np.zeros(n_channels)
@@ -431,44 +558,13 @@ def run_monitor(plan: MonitorPlan) -> MonitorResult:
         measured = _digitize_rows(plan, current)
 
         # --- estimation + online recalibration, segment-wise -----------
-        estimates = np.empty((n_channels, chunk))
-        segment_start = start
-        while segment_start < stop:
-            if policy.enabled:
-                # Next reference sample at an absolute index (chunk-
-                # invariant): k is a reference when (k + 1) % ref == 0.
-                next_ref = ((segment_start + ref_every)
-                            // ref_every) * ref_every - 1
-                segment_stop = min(stop, next_ref + 1)
-            else:
-                segment_stop = stop
-            local = slice(segment_start - start, segment_stop - start)
-            estimates[:, local] = np.maximum(
-                0.0, (measured[:, local] - intercepts[:, None])
-                / slopes[:, None])
-            last = segment_stop - 1
-            is_reference = policy.enabled and (last + 1) % ref_every == 0
-            if is_reference:
-                j = last - start
-                reference_c = c[:, j]
-                # A channel whose true level sits at a 0.0 trajectory
-                # floor has no usable reference draw this round: skip
-                # its re-fit instead of aborting the cohort.
-                has_reference = reference_c > 0
-                rel_error = np.zeros(n_channels)
-                np.divide(np.abs(estimates[:, j] - reference_c),
-                          reference_c, out=rel_error, where=has_reference)
-                triggered = has_reference & (rel_error > policy.tolerance)
-                if np.any(triggered):
-                    refit, applied = one_point_recalibration_batch(
-                        slopes, np.where(has_reference, reference_c, 1.0),
-                        measured[:, j], intercepts)
-                    accepted = triggered & applied
-                    slopes = np.where(accepted, refit, slopes)
-                    when = float(t_h[j])
-                    for i in np.flatnonzero(accepted):
-                        recal_times[i].append(when)
-            segment_start = segment_stop
+        estimates, slopes, events = estimate_chunk_with_recalibration(
+            measured, c, start, stop, slopes, intercepts,
+            ref_every, policy.tolerance, policy_active)
+        for last, accepted in events:
+            when = float(t_h[last - start])
+            for i in np.flatnonzero(accepted):
+                recal_times[i].append(when)
 
         # --- accuracy accounting ---------------------------------------
         valid = c > 0
@@ -520,6 +616,7 @@ def run_monitor_scalar(plan: MonitorPlan) -> MonitorResult:
     dt_s = plan.sample_period_s
     ref_every = plan.reference_every_samples
     policy = plan.recalibration
+    policy_active = plan.n_reference_draws > 0  # zero-recal path explicit
 
     mard = np.zeros(n_channels)
     time_in_spec = np.zeros(n_channels)
@@ -579,7 +676,7 @@ def run_monitor_scalar(plan: MonitorPlan) -> MonitorResult:
             measured = float(chain.adc.convert(volts)[0]
                              / chain.tia.gain_v_per_a)
             estimate = max(0.0, (measured - intercept) / slope)
-            if policy.enabled and (k + 1) % ref_every == 0 and c > 0:
+            if policy_active and (k + 1) % ref_every == 0 and c > 0:
                 rel_error = abs(estimate - c) / c
                 if rel_error > policy.tolerance:
                     try:

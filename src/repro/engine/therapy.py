@@ -1,0 +1,697 @@
+"""Closed-loop therapy engine: dose -> PK -> sensor -> controller -> dose.
+
+The third workload class of the engine, and the one the paper's title
+promises: *personalized medicine*.  A cohort of virtual patients
+(:mod:`repro.pk.population`) is dosed on a shared regimen grid; between
+administrations their true drug level evolves by closed-form
+pharmacokinetic superposition (:mod:`repro.pk`), the deployed CYP sensor
+measures it through the full wear physics of the streaming monitor
+(drift, baseline wander, chain noise, rail/ADC quantization, optional
+online recalibration — :mod:`repro.engine.monitor` machinery), and at
+every dose boundary a :mod:`repro.therapy` controller turns the readout
+history into the next dose, per patient.
+
+Execution model (mirrors PR 2's monitor): the cohort advances through
+the regimen as chunked ``(n_patients, chunk_samples)`` array blocks;
+dose boundaries and recalibration references split chunks at absolute
+sample indices, so results are chunk-size-invariant.  Determinism
+contract: three generator streams per patient (process noise, baseline
+wander, measurement noise) spawned from the plan seed and consumed
+strictly sequentially — results depend only on ``(seed, patient,
+sample index)``, never on chunking.  A scalar per-patient reference
+(:func:`run_therapy_scalar`) replays the same streams one sample at a
+time and agrees to <= 1e-9 (gated, with the >= 5x speedup floor, in
+``benchmarks/bench_therapy_loop.py``).
+
+Quickstart::
+
+    from repro.engine.therapy import TherapyPlan, run_therapy
+    from repro.pk import CYCLOSPORINE
+    from repro.therapy import BayesianTroughController
+
+    cohort = CYCLOSPORINE.population.sample(n_patients=16, seed=7)
+    plan = TherapyPlan.for_drug(
+        CYCLOSPORINE, cohort=cohort,
+        controller=BayesianTroughController(
+            prior=CYCLOSPORINE.typical_model(),
+            target_trough_molar=CYCLOSPORINE.window.target_trough_molar),
+        n_doses=6, seed=7)
+    print(run_therapy(plan).summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bio.matrix import SERUM
+from repro.core.longterm import DriftBudget, one_point_recalibration
+from repro.core.sensor import Biosensor
+from repro.engine.monitor import (
+    RecalibrationPolicy,
+    digitize_rows,
+    estimate_chunk_with_recalibration,
+    reading_noise_sigma_a,
+)
+from repro.enzymes.stability import EnzymeStability
+from repro.pk.dosing import concentration_from_doses
+from repro.pk.drugs import DrugSpec, TherapeuticWindow
+from repro.pk.models import Route
+from repro.pk.population import CYPPhenotype, PatientCohort
+from repro.rng import spawn_generators
+from repro.signal.drift import ou_process_batch
+from repro.therapy.controllers import (
+    ControllerObservation,
+    DosingController,
+    RegimenSpec,
+)
+from repro.therapy.metrics import trough_abs_rel_error
+
+#: Generator streams spawned per patient (process, wander, measurement) —
+#: same layout as the monitor's per-channel streams.
+_STREAMS_PER_PATIENT = 3
+
+#: Dose boundaries must land on the sample grid within this relative
+#: tolerance for trough readouts to align with administrations.
+_GRID_ALIGNMENT_RTOL = 1e-9
+
+
+def _default_budget() -> DriftBudget:
+    """Serum wear at body temperature, two-week enzyme half-life."""
+    return DriftBudget(
+        stability=EnzymeStability(half_life_s=2 * 7 * 24 * 3600.0),
+        matrix=SERUM,
+        temperature_k=310.15)
+
+
+@dataclass(frozen=True)
+class TherapyPlan:
+    """Declarative description of one closed-loop therapy course.
+
+    Attributes:
+        cohort: the treated virtual patients (PK truth).
+        sensor: the deployed biosensor design, shared by the cohort.
+        controller: the dosing policy closing the loop.
+        window: therapeutic window the course is scored against.
+        n_doses: administrations in the course, >= 1.
+        dose_interval_h: time between administrations [h]; must be an
+            integer number of sample periods so troughs land on the
+            sample grid.
+        route: administration route shared by the course.
+        infusion_duration_h: infusion duration [h] (INFUSION only).
+        sample_period_s: sensor reading cadence [s].
+        chunk_samples: samples advanced per vectorized block; purely a
+            memory/throughput knob — results are chunk-size-invariant.
+        seed: root seed of the per-patient generator streams.
+        add_noise: include every stochastic component (process noise,
+            wander, instrument noise); disable for deterministic runs.
+        budget: sensor sensitivity-drift model over the course.
+        recalibration: online one-point re-fit policy against reference
+            lab draws.  Short courses may never reach the reference
+            interval — the explicit zero-recalibration path.
+        process_noise_sigma_molar: stationary RMS of the intra-patient
+            physiological (process) noise riding on the PK truth
+            [mol/L].
+        process_noise_tau_h: correlation time of that noise [h].
+        wander_sigma_a: per-patient baseline-wander RMS [A].
+        wander_tau_h: correlation time of the wander [h].
+        keep_traces: store full per-sample traces on the result.
+    """
+
+    cohort: PatientCohort
+    sensor: Biosensor
+    controller: DosingController
+    window: TherapeuticWindow
+    n_doses: int
+    dose_interval_h: float = 12.0
+    route: Route = Route.ORAL
+    infusion_duration_h: float = 0.0
+    sample_period_s: float = 900.0
+    chunk_samples: int = 4096
+    seed: int | None = None
+    add_noise: bool = True
+    budget: DriftBudget = field(default_factory=_default_budget)
+    recalibration: RecalibrationPolicy = field(
+        default_factory=lambda: RecalibrationPolicy(
+            reference_interval_h=24.0))
+    process_noise_sigma_molar: float = 0.0
+    process_noise_tau_h: float = 2.0
+    wander_sigma_a: float = 0.0
+    wander_tau_h: float = 6.0
+    keep_traces: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_doses < 1:
+            raise ValueError("need at least one dose")
+        if self.dose_interval_h <= 0:
+            raise ValueError("dose interval must be > 0")
+        if self.sample_period_s <= 0:
+            raise ValueError("sample period must be > 0")
+        if self.chunk_samples < 1:
+            raise ValueError("chunk size must be >= 1")
+        ratio = self.dose_interval_h * 3600.0 / self.sample_period_s
+        if abs(ratio - round(ratio)) > _GRID_ALIGNMENT_RTOL * ratio:
+            raise ValueError(
+                "dose interval must be an integer number of sample "
+                f"periods (got {ratio} samples per interval)")
+        if round(ratio) < 1:
+            raise ValueError("dose interval shorter than a sample period")
+        if self.route is Route.INFUSION:
+            if self.infusion_duration_h <= 0:
+                raise ValueError("infusions need a duration > 0")
+            if self.infusion_duration_h > self.dose_interval_h:
+                raise ValueError("infusion longer than the dose interval")
+        elif self.infusion_duration_h != 0.0:
+            raise ValueError("duration applies to infusions only")
+        if (self.recalibration.enabled
+                and self.recalibration.reference_interval_h * 3600.0
+                < self.sample_period_s):
+            raise ValueError(
+                "reference interval shorter than the sample period")
+        if self.process_noise_sigma_molar < 0:
+            raise ValueError("process noise sigma must be >= 0")
+        if self.process_noise_tau_h <= 0:
+            raise ValueError("process noise tau must be > 0")
+        if self.wander_sigma_a < 0:
+            raise ValueError("wander sigma must be >= 0")
+        if self.wander_tau_h <= 0:
+            raise ValueError("wander tau must be > 0")
+
+    @classmethod
+    def for_drug(cls, drug: DrugSpec, cohort: PatientCohort,
+                 controller: DosingController, n_doses: int,
+                 **overrides) -> "TherapyPlan":
+        """Build a plan from a catalog drug: sensor + window wired in.
+
+        The drug's registry sensor is composed and its therapeutic
+        window adopted; every other field accepts overrides.
+
+        Args:
+            drug: catalog entry (window, population, sensor link).
+            cohort: the treated cohort (usually
+                ``drug.population.sample(...)``).
+            controller: the dosing policy.
+            n_doses: administrations in the course.
+            **overrides: any other :class:`TherapyPlan` field.
+
+        Returns:
+            The composed plan.
+        """
+        # Imported here: the registry composes sensors out of half the
+        # library, and the plan only needs it for this convenience.
+        from repro.core.registry import build_sensor, spec_by_id
+
+        if "sensor" not in overrides:
+            overrides["sensor"] = build_sensor(spec_by_id(drug.sensor_id))
+        overrides.setdefault("window", drug.window)
+        return cls(cohort=cohort,
+                   controller=controller,
+                   n_doses=n_doses,
+                   **overrides)
+
+    @property
+    def n_patients(self) -> int:
+        """Cohort size."""
+        return self.cohort.n_patients
+
+    @property
+    def samples_per_interval(self) -> int:
+        """Sensor readings per dosing interval."""
+        return int(round(self.dose_interval_h * 3600.0
+                         / self.sample_period_s))
+
+    @property
+    def n_samples(self) -> int:
+        """Total readings over the whole course."""
+        return self.n_doses * self.samples_per_interval
+
+    @property
+    def duration_h(self) -> float:
+        """Course length [h] (through the last interval's trough)."""
+        return self.n_doses * self.dose_interval_h
+
+    @property
+    def dose_times_h(self) -> np.ndarray:
+        """Administration times [h], shape ``(n_doses,)``."""
+        return np.arange(self.n_doses) * self.dose_interval_h
+
+    @property
+    def regimen(self) -> RegimenSpec:
+        """The dosing grid handed to the controller."""
+        return RegimenSpec(
+            dose_interval_h=self.dose_interval_h,
+            n_doses=self.n_doses,
+            route=self.route,
+            infusion_duration_h=self.infusion_duration_h)
+
+    @property
+    def reference_every_samples(self) -> int:
+        """Reference lab-draw cadence in samples (>= 1)."""
+        return max(1, int(round(
+            self.recalibration.reference_interval_h * 3600.0
+            / self.sample_period_s)))
+
+    @property
+    def n_reference_draws(self) -> int:
+        """Reference draws firing within the course (0 = open loop).
+
+        The explicit zero-recalibration path of short regimens: a
+        one-day course with daily lab draws recalibrates once; a
+        half-day course never does, and both engine paths handle that
+        without special cases at the call site.
+        """
+        if not self.recalibration.enabled:
+            return 0
+        return self.n_samples // self.reference_every_samples
+
+    def sample_times_h(self, start: int, stop: int) -> np.ndarray:
+        """Reading times [h] of samples ``[start, stop)``.
+
+        Sample ``k`` is taken at ``(k + 1) * sample_period_s`` (monitor
+        convention): the last sample of every interval lands exactly on
+        the next dose boundary — the trough readout — and times depend
+        only on the absolute index (chunk-invariance).
+        """
+        return ((np.arange(start, stop) + 1)
+                * (self.sample_period_s / 3600.0))
+
+
+@dataclass(frozen=True)
+class TherapyResult:
+    """Evaluated therapy course: doses given, windows held, per patient.
+
+    Attributes:
+        plan: the course that produced these numbers.
+        doses_mol: administered doses, ``(n_patients, n_doses)``.
+        trough_true_molar: true level at each interval end,
+            ``(n_patients, n_doses)``.
+        trough_estimated_molar: the sensor's trough readouts, same
+            shape — what the controller actually saw.
+        time_in_range: fraction of readings inside the therapeutic
+            window, ``(n_patients,)``.
+        fraction_below / fraction_above: sub-therapeutic and toxic
+            fractions, ``(n_patients,)``.
+        trough_abs_rel_error: mean ``|trough - target| / target`` over
+            the *controlled* intervals (the first trough, which no
+            controller can influence, is excluded), ``(n_patients,)``.
+        overdose_exposure_molar_h: toxic exposure integral above the
+            window ceiling, ``(n_patients,)``.
+        n_recalibrations: accepted one-point re-fits per patient.
+        time_h: sample times [h] (``None`` unless ``plan.keep_traces``).
+        true_concentration_molar / estimated_concentration_molar:
+            ``(n_patients, n_samples)`` traces (``None`` unless
+            ``plan.keep_traces``).
+        measured_current_a: digitized readings [A] (``None`` unless
+            ``plan.keep_traces``).
+    """
+
+    plan: TherapyPlan
+    doses_mol: np.ndarray
+    trough_true_molar: np.ndarray
+    trough_estimated_molar: np.ndarray
+    time_in_range: np.ndarray
+    fraction_below: np.ndarray
+    fraction_above: np.ndarray
+    trough_abs_rel_error: np.ndarray
+    overdose_exposure_molar_h: np.ndarray
+    n_recalibrations: np.ndarray
+    time_h: np.ndarray | None = field(default=None, repr=False)
+    true_concentration_molar: np.ndarray | None = field(
+        default=None, repr=False)
+    estimated_concentration_molar: np.ndarray | None = field(
+        default=None, repr=False)
+    measured_current_a: np.ndarray | None = field(default=None, repr=False)
+
+    def patient_summary(self, index: int) -> str:
+        """One-line outcome for one patient."""
+        patient = self.plan.cohort.patients[index]
+        return (
+            f"{patient.patient_id} [{patient.phenotype.value}]: "
+            f"in-range {self.time_in_range[index] * 100:.0f} %, "
+            f"trough error {self.trough_abs_rel_error[index] * 100:.0f} %, "
+            f"last dose {self.doses_mol[index, -1] * 1e6:.0f} umol")
+
+    def phenotype_summary(self) -> str:
+        """Outcome stratified by CYP phenotype — the personalization
+        story in four lines."""
+        lines = []
+        for phenotype in CYPPhenotype:
+            mask = self.plan.cohort.phenotype_mask(phenotype)
+            if not np.any(mask):
+                continue
+            lines.append(
+                f"{phenotype.value:>12}: n={int(np.sum(mask)):3d}  "
+                f"in-range {float(np.mean(self.time_in_range[mask])) * 100:5.1f} %  "
+                f"trough err {float(np.mean(self.trough_abs_rel_error[mask])) * 100:5.1f} %  "
+                f"toxic {float(np.mean(self.fraction_above[mask])) * 100:4.1f} %")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Cohort-level outcome plus the phenotype breakdown."""
+        plan = self.plan
+        head = (
+            f"{plan.n_patients} patients x {plan.n_doses} doses "
+            f"every {plan.dose_interval_h:.0f} h "
+            f"({plan.n_samples} readings over {plan.duration_h:.0f} h): "
+            f"in-range {float(np.mean(self.time_in_range)) * 100:.1f} %, "
+            f"trough error "
+            f"{float(np.mean(self.trough_abs_rel_error)) * 100:.1f} %, "
+            f"{int(np.sum(self.n_recalibrations))} recalibrations")
+        return "\n".join([head, self.phenotype_summary()])
+
+
+@dataclass
+class _CohortParams:
+    """Per-patient scalars gathered once so chunks evaluate as arrays."""
+
+    background_a: float
+    baseline_drift_a_per_hour: float
+    decay_rate_per_hour: float
+    measurement_sigma_a: float
+    day0_slope: float
+    day0_intercept: float
+
+
+def _gather(plan: TherapyPlan) -> _CohortParams:
+    """Collect the sensor-side scalars of a therapy cohort.
+
+    The cohort wears copies of one sensor design, so unlike the
+    monitor's per-channel arrays these stay scalars and broadcast.
+    """
+    sensor = plan.sensor
+    return _CohortParams(
+        background_a=sensor.background_current_a,
+        baseline_drift_a_per_hour=(
+            plan.budget.matrix.baseline_drift_a_per_hour_per_m2
+            * sensor.area_m2),
+        decay_rate_per_hour=plan.budget.decay_rate_per_hour,
+        measurement_sigma_a=reading_noise_sigma_a(sensor),
+        day0_slope=sensor.expected_slope_a_per_molar(),
+        day0_intercept=sensor.background_current_a,
+    )
+
+
+def _observation(plan: TherapyPlan, k: int, doses: np.ndarray,
+                 trough_estimates: np.ndarray) -> ControllerObservation:
+    """The controller's view right before dose ``k`` (k >= 1)."""
+    interval_h = plan.dose_interval_h
+    return ControllerObservation(
+        regimen=plan.regimen,
+        interval_index=k,
+        time_h=k * interval_h,
+        dose_times_h=np.arange(k) * interval_h,
+        doses_mol=doses[:, :k],
+        trough_times_h=(np.arange(k) + 1.0) * interval_h,
+        trough_estimates_molar=trough_estimates[:, :k],
+    )
+
+
+def run_therapy(plan: TherapyPlan) -> TherapyResult:
+    """Run a closed-loop therapy course, chunked and vectorized.
+
+    The engine entry point for the therapy workload.  Per dosing
+    interval: the controller fixes the cohort's doses, then the interval
+    streams through wear-time as ``(n_patients, chunk)`` blocks — PK
+    superposition truth, process noise, drifted faradaic response,
+    baseline + wander, chain noise, rails and quantization, linear
+    estimation, optional one-point recalibration at reference draws.
+
+    Returns:
+        A :class:`TherapyResult` with per-patient window metrics (and
+        full traces when ``plan.keep_traces``).
+
+    Determinism: with a fixed ``plan.seed`` the result is reproducible
+    and independent of ``plan.chunk_samples``; the scalar reference
+    (:func:`run_therapy_scalar`) agrees to <= 1e-9 (gated in
+    ``benchmarks/bench_therapy_loop.py``).
+    """
+    params = _gather(plan)
+    pk = plan.cohort.params()
+    n, spi = plan.n_patients, plan.samples_per_interval
+    n_samples = plan.n_samples
+    rngs = spawn_generators(plan.seed, _STREAMS_PER_PATIENT * n)
+    process_rngs = rngs[0::_STREAMS_PER_PATIENT]
+    wander_rngs = rngs[1::_STREAMS_PER_PATIENT]
+    measurement_rngs = rngs[2::_STREAMS_PER_PATIENT]
+    sensors = [plan.sensor] * n
+
+    slopes = np.full(n, params.day0_slope)
+    intercepts = np.full(n, params.day0_intercept)
+    process_state = np.zeros(n)
+    wander_state = np.zeros(n)
+    process_tau_s = plan.process_noise_tau_h * 3600.0
+    wander_tau_s = plan.wander_tau_h * 3600.0
+    ref_every = plan.reference_every_samples
+    policy = plan.recalibration
+    policy_active = plan.n_reference_draws > 0  # zero-recal path explicit
+
+    doses = np.zeros((n, plan.n_doses))
+    trough_true = np.zeros((n, plan.n_doses))
+    trough_est = np.zeros((n, plan.n_doses))
+    in_range_count = np.zeros(n)
+    below_count = np.zeros(n)
+    above_count = np.zeros(n)
+    over_sum = np.zeros(n)
+    n_recals = np.zeros(n, dtype=int)
+    if plan.keep_traces:
+        true_c = np.empty((n, n_samples))
+        est_c = np.empty((n, n_samples))
+        meas_i = np.empty((n, n_samples))
+
+    for k in range(plan.n_doses):
+        if k == 0:
+            doses[:, 0] = plan.controller.initial_doses(n, plan.regimen)
+        else:
+            doses[:, k] = plan.controller.next_doses(
+                _observation(plan, k, doses, trough_est))
+        if np.any(~np.isfinite(doses[:, k])) or np.any(doses[:, k] < 0):
+            raise ValueError(
+                f"controller produced an invalid dose at interval {k}")
+        dose_times = plan.dose_times_h[:k + 1]
+
+        interval_start = k * spi
+        interval_stop = (k + 1) * spi
+        for start in range(interval_start, interval_stop,
+                           plan.chunk_samples):
+            stop = min(start + plan.chunk_samples, interval_stop)
+            chunk = stop - start
+            t_h = plan.sample_times_h(start, stop)
+
+            # --- truth: PK superposition + physiological noise -------
+            c_pk = concentration_from_doses(
+                t_h, dose_times, doses[:, :k + 1], pk,
+                plan.route, plan.infusion_duration_h)
+            if plan.add_noise:
+                c_noise, process_state = ou_process_batch(
+                    chunk, plan.sample_period_s,
+                    process_tau_s, plan.process_noise_sigma_molar,
+                    process_state, rngs=process_rngs)
+            else:
+                c_noise = np.zeros((n, chunk))
+            c = np.maximum(c_pk + c_noise, 0.0)
+
+            # --- sensor physics: drifted response + baseline ---------
+            faradaic = np.asarray(plan.sensor.layer.steady_state_current(
+                c, plan.sensor.area_m2), dtype=float)
+            retention = np.exp(-params.decay_rate_per_hour * t_h)[None, :]
+            baseline = (params.background_a
+                        + params.baseline_drift_a_per_hour * t_h)[None, :]
+            if plan.add_noise:
+                wander, wander_state = ou_process_batch(
+                    chunk, plan.sample_period_s, wander_tau_s,
+                    plan.wander_sigma_a, wander_state, rngs=wander_rngs)
+            else:
+                wander = np.zeros((n, chunk))
+            current = retention * faradaic + baseline + wander
+
+            # --- instrument chain ------------------------------------
+            if plan.add_noise:
+                shocks = np.stack([
+                    rng.standard_normal(chunk) for rng in measurement_rngs])
+                current = current + params.measurement_sigma_a * shocks
+            measured = digitize_rows(sensors, current)
+
+            # --- estimation + online recalibration, segment-wise -----
+            estimates, slopes, events = estimate_chunk_with_recalibration(
+                measured, c, start, stop, slopes, intercepts,
+                ref_every, policy.tolerance, policy_active)
+            for _, accepted in events:
+                n_recals += accepted
+
+            # --- window accounting -----------------------------------
+            in_range_count += np.sum(
+                (c >= plan.window.low_molar)
+                & (c <= plan.window.high_molar), axis=1)
+            below_count += np.sum(c < plan.window.low_molar, axis=1)
+            above_count += np.sum(c > plan.window.high_molar, axis=1)
+            over_sum += np.sum(np.maximum(c - plan.window.high_molar, 0.0),
+                               axis=1)
+            if plan.keep_traces:
+                true_c[:, start:stop] = c
+                est_c[:, start:stop] = estimates
+                meas_i[:, start:stop] = measured
+            if stop == interval_stop:
+                trough_true[:, k] = c[:, -1]
+                trough_est[:, k] = estimates[:, -1]
+
+    period_h = plan.sample_period_s / 3600.0
+    target = plan.window.target_trough_molar
+    skip = 1 if plan.n_doses > 1 else 0
+    return TherapyResult(
+        plan=plan,
+        doses_mol=doses,
+        trough_true_molar=trough_true,
+        trough_estimated_molar=trough_est,
+        time_in_range=in_range_count / n_samples,
+        fraction_below=below_count / n_samples,
+        fraction_above=above_count / n_samples,
+        trough_abs_rel_error=trough_abs_rel_error(
+            trough_true, target, skip_first=skip),
+        overdose_exposure_molar_h=over_sum * period_h,
+        n_recalibrations=n_recals,
+        time_h=plan.sample_times_h(0, n_samples)
+        if plan.keep_traces else None,
+        true_concentration_molar=true_c if plan.keep_traces else None,
+        estimated_concentration_molar=est_c if plan.keep_traces else None,
+        measured_current_a=meas_i if plan.keep_traces else None,
+    )
+
+
+def run_therapy_scalar(plan: TherapyPlan) -> TherapyResult:
+    """Per-patient scalar reference: one patient, one sample at a time.
+
+    The historical shape of a therapy simulation — a Python loop over
+    every (patient, sample) pair through scalar OU updates, scalar
+    digitization and scalar recalibration, with the controller consulted
+    per patient on single-patient histories.  Consumes the same
+    per-patient generator streams as :func:`run_therapy`, so the two
+    paths agree to floating-point reassociation (<= 1e-9, gated in
+    ``benchmarks/bench_therapy_loop.py``) — which is exactly why the
+    chunked engine exists: same physics, >= 5x the throughput.
+    """
+    params = _gather(plan)
+    pk = plan.cohort.params()
+    n, spi = plan.n_patients, plan.samples_per_interval
+    n_samples = plan.n_samples
+    rngs = spawn_generators(plan.seed, _STREAMS_PER_PATIENT * n)
+    chain = plan.sensor.chain
+    dt_s = plan.sample_period_s
+    ref_every = plan.reference_every_samples
+    policy = plan.recalibration
+    policy_active = plan.n_reference_draws > 0
+    process_a = np.exp(-dt_s / (plan.process_noise_tau_h * 3600.0))
+    process_scale = (plan.process_noise_sigma_molar
+                     * np.sqrt(1.0 - process_a ** 2))
+    wander_a = np.exp(-dt_s / (plan.wander_tau_h * 3600.0))
+    wander_scale = plan.wander_sigma_a * np.sqrt(1.0 - wander_a ** 2)
+
+    doses = np.zeros((n, plan.n_doses))
+    trough_true = np.zeros((n, plan.n_doses))
+    trough_est = np.zeros((n, plan.n_doses))
+    in_range_count = np.zeros(n)
+    below_count = np.zeros(n)
+    above_count = np.zeros(n)
+    over_sum = np.zeros(n)
+    n_recals = np.zeros(n, dtype=int)
+    if plan.keep_traces:
+        true_c = np.empty((n, n_samples))
+        est_c = np.empty((n, n_samples))
+        meas_i = np.empty((n, n_samples))
+
+    for i in range(n):
+        process_rng = rngs[_STREAMS_PER_PATIENT * i]
+        wander_rng = rngs[_STREAMS_PER_PATIENT * i + 1]
+        measurement_rng = rngs[_STREAMS_PER_PATIENT * i + 2]
+        patient_pk = pk.patient(i)
+        slope = params.day0_slope
+        intercept = params.day0_intercept
+        process_state = 0.0
+        wander_state = 0.0
+
+        for k in range(plan.n_doses):
+            if k == 0:
+                doses[i, k] = float(plan.controller.initial_doses(
+                    1, plan.regimen)[0])
+            else:
+                doses[i, k] = float(plan.controller.next_doses(
+                    _observation(plan, k, doses[i:i + 1],
+                                 trough_est[i:i + 1]))[0])
+            if not np.isfinite(doses[i, k]) or doses[i, k] < 0:
+                raise ValueError(
+                    f"controller produced an invalid dose at interval {k}")
+            dose_times = plan.dose_times_h[:k + 1]
+
+            for j in range(k * spi, (k + 1) * spi):
+                t_h = (j + 1) * dt_s / 3600.0
+                c_pk = float(concentration_from_doses(
+                    np.array([t_h]), dose_times, doses[i:i + 1, :k + 1],
+                    patient_pk, plan.route,
+                    plan.infusion_duration_h)[0, 0])
+                if plan.add_noise:
+                    process_state = (
+                        process_a * process_state
+                        + process_scale * process_rng.standard_normal())
+                c = max(c_pk + process_state, 0.0)
+                faradaic = float(plan.sensor.layer.steady_state_current(
+                    c, plan.sensor.area_m2))
+                retention = float(np.exp(
+                    -params.decay_rate_per_hour * t_h))
+                baseline = (params.background_a
+                            + params.baseline_drift_a_per_hour * t_h)
+                if plan.add_noise:
+                    wander_state = (
+                        wander_a * wander_state
+                        + wander_scale * wander_rng.standard_normal())
+                current = retention * faradaic + baseline + wander_state
+                if plan.add_noise:
+                    current += (params.measurement_sigma_a
+                                * measurement_rng.standard_normal())
+                volts = float(np.clip(current * chain.tia.gain_v_per_a,
+                                      -chain.tia.rail_v, chain.tia.rail_v))
+                measured = float(chain.adc.convert(volts)[0]
+                                 / chain.tia.gain_v_per_a)
+                estimate = max(0.0, (measured - intercept) / slope)
+                if policy_active and (j + 1) % ref_every == 0 and c > 0:
+                    rel_error = abs(estimate - c) / c
+                    if rel_error > policy.tolerance:
+                        try:
+                            slope = one_point_recalibration(
+                                slope, c, measured, intercept)
+                            n_recals[i] += 1
+                        except ValueError:
+                            pass
+                in_range_count[i] += (plan.window.low_molar <= c
+                                      <= plan.window.high_molar)
+                below_count[i] += c < plan.window.low_molar
+                above_count[i] += c > plan.window.high_molar
+                over_sum[i] += max(c - plan.window.high_molar, 0.0)
+                if plan.keep_traces:
+                    true_c[i, j] = c
+                    est_c[i, j] = estimate
+                    meas_i[i, j] = measured
+                if j == (k + 1) * spi - 1:
+                    trough_true[i, k] = c
+                    trough_est[i, k] = estimate
+
+    period_h = plan.sample_period_s / 3600.0
+    target = plan.window.target_trough_molar
+    skip = 1 if plan.n_doses > 1 else 0
+    return TherapyResult(
+        plan=plan,
+        doses_mol=doses,
+        trough_true_molar=trough_true,
+        trough_estimated_molar=trough_est,
+        time_in_range=in_range_count / n_samples,
+        fraction_below=below_count / n_samples,
+        fraction_above=above_count / n_samples,
+        trough_abs_rel_error=trough_abs_rel_error(
+            trough_true, target, skip_first=skip),
+        overdose_exposure_molar_h=over_sum * period_h,
+        n_recalibrations=n_recals,
+        time_h=plan.sample_times_h(0, n_samples)
+        if plan.keep_traces else None,
+        true_concentration_molar=true_c if plan.keep_traces else None,
+        estimated_concentration_molar=est_c if plan.keep_traces else None,
+        measured_current_a=meas_i if plan.keep_traces else None,
+    )

@@ -220,6 +220,54 @@ class TestDriftAndRecalibration:
             scalar.estimated_concentration_molar, rtol=0.0, atol=1e-9)
         assert batch.recalibration_times_h == scalar.recalibration_times_h
 
+    def test_reference_schedule_that_never_fires(self, channels):
+        """Regression (the zero-recalibration path): a reference
+        interval longer than the wear time is legal — the plan degrades
+        to open-loop monitoring, identically on both engine paths, and
+        reports it through ``n_reference_draws``."""
+        plan = short_plan(channels, duration_h=6.0,
+                          recalibration=RecalibrationPolicy(
+                              reference_interval_h=12.0))
+        assert plan.n_reference_draws == 0
+        batch = run_monitor(plan)
+        scalar = run_monitor_scalar(plan)
+        assert int(np.sum(batch.n_recalibrations)) == 0
+        assert int(np.sum(scalar.n_recalibrations)) == 0
+        np.testing.assert_allclose(
+            batch.estimated_concentration_molar,
+            scalar.estimated_concentration_molar, rtol=0.0, atol=1e-9)
+        open_loop = run_monitor(short_plan(
+            channels, duration_h=6.0,
+            recalibration=RecalibrationPolicy(enabled=False)))
+        np.testing.assert_array_equal(
+            batch.estimated_concentration_molar,
+            open_loop.estimated_concentration_molar)
+
+    def test_reference_draw_count_property(self, channels):
+        plan = short_plan(channels, duration_h=36.0,
+                          recalibration=RecalibrationPolicy(
+                              reference_interval_h=12.0))
+        assert plan.n_reference_draws == 3
+        disabled = short_plan(channels, duration_h=36.0,
+                              recalibration=RecalibrationPolicy(
+                                  enabled=False))
+        assert disabled.n_reference_draws == 0
+
+    def test_reference_on_final_sample_still_fires(self, channels):
+        """Boundary of the zero-recal path: an interval equal to the
+        wear time fires exactly once, at the last sample."""
+        plan = short_plan(channels, duration_h=36.0,
+                          recalibration=RecalibrationPolicy(
+                              reference_interval_h=36.0,
+                              tolerance=0.01))
+        assert plan.n_reference_draws == 1
+        batch = run_monitor(plan)
+        scalar = run_monitor_scalar(plan)
+        np.testing.assert_array_equal(batch.n_recalibrations,
+                                      scalar.n_recalibrations)
+        for times in batch.recalibration_times_h:
+            assert all(t == pytest.approx(36.0) for t in times)
+
     def test_final_retention_matches_budget(self, channels):
         result = run_monitor(short_plan(channels))
         t_end_h = result.plan.n_samples * result.plan.sample_period_s / 3600

@@ -17,8 +17,8 @@ import repro
 
 SUBPACKAGES = [
     "analytes", "bio", "chem", "classification", "core", "electrodes",
-    "engine", "enzymes", "experiments", "instrument", "nano", "signal",
-    "system", "techniques", "transducers",
+    "engine", "enzymes", "experiments", "instrument", "nano", "pk",
+    "signal", "system", "techniques", "therapy", "transducers",
 ]
 
 
@@ -65,6 +65,9 @@ class TestDocstrings:
         "repro.engine", "repro.engine.monitor", "repro.engine.plan",
         "repro.engine.measure", "repro.engine.runner",
         "repro.engine.calibrate", "repro.engine.kernels",
+        "repro.engine.therapy", "repro.pk.models", "repro.pk.dosing",
+        "repro.pk.population", "repro.pk.drugs",
+        "repro.therapy.controllers", "repro.therapy.metrics",
     ])
     def test_engine_modules_documented(self, module_name):
         """The engine is the documented flagship: every module, public

@@ -50,6 +50,9 @@ class TestSiteSkeleton:
                                     re.MULTILINE)
         }
         for required in ("repro.engine", "repro.engine.monitor",
+                         "repro.engine.therapy", "repro.pk.models",
+                         "repro.pk.population",
+                         "repro.therapy.controllers",
                          "repro.core", "repro.instrument"):
             assert required in identifiers, f"no API page renders {required}"
 
