@@ -97,7 +97,7 @@ def _best_of(fn, repeats: int = 3) -> float:
     return best
 
 
-def test_batch_speedup(benchmark):
+def test_batch_speedup(benchmark, bench_json):
     sensors, grids = build_panel()
     n_cells = sum(len(g) for g in grids) * N_REPLICATES
     rngs = spawn_generators(7, n_cells)
@@ -116,6 +116,15 @@ def test_batch_speedup(benchmark):
     speedup = scalar_s / batch_s
     print(f"\n{n_cells} cells: scalar {scalar_s * 1e3:.1f} ms, "
           f"batch {batch_s * 1e3:.1f} ms -> {speedup:.1f}x")
+    path = bench_json(
+        "engine",
+        n_cells=n_cells,
+        scalar_wall_s=scalar_s,
+        batch_wall_s=batch_s,
+        speedup=speedup,
+        speedup_floor=SPEEDUP_FLOOR,
+    )
+    print(f"perf record -> {path}")
     assert result.size == n_cells
     assert speedup >= SPEEDUP_FLOOR, (
         f"batch speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor")

@@ -92,7 +92,7 @@ def test_scalar_equivalence():
     assert batch.recalibration_times_h == scalar.recalibration_times_h
 
 
-def test_monitor_speedup(benchmark):
+def test_monitor_speedup(benchmark, bench_json):
     plan = week_plan(keep_traces=False)
     n_readings = plan.n_channels * plan.n_samples
 
@@ -109,6 +109,17 @@ def test_monitor_speedup(benchmark):
           f"scalar {scalar_s * 1e3:.0f} ms, chunked {batch_s * 1e3:.1f} ms "
           f"-> {speedup:.1f}x")
     print(result.summary())
+    path = bench_json(
+        "monitor",
+        n_channels=plan.n_channels,
+        n_samples=plan.n_samples,
+        n_readings=n_readings,
+        scalar_wall_s=scalar_s,
+        batch_wall_s=batch_s,
+        speedup=speedup,
+        speedup_floor=SPEEDUP_FLOOR,
+    )
+    print(f"perf record -> {path}")
     assert result.plan.n_samples == plan.n_samples
     assert speedup >= SPEEDUP_FLOOR, (
         f"monitor speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor")

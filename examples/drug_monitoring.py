@@ -23,14 +23,9 @@ Run:  python examples/drug_monitoring.py
 import numpy as np
 
 from repro.analytes.physiological import ConcentrationTrajectory
-from repro.engine.therapy import TherapyPlan, run_therapy
 from repro.pk import CYCLOSPORINE, CYPPhenotype
 from repro.pk.dosing import steady_state_trough_per_mol
-from repro.therapy import (
-    BayesianTroughController,
-    FixedRegimenController,
-    ProportionalTroughController,
-)
+from repro.scenarios import Scenario, run_scenarios
 
 
 def main() -> None:
@@ -55,23 +50,35 @@ def main() -> None:
     print(f"Label dose (typical patient to target): "
           f"{drug.mg_from_dose_mol(label_dose):.0f} mg q12h\n")
 
-    controllers = {
-        "fixed regimen": FixedRegimenController(dose_mol=label_dose),
-        "proportional titration": ProportionalTroughController(
-            initial_dose_mol=label_dose,
-            target_trough_molar=window.target_trough_molar),
-        "bayesian (model-informed)": BayesianTroughController(
-            prior=drug.typical_model(),
-            target_trough_molar=window.target_trough_molar,
-            observation_sigma_molar=4e-7),
+    # The three-rung comparison as three declarative scenarios on one
+    # shared spec — only the controller mapping differs.  cohort_seed=7
+    # re-samples exactly the cohort printed above (the population seed
+    # is part of the artifact), the drug name resolves the sensor and
+    # window from the catalog, and the Bayesian prior defaults to the
+    # drug's typical model.  Each scenario is a JSON file away from
+    # ``python -m repro run``.
+    base_spec = {
+        "drug": drug.name,
+        "n_patients": 16,
+        "cohort_seed": 7,
+        "n_doses": 6,
+        "dose_interval_h": 12.0,
+        "sample_period_s": 900.0,
+        "process_noise_sigma_molar": 1e-7,
+        "wander_sigma_a": 2e-9,
     }
-    results = {}
-    for name, controller in controllers.items():
-        plan = TherapyPlan.for_drug(
-            drug, cohort, controller=controller, n_doses=6,
-            dose_interval_h=12.0, sample_period_s=900.0, seed=42,
-            process_noise_sigma_molar=1e-7, wander_sigma_a=2e-9)
-        results[name] = run_therapy(plan)
+    controllers = {
+        "fixed regimen": {"kind": "fixed", "dose_mol": label_dose},
+        "proportional titration": {
+            "kind": "proportional", "initial_dose_mol": label_dose},
+        "bayesian (model-informed)": {
+            "kind": "bayesian", "observation_sigma_molar": 4e-7},
+    }
+    runs = run_scenarios(
+        Scenario(workload="therapy", name=name, seed=42,
+                 spec={**base_spec, "controller": controller})
+        for name, controller in controllers.items())
+    results = {run.scenario.name: run.result for run in runs}
 
     print("Three-day course, 12-hourly doses, 15-minute readings, "
           "daily reference draws:")

@@ -2,13 +2,15 @@
 recalibration, battery.
 
 The chronic-patient scenario of the paper's introduction, end to end —
-now as a *cohort* through the streaming monitor engine
-(:mod:`repro.engine.monitor`): eight wearers of the glucose channel at
-body temperature in a serum-like matrix drift (enzyme decay + fouling +
-baseline wander) while their glucose follows circadian/meal
-trajectories; periodic finger-stick references trigger one-point
-recalibrations; the result reports per-patient MARD and time-in-spec.
-The drift budget's analytic schedule and the energy model round out the
+now literally *as a scenario*: the whole cohort wear simulation (eight
+wearers of the glucose channel drifting through a week while periodic
+finger-stick references trigger one-point recalibrations) is one
+declarative, serializable :class:`repro.scenarios.Scenario` dispatched
+through the unified front door (``run_scenario`` — the same spec also
+lives in ``examples/scenarios/glucose_week.json`` for
+``python -m repro run``).  The open-loop comparison is the same spec
+with recalibration switched off — a dict edit, not new code.  The drift
+budget's analytic schedule and the energy model round out the
 deployment picture.
 
 Run:  python examples/longterm_monitoring.py
@@ -16,13 +18,8 @@ Run:  python examples/longterm_monitoring.py
 
 from repro.bio.matrix import SERUM
 from repro.core.longterm import DriftBudget
-from repro.engine.monitor import (
-    MonitorPlan,
-    RecalibrationPolicy,
-    glucose_cohort,
-    run_monitor,
-)
 from repro.enzymes.stability import EnzymeStability
+from repro.scenarios import Scenario, run_scenario
 from repro.system.composition import reference_biosensor_node
 from repro.system.energy import EnergyBudget
 
@@ -43,28 +40,35 @@ def main() -> None:
           f"{len(schedule)} recalibrations needed over one week")
 
     # ------------------------------------------------------------------
-    # Stream the cohort through a week of wear, 5-minute cadence.
+    # The wear simulation as a declarative scenario: catalog ids and
+    # plain data only, so the same run replays bit-identically from the
+    # JSON file ``scenario.save()`` would write.
     # ------------------------------------------------------------------
-    channels = glucose_cohort(n_patients=8)
-    plan = MonitorPlan(
-        channels=channels,
-        duration_h=WEEK_H,
-        sample_period_s=300.0,
+    scenario = Scenario(
+        workload="monitor",
+        name="glucose-week",
         seed=42,
-        recalibration=RecalibrationPolicy(
-            reference_interval_h=6.0, tolerance=0.08),
-    )
-    result = run_monitor(plan)
+        spec={
+            "cohort": {"sensor": "glucose/this-work", "analyte": "glucose",
+                       "n_patients": 8, "wander_sigma_a": 2e-9},
+            "duration_h": WEEK_H,
+            "sample_period_s": 300.0,
+            "recalibration": {"reference_interval_h": 6.0,
+                              "tolerance": 0.08},
+        })
+    result = run_scenario(scenario)
+    plan = result.plan
     print(f"\n{result.summary()}")
 
-    # The same cohort open-loop: what recalibration is worth.
-    open_loop = run_monitor(MonitorPlan(
-        channels=channels,
-        duration_h=WEEK_H,
-        sample_period_s=300.0,
+    # The same cohort open-loop: what recalibration is worth.  The
+    # scenario is data, so the ablation is a spec edit.
+    open_loop = run_scenario(Scenario(
+        workload="monitor",
+        name="glucose-week-open-loop",
         seed=42,
-        recalibration=RecalibrationPolicy(enabled=False),
-        keep_traces=False,
+        spec={**scenario.spec,
+              "recalibration": {"enabled": False},
+              "keep_traces": False},
     ))
     print(f"\nWithout recalibration the cohort MARD would be "
           f"{float(open_loop.mard.mean()) * 100:.1f} % "

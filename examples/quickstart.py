@@ -1,15 +1,22 @@
 """Quickstart: build the paper's glucose biosensor and calibrate it.
 
 Reproduces the headline row of Table 2 (MWCNT/Nafion + GOD, this work):
-sensitivity ~55.5 uA mM^-1 cm^-2, linear range 0-1 mM, LOD ~2 uM.
+sensitivity ~55.5 uA mM^-1 cm^-2, linear range 0-1 mM, LOD ~2 uM —
+through the unified scenario front door: the calibration is a
+declarative, serializable :class:`repro.scenarios.Scenario` (catalog id
++ seed + plain data), dispatched by ``run_scenario`` and replayable
+bit-identically from the JSON it serializes to
+(``python -m repro run``).
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.calibration import default_protocol_for_range
 from repro.core.registry import build_sensor, spec_by_id
-from repro.engine import run_calibration_batch
-from repro.units import molar_from_millimolar
+from repro.scenarios import (
+    Scenario,
+    calibration_results_from_batch,
+    run_scenario,
+)
 
 
 def main() -> None:
@@ -22,12 +29,17 @@ def main() -> None:
     print(f"  CNT film: area x{sensor.film.area_enhancement():.0f}, "
           f"electron transfer x{sensor.film.rate_enhancement():.1f}")
 
-    protocol = default_protocol_for_range(
-        molar_from_millimolar(spec.paper_range_mm[1]))
-    # The batch engine evaluates the whole protocol (blanks + standards x
-    # replicates) as vectorized array operations with deterministic
-    # per-cell randomness derived from the seed.
-    result = run_calibration_batch(sensor, protocol, seed=42)
+    # The whole campaign — blanks + a standard staircase spanning the
+    # published range x replicates — as one declarative scenario.  The
+    # engine evaluates it vectorized with deterministic per-cell
+    # randomness; the JSON form (scenario.to_json()) replays it exactly.
+    scenario = Scenario(
+        workload="calibration",
+        name="glucose-quickstart",
+        seed=42,
+        spec={"sensors": [spec.sensor_id]})
+    batch = run_scenario(scenario)
+    result = calibration_results_from_batch(batch)[0]
 
     print("\nCalibration (successive additions, 3 replicates/standard):")
     for point in result.points:
@@ -39,6 +51,8 @@ def main() -> None:
     print(f"  paper: S = {spec.paper_sensitivity} uA mM^-1 cm^-2, "
           f"linear {spec.paper_range_mm[0]} - {spec.paper_range_mm[1]} mM, "
           f"LOD = {spec.paper_lod_um} uM")
+    print("\nReplay from the shell:")
+    print("  python -m repro run scenario.json   # scenario.save(...)")
 
 
 if __name__ == "__main__":

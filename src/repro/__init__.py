@@ -21,6 +21,11 @@ Quickstart::
     result = run_calibration(sensor, protocol)
     print(result.summary())
 
+Every engine workload — calibration campaigns, wear-time monitoring,
+closed-loop therapy — is also runnable from a declarative JSON scenario
+file through :mod:`repro.scenarios` and the ``python -m repro`` command
+line.
+
 The rendered documentation site (``mkdocs serve``; ``docs/`` +
 ``mkdocs.yml``) carries the API reference, the continuous-monitoring
 guide and the paper-to-module map.
@@ -43,6 +48,7 @@ from repro import (  # noqa: F401  (re-exported subpackages)
     nano,
     pk,
     rng,
+    scenarios,
     signal,
     system,
     techniques,
@@ -66,6 +72,7 @@ __all__ = [
     "nano",
     "pk",
     "rng",
+    "scenarios",
     "signal",
     "system",
     "techniques",

@@ -1,0 +1,12 @@
+"""``python -m repro``: the scenario command line.
+
+Thin alias for :mod:`repro.scenarios.cli` — ``run`` a scenario JSON
+file through its registered workload, ``list`` the workloads,
+``describe`` one.  (The table-regeneration CLI remains at
+``python -m repro.experiments``.)
+"""
+
+from repro.scenarios.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,12 @@ The third workload class closes the personalized-medicine loop:
 wear physics, and lets a :mod:`repro.therapy` controller adjust every
 patient's next dose — scored against the therapeutic window
 (:class:`TherapyResult`).
+
+All three workloads share one declarative front door:
+:mod:`repro.scenarios` wraps them behind a registry of named workloads,
+serializes any configured run as a JSON :class:`~repro.scenarios.Scenario`
+artifact, and dispatches them through ``run_scenario`` or the
+``python -m repro`` command line.
 """
 
 from repro.engine import kernels
@@ -52,7 +58,7 @@ from repro.engine.measure import (
     measure_amperometric_batch,
     measure_voltammetric_batch,
 )
-from repro.engine.runner import run_batch
+from repro.engine.runner import run_batch, run_batch_scalar
 from repro.engine.calibrate import (
     calibration_plan,
     calibration_result_from_batch,
@@ -102,6 +108,7 @@ __all__ = [
     "measure_amperometric_batch",
     "measure_voltammetric_batch",
     "run_batch",
+    "run_batch_scalar",
     "calibration_plan",
     "calibration_result_from_batch",
     "run_calibration_batch",

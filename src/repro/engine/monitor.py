@@ -296,6 +296,57 @@ class MonitorResult:
                   for i in range(self.plan.n_channels)]
         return "\n".join(lines)
 
+    def summary_row(self) -> dict:
+        """Flat scalar metrics of the wear simulation (JSON-serializable).
+
+        The tabular-export half of the shared result contract
+        (:class:`repro.scenarios.ResultProtocol`).
+        """
+        return {
+            "workload": "monitor",
+            "n_channels": self.plan.n_channels,
+            "n_samples": self.plan.n_samples,
+            "duration_h": float(self.plan.duration_h),
+            "seed": self.plan.seed,
+            "cohort_mard": float(np.mean(self.mard)),
+            "cohort_time_in_spec": float(np.mean(self.time_in_spec)),
+            "n_recalibrations": int(np.sum(self.n_recalibrations)),
+            "mean_final_retention": float(np.mean(self.final_retention)),
+        }
+
+    def to_dict(self, include_traces: bool = False) -> dict:
+        """JSON-serializable export of the evaluated wear simulation.
+
+        Args:
+            include_traces: also include the per-sample true/estimated
+                concentration and measured-current traces (only possible
+                when the plan kept them; off by default — they dominate
+                the payload for week-long cohorts).
+
+        Returns:
+            ``summary_row()`` plus one accuracy entry per channel.
+        """
+        channels = [{
+            "patient_id": channel.patient_id,
+            "analyte": channel.sensor.analyte.name,
+            "mard": float(self.mard[i]),
+            "time_in_spec": float(self.time_in_spec[i]),
+            "n_recalibrations": int(self.n_recalibrations[i]),
+            "recalibration_times_h": list(self.recalibration_times_h[i]),
+            "final_retention": float(self.final_retention[i]),
+            "final_slope_a_per_molar": float(
+                self.final_slope_a_per_molar[i]),
+        } for i, channel in enumerate(self.plan.channels)]
+        data = {**self.summary_row(), "channels": channels}
+        if include_traces and self.time_h is not None:
+            data["time_h"] = self.time_h.tolist()
+            data["true_concentration_molar"] = (
+                self.true_concentration_molar.tolist())
+            data["estimated_concentration_molar"] = (
+                self.estimated_concentration_molar.tolist())
+            data["measured_current_a"] = self.measured_current_a.tolist()
+        return data
+
 
 @dataclass
 class _ChannelParams:

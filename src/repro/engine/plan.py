@@ -180,3 +180,61 @@ class BatchResult:
         """All cell values in canonical (seed) order, ``(n_cells,)``."""
         return np.concatenate(
             [group for groups in self.values_a for group in groups])
+
+    def summary(self) -> str:
+        """Campaign-level summary plus one line per sensor."""
+        plan = self.plan
+        lines = [f"{len(plan.sensors)} sensors x {plan.n_cells} cells "
+                 f"(seed {plan.seed})"]
+        for i, sensor in enumerate(plan.sensors):
+            means = self.means(i)
+            lines.append(
+                f"  {sensor.analyte.name}: {means.size} concentrations, "
+                f"mean signal {float(means.min()) * 1e9:.2f} - "
+                f"{float(means.max()) * 1e9:.2f} nA")
+        return "\n".join(lines)
+
+    def summary_row(self) -> dict:
+        """Flat scalar metrics of the campaign (JSON-serializable).
+
+        The tabular-export half of the shared result contract
+        (:class:`repro.scenarios.ResultProtocol`): one row a sweep over
+        many scenarios can concatenate without schema knowledge.
+        """
+        flat = self.flat_values()
+        return {
+            "workload": "calibration",
+            "n_sensors": len(self.plan.sensors),
+            "n_cells": int(flat.size),
+            "seed": self.plan.seed,
+            "mean_abs_signal_a": float(np.mean(np.abs(flat))),
+            "max_abs_signal_a": float(np.max(np.abs(flat))),
+        }
+
+    def to_dict(self, include_traces: bool = False) -> dict:
+        """JSON-serializable export of the evaluated campaign.
+
+        Args:
+            include_traces: also include every raw replicate value (the
+                full per-cell record; off by default — grids and
+                replicate statistics are always included).
+
+        Returns:
+            ``summary_row()`` plus one entry per sensor with its
+            concentration grid and replicate means/stds.
+        """
+        sensors = []
+        for i, sensor in enumerate(self.plan.sensors):
+            entry = {
+                "analyte": sensor.analyte.name,
+                "concentrations_molar": list(
+                    self.plan.concentrations_molar[i]),
+                "replicates": list(self.plan.replicates_for(i)),
+                "mean_a": [float(v) for v in self.means(i)],
+                "std_a": [float(v) for v in self.stds(i)],
+            }
+            if include_traces:
+                entry["values_a"] = [
+                    [float(v) for v in group] for group in self.values_a[i]]
+            sensors.append(entry)
+        return {**self.summary_row(), "sensors": sensors}

@@ -4,7 +4,10 @@
 per cell from the plan seed, walks the sensor panel, and dispatches each
 sensor's whole cell slice to the appropriate batched measurement — fully
 vectorized for amperometric readouts, per-cell (but still deterministic)
-for voltammetric ones.
+for voltammetric ones.  :func:`run_batch_scalar` replays the same plan
+one cell at a time through the same spawned generators — the equivalence
+reference that completes the ``run_*``/``run_*_scalar`` pairing every
+workload exposes through :mod:`repro.scenarios`.
 """
 
 from __future__ import annotations
@@ -52,4 +55,47 @@ def run_batch(plan: BatchPlan) -> BatchResult:
             raise ValueError(f"unhandled readout mode {sensor.readout}")
         boundaries = np.cumsum(reps)[:-1]
         values_per_sensor.append(tuple(np.split(values, boundaries)))
+    return BatchResult(plan=plan, values_a=tuple(values_per_sensor))
+
+
+def run_batch_scalar(plan: BatchPlan) -> BatchResult:
+    """Per-cell scalar reference: one measurement call per cell.
+
+    The historical shape of a campaign — a Python loop over every
+    (sensor, concentration, replicate) cell — driven by the *same*
+    per-cell generators :func:`run_batch` spawns, so the two paths agree
+    bit-for-bit (the engine's reproducibility contract: a cell's value
+    depends only on ``(seed, flat position)``, never on how its
+    neighbours were grouped).  Exists as the equivalence/benchmark
+    baseline of the calibration workload, mirroring
+    :func:`repro.engine.monitor.run_monitor_scalar` and
+    :func:`repro.engine.therapy.run_therapy_scalar`.
+    """
+    rngs = (spawn_generators(plan.seed, plan.n_cells)
+            if plan.add_noise else [None] * plan.n_cells)
+    values_per_sensor: list[tuple[np.ndarray, ...]] = []
+    flat = 0
+    for i, sensor in enumerate(plan.sensors):
+        groups: list[np.ndarray] = []
+        reps = plan.replicates_for(i)
+        for j, concentration in enumerate(plan.concentrations_molar[i]):
+            cells = np.empty(reps[j])
+            for k in range(reps[j]):
+                cell_rng = [rngs[flat]] if plan.add_noise else None
+                single = np.array([concentration])
+                if sensor.readout is ReadoutMode.AMPEROMETRIC_STEADY_STATE:
+                    cells[k] = float(measure_amperometric_batch(
+                        sensor, single, rngs=cell_rng,
+                        add_noise=plan.add_noise,
+                        step_duration_s=plan.step_duration_s)[0])
+                elif sensor.readout is ReadoutMode.VOLTAMMETRIC_PEAK:
+                    cells[k] = float(measure_voltammetric_batch(
+                        sensor, single, rngs=cell_rng,
+                        add_noise=plan.add_noise)[0])
+                else:
+                    raise ValueError(
+                        f"unhandled readout mode {sensor.readout}")
+                flat += 1
+            groups.append(cells)
+        values_per_sensor.append(tuple(groups))
     return BatchResult(plan=plan, values_a=tuple(values_per_sensor))

@@ -360,6 +360,65 @@ class TherapyResult:
             f"{int(np.sum(self.n_recalibrations))} recalibrations")
         return "\n".join([head, self.phenotype_summary()])
 
+    def summary_row(self) -> dict:
+        """Flat scalar metrics of the therapy course (JSON-serializable).
+
+        The tabular-export half of the shared result contract
+        (:class:`repro.scenarios.ResultProtocol`).
+        """
+        return {
+            "workload": "therapy",
+            "n_patients": self.plan.n_patients,
+            "n_doses": self.plan.n_doses,
+            "n_samples": self.plan.n_samples,
+            "duration_h": float(self.plan.duration_h),
+            "seed": self.plan.seed,
+            "cohort_time_in_range": float(np.mean(self.time_in_range)),
+            "cohort_fraction_above": float(np.mean(self.fraction_above)),
+            "cohort_trough_abs_rel_error": float(
+                np.mean(self.trough_abs_rel_error)),
+            "total_overdose_exposure_molar_h": float(
+                np.sum(self.overdose_exposure_molar_h)),
+            "n_recalibrations": int(np.sum(self.n_recalibrations)),
+        }
+
+    def to_dict(self, include_traces: bool = False) -> dict:
+        """JSON-serializable export of the evaluated therapy course.
+
+        Args:
+            include_traces: also include the per-sample true/estimated
+                concentration and measured-current traces (only possible
+                when the plan kept them; off by default).
+
+        Returns:
+            ``summary_row()`` plus one outcome entry per patient with
+            the administered doses and trough history.
+        """
+        patients = [{
+            "patient_id": patient.patient_id,
+            "phenotype": patient.phenotype.value,
+            "time_in_range": float(self.time_in_range[i]),
+            "fraction_below": float(self.fraction_below[i]),
+            "fraction_above": float(self.fraction_above[i]),
+            "trough_abs_rel_error": float(self.trough_abs_rel_error[i]),
+            "overdose_exposure_molar_h": float(
+                self.overdose_exposure_molar_h[i]),
+            "n_recalibrations": int(self.n_recalibrations[i]),
+            "doses_mol": self.doses_mol[i].tolist(),
+            "trough_true_molar": self.trough_true_molar[i].tolist(),
+            "trough_estimated_molar": (
+                self.trough_estimated_molar[i].tolist()),
+        } for i, patient in enumerate(self.plan.cohort.patients)]
+        data = {**self.summary_row(), "patients": patients}
+        if include_traces and self.time_h is not None:
+            data["time_h"] = self.time_h.tolist()
+            data["true_concentration_molar"] = (
+                self.true_concentration_molar.tolist())
+            data["estimated_concentration_molar"] = (
+                self.estimated_concentration_molar.tolist())
+            data["measured_current_a"] = self.measured_current_a.tolist()
+        return data
+
 
 @dataclass
 class _CohortParams:

@@ -21,7 +21,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the DAC-2012 biosensor tables through the "
-                    "full simulated pipeline.")
+                    "full simulated pipeline.",
+        epilog="For declarative scenario runs (calibration campaigns, "
+               "wear-time monitoring, closed-loop therapy) use the "
+               "scenario CLI instead: python -m repro run scenario.json")
     parser.add_argument("--group", action="append",
                         choices=["glucose", "lactate", "glutamate", "cyp"],
                         help="Table 2 group(s) to run (default: all)")

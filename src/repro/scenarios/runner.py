@@ -1,0 +1,115 @@
+"""Scenario dispatch: run one scenario, or fan a list across workloads.
+
+:func:`run_scenario` is the single-call front door — resolve the
+workload, build the plan, execute.  :func:`run_scenarios` is the batch
+form: it spawns one independent ``SeedSequence`` stream per scenario
+from a root seed (the same collision-resistant derivation the engines
+use per cell/channel/patient), assigns the derived seed to every
+scenario that does not carry an explicit one, and returns the
+materialized, fully replayable :class:`ScenarioRun` records — each of
+which can be serialized and re-run bit-identically on its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.scenarios.protocols import ResultProtocol, workload_by_name
+from repro.scenarios.spec import Scenario
+
+
+def spawn_scenario_seeds(root_seed: int | None, n: int) -> list[int]:
+    """Derive ``n`` independent integer seeds from one root seed.
+
+    ``np.random.SeedSequence.spawn`` keeps the derived streams mutually
+    independent and collision-resistant (the contract
+    :func:`repro.rng.spawn_generators` rests on); each child is folded
+    to a plain ``int`` so the resolved scenario stays JSON-serializable.
+    A ``None`` root draws an entropy root — independent but not
+    replayable, exactly like the engines' own ``seed=None`` paths.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    root = np.random.SeedSequence(root_seed)
+    return [int(child.generate_state(1, np.uint32)[0])
+            for child in root.spawn(n)]
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """One executed scenario: the seed-resolved spec plus its result.
+
+    Attributes:
+        scenario: the scenario actually run — seeds resolved, so saving
+            ``scenario.to_json()`` reproduces ``result`` bit for bit.
+        result: the workload's engine result
+            (:class:`~repro.scenarios.ResultProtocol`).
+    """
+
+    scenario: Scenario
+    result: ResultProtocol
+
+    def summary(self) -> str:
+        """The scenario name plus its workload-rendered outcome."""
+        workload = workload_by_name(self.scenario.workload)
+        return (f"[{self.scenario.workload}] {self.scenario.name}\n"
+                f"{workload.summarize(self.result)}")
+
+    def to_dict(self, include_traces: bool = False) -> dict:
+        """Replayable artifact: the scenario envelope + result export."""
+        return {"scenario": self.scenario.to_dict(),
+                "result": self.result.to_dict(
+                    include_traces=include_traces)}
+
+
+def run_scenario(scenario: Scenario,
+                 scalar: bool = False) -> ResultProtocol:
+    """Execute one scenario through its registered workload.
+
+    Args:
+        scenario: the declarative run description.
+        scalar: use the workload's scalar equivalence-reference path
+            instead of the vectorized engine (slow; for verification).
+
+    Returns:
+        The workload's engine result (a
+        :class:`~repro.scenarios.ResultProtocol`).
+    """
+    workload = workload_by_name(scenario.workload)
+    plan = workload.build_plan(scenario.spec, scenario.seed)
+    return workload.run_scalar(plan) if scalar else workload.run(plan)
+
+
+def run_scenarios(scenarios: Iterable[Scenario],
+                  root_seed: int | None = None,
+                  scalar: bool = False) -> tuple[ScenarioRun, ...]:
+    """Fan a list of scenarios across their workloads, seeds spawned.
+
+    Every scenario *without* an explicit seed receives one derived from
+    ``root_seed`` via :func:`spawn_scenario_seeds` — position-stable, so
+    appending scenarios to a campaign never changes the seeds of the
+    scenarios already in it.  Explicit seeds are kept untouched.
+
+    Args:
+        scenarios: the campaign, any mix of workloads.
+        root_seed: root of the per-scenario seed streams (``None``
+            draws entropy — independent but irreproducible).
+        scalar: run every scenario on its scalar reference path.
+
+    Returns:
+        One :class:`ScenarioRun` per scenario, in input order, each
+        holding the seed-resolved scenario it actually executed.
+    """
+    campaign = tuple(scenarios)
+    derived = spawn_scenario_seeds(root_seed, len(campaign))
+    runs = []
+    for scenario, child_seed in zip(campaign, derived):
+        resolved = (scenario if scenario.seed is not None
+                    else scenario.with_seed(child_seed))
+        runs.append(ScenarioRun(
+            scenario=resolved,
+            result=run_scenario(resolved, scalar=scalar)))
+    return tuple(runs)

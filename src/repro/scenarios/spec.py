@@ -1,0 +1,168 @@
+"""The declarative, serializable scenario spec.
+
+A :class:`Scenario` is the repo's replayable experiment artifact: which
+workload to run, an explicit seed, and a plain-JSON ``spec`` mapping the
+workload resolves into an engine plan (sensors, drugs and analytes
+referenced by catalog id, never by object).  Because the spec is data —
+no live objects, no entropy — ``Scenario.from_dict(s.to_dict())`` builds
+the *same* plan and therefore reproduces the same result bit for bit
+(gated per workload in ``tests/scenarios/test_roundtrip.py``).
+
+The on-disk form is schema-versioned JSON::
+
+    {
+      "schema_version": 1,
+      "workload": "monitor",
+      "name": "glucose-week",
+      "seed": 42,
+      "spec": {"cohort": {...}, "duration_h": 168.0}
+    }
+
+``python -m repro run scenario.json`` executes such a file;
+:meth:`Scenario.save` / :meth:`Scenario.load` round-trip it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Version stamp written into every serialized scenario.  Bump when the
+#: envelope (not a workload spec) changes shape; ``from_dict`` rejects
+#: versions it does not understand instead of misreading them.
+SCHEMA_VERSION = 1
+
+#: Keys a serialized scenario envelope may carry.
+_ENVELOPE_KEYS = frozenset(
+    {"schema_version", "workload", "name", "description", "seed", "spec"})
+
+
+def _json_clean(spec: Mapping[str, Any]) -> dict:
+    """Deep-copy a spec mapping through JSON, proving serializability.
+
+    The round trip both isolates the scenario from later mutation of
+    the caller's dict and fails *at construction time* for anything
+    JSON cannot carry (arrays, sensors, generators) — the whole point
+    of the artifact is that it can be written to disk.
+    """
+    if not isinstance(spec, Mapping):
+        raise ValueError(
+            f"spec must be a mapping, got {type(spec).__name__}")
+    try:
+        # allow_nan=False: NaN/Infinity are not JSON — an artifact that
+        # only Python can parse back is not an artifact.
+        return json.loads(json.dumps(dict(spec), allow_nan=False))
+    except (TypeError, ValueError) as error:
+        raise ValueError(
+            f"spec is not JSON-serializable: {error}") from None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative, replayable engine run.
+
+    Attributes:
+        workload: registered workload name (``"calibration"``,
+            ``"monitor"``, ``"therapy"``, or anything later registered
+            via :func:`repro.scenarios.register_workload`).
+        name: human identifier of the scenario (shown in summaries and
+            exports).
+        spec: plain-JSON workload parameters; validated and resolved by
+            the workload's ``build_plan``.  Catalog references (sensor
+            ids, drug names, analyte keys) stand in for live objects.
+        seed: root seed of the run's generator streams.  ``None`` marks
+            the scenario as unseeded — :func:`repro.scenarios.run_scenarios`
+            resolves it from its spawned per-scenario streams, and
+            direct runs are legal but irreproducible.
+        description: free-text note carried through serialization.
+    """
+
+    workload: str
+    name: str
+    spec: Mapping[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.workload or not isinstance(self.workload, str):
+            raise ValueError("workload must be a non-empty string")
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("name must be a non-empty string")
+        if self.seed is not None:
+            if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+                raise ValueError(
+                    f"seed must be an int or None, got {self.seed!r}")
+            if self.seed < 0:
+                raise ValueError("seed must be >= 0")
+        object.__setattr__(self, "spec", _json_clean(self.spec))
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """This scenario with an explicit seed (all else unchanged)."""
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain, schema-versioned dict."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "workload": self.workload,
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "spec": _json_clean(self.spec),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output.
+
+        Strict by design: unknown envelope keys, a missing or
+        unsupported ``schema_version``, or missing required fields all
+        raise ``ValueError`` — a typo in a hand-written scenario file
+        should fail loudly, not run something else.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"scenario must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - _ENVELOPE_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown scenario keys {sorted(unknown)}; "
+                f"allowed: {sorted(_ENVELOPE_KEYS)}")
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported scenario schema_version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})")
+        missing = {"workload", "name", "spec"} - set(data)
+        if missing:
+            raise ValueError(f"scenario is missing {sorted(missing)}")
+        return cls(
+            workload=data["workload"],
+            name=data["name"],
+            spec=data["spec"],
+            seed=data.get("seed"),
+            description=data.get("description", ""),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a JSON string (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=True, allow_nan=False) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the scenario as a JSON file and return the path."""
+        target = Path(path)
+        target.write_text(self.to_json())
+        return target
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Scenario":
+        """Read a scenario JSON file written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())

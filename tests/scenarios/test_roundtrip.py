@@ -1,0 +1,108 @@
+"""The serialization acceptance gate: JSON round trips replay bit-identically.
+
+For every registered workload, ``Scenario.from_dict(s.to_dict())`` (and
+the full JSON text round trip) must run to the *same result arrays* as
+the original scenario — same seed, same plan, same bits.  This is what
+makes a saved scenario file a replayable experiment artifact rather
+than a description of something similar.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    Scenario,
+    available_workloads,
+    run_scenario,
+    run_scenarios,
+    spawn_scenario_seeds,
+)
+
+#: One small-but-stochastic scenario per workload.  Traces kept ON so
+#: the bit-identity comparison covers every per-sample value, not just
+#: aggregate metrics.
+ROUND_TRIP_SPECS = {
+    "calibration": {"sensors": ["glucose/this-work"],
+                    "n_blanks": 2, "n_replicates": 2},
+    "monitor": {
+        "cohort": {"sensor": "glucose/this-work", "analyte": "glucose",
+                   "n_patients": 2, "wander_sigma_a": 2e-9},
+        "duration_h": 4.0,
+        "sample_period_s": 600.0,
+        "recalibration": {"reference_interval_h": 1.0, "tolerance": 0.05},
+    },
+    "therapy": {
+        "drug": "cyclosporine",
+        "n_patients": 2,
+        "cohort_seed": 7,
+        "controller": {"kind": "proportional", "initial_dose_mg": 250.0},
+        "n_doses": 2,
+        "dose_interval_h": 6.0,
+        "sample_period_s": 1800.0,
+        "recalibration": {"reference_interval_h": 6.0, "tolerance": 0.05},
+    },
+}
+
+
+def scenario_for(workload: str) -> Scenario:
+    return Scenario(workload=workload, name=f"{workload}-roundtrip",
+                    seed=2012, spec=ROUND_TRIP_SPECS[workload])
+
+
+def test_every_registered_workload_is_covered():
+    """A new workload must add itself to the round-trip gate."""
+    assert set(ROUND_TRIP_SPECS) == set(available_workloads())
+
+
+@pytest.mark.parametrize("workload", sorted(ROUND_TRIP_SPECS))
+def test_dict_round_trip_runs_bit_identically(workload):
+    scenario = scenario_for(workload)
+    original = run_scenario(scenario)
+    replayed = run_scenario(Scenario.from_dict(scenario.to_dict()))
+    assert (original.to_dict(include_traces=True)
+            == replayed.to_dict(include_traces=True))
+
+
+@pytest.mark.parametrize("workload", sorted(ROUND_TRIP_SPECS))
+def test_json_text_round_trip_runs_bit_identically(workload, tmp_path):
+    scenario = scenario_for(workload)
+    path = scenario.save(tmp_path / "scenario.json")
+    original = run_scenario(scenario)
+    replayed = run_scenario(Scenario.load(path))
+    assert (original.to_dict(include_traces=True)
+            == replayed.to_dict(include_traces=True))
+
+
+class TestRunScenarios:
+    def test_seed_spawning_is_deterministic_and_position_stable(self):
+        seeds_3 = spawn_scenario_seeds(11, 3)
+        seeds_5 = spawn_scenario_seeds(11, 5)
+        assert seeds_3 == seeds_5[:3]           # appending never reshuffles
+        assert len(set(seeds_5)) == 5           # mutually distinct
+        assert spawn_scenario_seeds(11, 3) == seeds_3
+
+    def test_explicit_seeds_kept_spawned_seeds_fill_the_gaps(self):
+        scenarios = [
+            scenario_for("calibration").with_seed(None),
+            scenario_for("calibration"),        # explicit seed 2012
+        ]
+        runs = run_scenarios(scenarios, root_seed=11)
+        assert runs[0].scenario.seed == spawn_scenario_seeds(11, 2)[0]
+        assert runs[1].scenario.seed == 2012
+
+    def test_materialized_runs_replay_bit_identically(self):
+        runs = run_scenarios(
+            [scenario_for("calibration").with_seed(None)], root_seed=11)
+        replay = run_scenario(
+            Scenario.from_json(runs[0].scenario.to_json()))
+        assert (runs[0].result.to_dict(include_traces=True)
+                == replay.to_dict(include_traces=True))
+
+    def test_mixed_workload_fan_out(self):
+        runs = run_scenarios(
+            [scenario_for(w) for w in sorted(ROUND_TRIP_SPECS)],
+            root_seed=0)
+        assert [r.result.summary_row()["workload"] for r in runs] \
+            == sorted(ROUND_TRIP_SPECS)
+        for run in runs:
+            assert run.summary().strip()
+            assert set(run.to_dict()) == {"scenario", "result"}

@@ -1,0 +1,110 @@
+"""Tests for the python -m repro scenario CLI."""
+
+import json
+
+import pytest
+
+from repro.scenarios import Scenario
+from repro.scenarios.cli import main
+
+
+@pytest.fixture()
+def scenario_file(tmp_path):
+    return Scenario(
+        workload="calibration", name="cli-smoke", seed=7,
+        spec={"sensors": ["glucose/this-work"], "n_blanks": 3,
+              "n_replicates": 1},
+    ).save(tmp_path / "scenario.json")
+
+
+class TestList:
+    def test_lists_every_workload(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("calibration", "monitor", "therapy"):
+            assert name in output
+
+
+class TestDescribe:
+    @pytest.mark.parametrize("name", ["calibration", "monitor", "therapy"])
+    def test_describe_prints_example_spec(self, capsys, name):
+        assert main(["describe", name]) == 0
+        output = capsys.readouterr().out
+        assert "example spec" in output
+        assert "spec fields" in output
+
+    def test_unknown_workload_fails_with_registry_listing(self, capsys):
+        assert main(["describe", "petri-dish"]) == 2
+        assert "registered" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys, scenario_file):
+        assert main(["run", str(scenario_file)]) == 0
+        output = capsys.readouterr().out
+        assert "[calibration] cli-smoke" in output
+        assert "uA mM^-1 cm^-2" in output
+
+    def test_run_writes_replayable_artifact(self, capsys, tmp_path,
+                                            scenario_file):
+        out = tmp_path / "results.json"
+        assert main(["run", str(scenario_file), "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert set(payload) == {"scenario", "result"}
+        # The exported envelope loads straight back as a scenario.
+        replay = Scenario.from_dict(payload["scenario"])
+        assert replay.seed == 7
+        assert payload["result"]["workload"] == "calibration"
+
+    def test_seed_override_lands_in_the_artifact(self, capsys, tmp_path,
+                                                 scenario_file):
+        out = tmp_path / "results.json"
+        assert main(["run", str(scenario_file), "--seed", "11",
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["scenario"]["seed"] == 11
+
+    def test_unseeded_scenario_exports_a_replayable_artifact(
+            self, capsys, tmp_path):
+        """An unseeded file gets a materialized seed: re-running the
+        exported scenario must reproduce the exported result exactly."""
+        unseeded = Scenario(
+            workload="calibration", name="unseeded",
+            spec={"sensors": ["glucose/this-work"], "n_blanks": 3,
+                  "n_replicates": 1},
+        ).save(tmp_path / "unseeded.json")
+        out = tmp_path / "results.json"
+        assert main(["run", str(unseeded), "--out", str(out),
+                     "--traces"]) == 0
+        payload = json.loads(out.read_text())
+        assert isinstance(payload["scenario"]["seed"], int)
+        replay_file = tmp_path / "replay.json"
+        Scenario.from_dict(payload["scenario"]).save(replay_file)
+        out2 = tmp_path / "replay-results.json"
+        assert main(["run", str(replay_file), "--out", str(out2),
+                     "--traces"]) == 0
+        assert json.loads(out2.read_text()) == payload
+
+    def test_scalar_path_matches_batch_path(self, capsys, tmp_path,
+                                            scenario_file):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        main(["run", str(scenario_file), "--out", str(out_a), "--traces"])
+        main(["run", str(scenario_file), "--scalar",
+              "--out", str(out_b), "--traces"])
+        assert json.loads(out_a.read_text()) == json.loads(out_b.read_text())
+
+    def test_missing_scenario_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["run", str(tmp_path / "nope.json")])
+
+    def test_no_command_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_wires_to_the_cli(self):
+        import repro.__main__ as entry
+
+        assert entry.main is main

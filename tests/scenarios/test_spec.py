@@ -1,0 +1,113 @@
+"""Scenario envelope: validation, serialization, strict deserialization."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import SCHEMA_VERSION, Scenario
+
+
+def small_scenario(**overrides):
+    fields = dict(
+        workload="calibration",
+        name="smoke",
+        seed=7,
+        spec={"sensors": ["glucose/this-work"]},
+        description="a test scenario",
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestConstruction:
+    def test_spec_is_deep_copied(self):
+        spec = {"sensors": ["glucose/this-work"], "nested": {"a": 1}}
+        scenario = Scenario(workload="calibration", name="x", spec=spec)
+        spec["nested"]["a"] = 2
+        assert scenario.spec["nested"]["a"] == 1
+
+    def test_rejects_non_serializable_spec(self):
+        with pytest.raises(ValueError, match="JSON"):
+            Scenario(workload="monitor", name="x",
+                     spec={"values": np.zeros(3)})
+
+    def test_rejects_non_mapping_spec(self):
+        with pytest.raises(ValueError, match="mapping"):
+            Scenario(workload="monitor", name="x", spec=[1, 2])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_non_json_floats(self, bad):
+        """NaN/Infinity are not JSON: a saved artifact must stay
+        parseable by any strict consumer, not just Python."""
+        with pytest.raises(ValueError, match="JSON"):
+            Scenario(workload="calibration", name="x",
+                     spec={"upper_molar": bad})
+
+    @pytest.mark.parametrize("bad", ["", None])
+    def test_rejects_empty_workload_and_name(self, bad):
+        with pytest.raises(ValueError):
+            Scenario(workload=bad, name="x", spec={})
+        with pytest.raises(ValueError):
+            Scenario(workload="monitor", name=bad, spec={})
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "7", True])
+    def test_rejects_bad_seeds(self, bad):
+        with pytest.raises(ValueError):
+            small_scenario(seed=bad)
+
+    def test_with_seed(self):
+        scenario = small_scenario(seed=None)
+        assert scenario.with_seed(11).seed == 11
+        assert scenario.seed is None  # original untouched
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        scenario = small_scenario()
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_json_round_trip_is_identity(self):
+        scenario = small_scenario()
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_save_load_round_trip(self, tmp_path):
+        scenario = small_scenario()
+        path = scenario.save(tmp_path / "s.json")
+        assert Scenario.load(path) == scenario
+
+    def test_to_dict_carries_schema_version(self):
+        assert small_scenario().to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_none_seed_survives(self):
+        scenario = small_scenario(seed=None)
+        assert Scenario.from_dict(scenario.to_dict()).seed is None
+
+
+class TestStrictDeserialization:
+    def test_unknown_keys_rejected(self):
+        data = small_scenario().to_dict()
+        data["extra"] = 1
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            Scenario.from_dict(data)
+
+    @pytest.mark.parametrize("version", [None, 0, 2, "1"])
+    def test_unsupported_schema_version_rejected(self, version):
+        data = small_scenario().to_dict()
+        data["schema_version"] = version
+        with pytest.raises(ValueError, match="schema_version"):
+            Scenario.from_dict(data)
+
+    def test_missing_schema_version_rejected(self):
+        data = small_scenario().to_dict()
+        del data["schema_version"]
+        with pytest.raises(ValueError, match="schema_version"):
+            Scenario.from_dict(data)
+
+    def test_missing_required_fields_rejected(self):
+        data = small_scenario().to_dict()
+        del data["spec"]
+        with pytest.raises(ValueError, match="missing"):
+            Scenario.from_dict(data)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValueError, match="mapping"):
+            Scenario.from_dict([1, 2, 3])

@@ -1,0 +1,312 @@
+"""Workload registry + the three built-in spec-to-plan adapters."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchPlan, MonitorPlan, TherapyPlan
+from repro.scenarios import (
+    ResultProtocol,
+    WORKLOADS,
+    Workload,
+    available_workloads,
+    calibration_results_from_batch,
+    register_workload,
+    run_scenario,
+    workload_by_name,
+    Scenario,
+)
+from repro.therapy import (
+    BayesianTroughController,
+    FixedRegimenController,
+    ProportionalTroughController,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_workloads() == ("calibration", "monitor", "therapy")
+
+    def test_every_workload_satisfies_the_protocol(self):
+        for name in available_workloads():
+            assert isinstance(workload_by_name(name), Workload)
+
+    def test_plan_types(self):
+        assert workload_by_name("calibration").plan_type is BatchPlan
+        assert workload_by_name("monitor").plan_type is MonitorPlan
+        assert workload_by_name("therapy").plan_type is TherapyPlan
+
+    def test_unknown_workload_lists_registry(self):
+        with pytest.raises(KeyError, match="registered"):
+            workload_by_name("petri-dish")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload(workload_by_name("monitor"))
+
+    def test_replace_registration_allowed(self):
+        monitor = workload_by_name("monitor")
+        assert register_workload(monitor, replace=True) is monitor
+        assert WORKLOADS["monitor"] is monitor
+
+    def test_describe_and_example_spec(self):
+        for name in available_workloads():
+            workload = workload_by_name(name)
+            text = workload.describe()
+            assert name in text
+            assert "example spec" in text
+            assert isinstance(workload.example_spec(), dict)
+
+    def test_example_specs_build_valid_plans(self):
+        for name in available_workloads():
+            workload = workload_by_name(name)
+            plan = workload.build_plan(workload.example_spec(), seed=1)
+            assert isinstance(plan, workload.plan_type)
+
+
+class TestCalibrationWorkload:
+    WORKLOAD = workload_by_name("calibration")
+
+    def test_build_plan_resolves_catalog_ids(self):
+        plan = self.WORKLOAD.build_plan(
+            {"sensors": ["glucose/this-work", "lactate/this-work"],
+             "n_blanks": 2, "n_replicates": 1}, seed=7)
+        assert len(plan.sensors) == 2
+        assert plan.seed == 7
+        # Leading blank group with its own replicate count.
+        assert plan.concentrations_molar[0][0] == 0.0
+        assert plan.replicates_for(0)[0] == 2
+
+    def test_upper_molar_scalar_and_per_sensor(self):
+        shared = self.WORKLOAD.build_plan(
+            {"sensors": ["glucose/this-work", "lactate/this-work"],
+             "upper_molar": 1e-3}, seed=0)
+        per_sensor = self.WORKLOAD.build_plan(
+            {"sensors": ["glucose/this-work", "lactate/this-work"],
+             "upper_molar": [1e-3, 5e-4]}, seed=0)
+        assert (max(shared.concentrations_molar[0])
+                == max(shared.concentrations_molar[1]))
+        assert (max(per_sensor.concentrations_molar[1])
+                == pytest.approx(0.5 * max(per_sensor.concentrations_molar[0])))
+
+    def test_upper_molar_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="upper_molar"):
+            self.WORKLOAD.build_plan(
+                {"sensors": ["glucose/this-work"],
+                 "upper_molar": [1e-3, 1e-3]}, seed=0)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            self.WORKLOAD.build_plan(
+                {"sensors": ["glucose/this-work"], "wat": 1}, seed=0)
+
+    def test_unknown_sensor_id_rejected(self):
+        with pytest.raises(KeyError):
+            self.WORKLOAD.build_plan({"sensors": ["glucose/nope"]}, seed=0)
+
+    def test_sensors_must_be_a_list(self):
+        with pytest.raises(ValueError, match="sensors"):
+            self.WORKLOAD.build_plan({"sensors": "glucose/this-work"},
+                                     seed=0)
+
+    def test_summarize_renders_table2_metrics(self):
+        scenario = Scenario(
+            workload="calibration", name="cal", seed=7,
+            spec={"sensors": ["glucose/this-work"], "n_blanks": 3,
+                  "n_replicates": 1})
+        result = run_scenario(scenario)
+        assert isinstance(result, ResultProtocol)
+        rows = calibration_results_from_batch(result)
+        assert len(rows) == 1
+        assert "uA mM^-1 cm^-2" in self.WORKLOAD.summarize(result)
+
+    def test_results_from_batch_rejects_blankless_plans(self):
+        from repro.engine import run_batch
+
+        plan = BatchPlan(
+            sensors=self.WORKLOAD.build_plan(
+                {"sensors": ["glucose/this-work"]}, seed=0).sensors,
+            concentrations_molar=((1e-4, 2e-4, 3e-4),),
+            replicates=1, seed=0, add_noise=False)
+        with pytest.raises(ValueError, match="blank"):
+            calibration_results_from_batch(run_batch(plan))
+
+
+class TestMonitorWorkload:
+    WORKLOAD = workload_by_name("monitor")
+
+    SPEC = {
+        "cohort": {"sensor": "glucose/this-work", "analyte": "glucose",
+                   "n_patients": 2, "wander_sigma_a": 2e-9},
+        "duration_h": 6.0,
+        "sample_period_s": 600.0,
+        "recalibration": {"reference_interval_h": 2.0, "tolerance": 0.1},
+        "keep_traces": False,
+    }
+
+    def test_build_plan(self):
+        plan = self.WORKLOAD.build_plan(self.SPEC, seed=3)
+        assert plan.n_channels == 2
+        assert plan.seed == 3
+        assert plan.recalibration.reference_interval_h == 2.0
+        assert plan.channels[0].wander_sigma_a == 2e-9
+        assert not plan.keep_traces
+
+    def test_unknown_cohort_keys_rejected(self):
+        spec = dict(self.SPEC)
+        spec["cohort"] = {**spec["cohort"], "bogus": 1}
+        with pytest.raises(ValueError, match="unknown keys"):
+            self.WORKLOAD.build_plan(spec, seed=0)
+
+    def test_missing_duration_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            self.WORKLOAD.build_plan({"cohort": self.SPEC["cohort"]},
+                                     seed=0)
+
+    def test_unknown_analyte_rejected(self):
+        spec = dict(self.SPEC)
+        spec["cohort"] = {**spec["cohort"], "analyte": "unobtainium"}
+        with pytest.raises(KeyError):
+            self.WORKLOAD.build_plan(spec, seed=0)
+
+
+class TestTherapyWorkload:
+    WORKLOAD = workload_by_name("therapy")
+
+    def spec(self, controller):
+        return {
+            "drug": "cyclosporine",
+            "n_patients": 2,
+            "cohort_seed": 7,
+            "controller": controller,
+            "n_doses": 2,
+            "dose_interval_h": 6.0,
+            "sample_period_s": 1800.0,
+            "keep_traces": False,
+        }
+
+    def test_cohort_seed_is_part_of_the_artifact(self):
+        spec = self.spec({"kind": "fixed", "dose_mg": 200.0})
+        a = self.WORKLOAD.build_plan(spec, seed=1)
+        b = self.WORKLOAD.build_plan(spec, seed=99)
+        # Different scenario seeds, same sampled population.
+        assert a.cohort == b.cohort
+        c = self.WORKLOAD.build_plan({**spec, "cohort_seed": 8}, seed=1)
+        assert a.cohort != c.cohort
+
+    def test_controller_kinds(self):
+        fixed = self.WORKLOAD.build_plan(
+            self.spec({"kind": "fixed", "dose_mg": 200.0}), seed=0)
+        assert isinstance(fixed.controller, FixedRegimenController)
+        proportional = self.WORKLOAD.build_plan(
+            self.spec({"kind": "proportional",
+                       "initial_dose_mol": 2e-4}), seed=0)
+        assert isinstance(proportional.controller,
+                          ProportionalTroughController)
+        bayesian = self.WORKLOAD.build_plan(
+            self.spec({"kind": "bayesian", "n_grid": 21}), seed=0)
+        assert isinstance(bayesian.controller, BayesianTroughController)
+        assert bayesian.controller.n_grid == 21
+
+    def test_controller_defaults_come_from_the_drug_catalog(self):
+        from repro.pk import CYCLOSPORINE
+
+        plan = self.WORKLOAD.build_plan(
+            self.spec({"kind": "bayesian"}), seed=0)
+        controller = plan.controller
+        assert (controller.target_trough_molar
+                == CYCLOSPORINE.window.target_trough_molar)
+        assert (controller.prior.clearance_l_per_h
+                == CYCLOSPORINE.population.typical_clearance_l_per_h)
+        assert plan.window == CYCLOSPORINE.window
+
+    def test_fixed_dose_mg_converts_through_molar_mass(self):
+        from repro.pk import CYCLOSPORINE
+
+        plan = self.WORKLOAD.build_plan(
+            self.spec({"kind": "fixed", "dose_mg": 200.0}), seed=0)
+        assert plan.controller.dose_mol == pytest.approx(
+            CYCLOSPORINE.dose_mol_from_mg(200.0))
+
+    def test_fixed_needs_exactly_one_dose_form(self):
+        for controller in ({"kind": "fixed"},
+                           {"kind": "fixed", "dose_mg": 1.0,
+                            "dose_mol": 1e-4}):
+            with pytest.raises(ValueError, match="exactly one"):
+                self.WORKLOAD.build_plan(self.spec(controller), seed=0)
+
+    def test_fixed_rejects_a_target_instead_of_ignoring_it(self):
+        """A fixed regimen cannot act on a target; accepting one would
+        silently discard what the user asked for."""
+        with pytest.raises(ValueError, match="unknown keys"):
+            self.WORKLOAD.build_plan(
+                self.spec({"kind": "fixed", "dose_mg": 200.0,
+                           "target_trough_molar": 3e-6}), seed=0)
+
+    def test_bayesian_initial_dose_mg_converts(self):
+        from repro.pk import CYCLOSPORINE
+
+        plan = self.WORKLOAD.build_plan(
+            self.spec({"kind": "bayesian", "initial_dose_mg": 250.0}),
+            seed=0)
+        assert plan.controller.initial_dose_mol == pytest.approx(
+            CYCLOSPORINE.dose_mol_from_mg(250.0))
+
+    def test_bayesian_rejects_both_initial_dose_forms(self):
+        with pytest.raises(ValueError, match="at most one"):
+            self.WORKLOAD.build_plan(
+                self.spec({"kind": "bayesian", "initial_dose_mg": 250.0,
+                           "initial_dose_mol": 2e-4}), seed=0)
+
+    def test_unknown_controller_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown controller kind"):
+            self.WORKLOAD.build_plan(self.spec({"kind": "pid"}), seed=0)
+
+    def test_unknown_drug_rejected(self):
+        spec = self.spec({"kind": "bayesian"})
+        spec["drug"] = "unobtainium"
+        with pytest.raises(KeyError):
+            self.WORKLOAD.build_plan(spec, seed=0)
+
+    def test_route_string_resolves(self):
+        from repro.pk.models import Route
+
+        spec = self.spec({"kind": "fixed", "dose_mg": 200.0})
+        spec["route"] = "iv_bolus"
+        assert self.WORKLOAD.build_plan(spec, seed=0).route is Route.IV_BOLUS
+
+
+class TestResultProtocol:
+    def test_every_workload_result_implements_the_contract(self):
+        scenarios = [
+            Scenario(workload="calibration", name="cal", seed=1,
+                     spec={"sensors": ["glucose/this-work"],
+                           "n_blanks": 2, "n_replicates": 1}),
+            Scenario(workload="monitor", name="mon", seed=1,
+                     spec=TestMonitorWorkload.SPEC),
+            Scenario(workload="therapy", name="ther", seed=1,
+                     spec={"drug": "cyclosporine", "n_patients": 2,
+                           "cohort_seed": 7,
+                           "controller": {"kind": "fixed",
+                                          "dose_mg": 200.0},
+                           "n_doses": 2, "dose_interval_h": 6.0,
+                           "sample_period_s": 1800.0,
+                           "keep_traces": False}),
+        ]
+        import json
+
+        for scenario in scenarios:
+            result = run_scenario(scenario)
+            assert isinstance(result, ResultProtocol)
+            assert scenario.workload in result.summary_row()["workload"]
+            assert result.summary().strip()
+            json.dumps(result.to_dict())  # must be JSON-serializable
+
+    def test_batch_scalar_reference_is_bit_identical(self):
+        scenario = Scenario(
+            workload="calibration", name="cal", seed=5,
+            spec={"sensors": ["glucose/this-work"], "n_blanks": 2,
+                  "n_replicates": 2})
+        batch = run_scenario(scenario)
+        scalar = run_scenario(scenario, scalar=True)
+        np.testing.assert_array_equal(batch.flat_values(),
+                                      scalar.flat_values())

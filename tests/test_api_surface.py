@@ -18,7 +18,8 @@ import repro
 SUBPACKAGES = [
     "analytes", "bio", "chem", "classification", "core", "electrodes",
     "engine", "enzymes", "experiments", "instrument", "nano", "pk",
-    "signal", "system", "techniques", "therapy", "transducers",
+    "scenarios", "signal", "system", "techniques", "therapy",
+    "transducers",
 ]
 
 
@@ -68,6 +69,9 @@ class TestDocstrings:
         "repro.engine.therapy", "repro.pk.models", "repro.pk.dosing",
         "repro.pk.population", "repro.pk.drugs",
         "repro.therapy.controllers", "repro.therapy.metrics",
+        "repro.scenarios", "repro.scenarios.spec",
+        "repro.scenarios.protocols", "repro.scenarios.workloads",
+        "repro.scenarios.runner", "repro.scenarios.cli",
     ])
     def test_engine_modules_documented(self, module_name):
         """The engine is the documented flagship: every module, public

@@ -53,6 +53,8 @@ class TestSiteSkeleton:
                          "repro.engine.therapy", "repro.pk.models",
                          "repro.pk.population",
                          "repro.therapy.controllers",
+                         "repro.scenarios", "repro.scenarios.spec",
+                         "repro.scenarios.workloads",
                          "repro.core", "repro.instrument"):
             assert required in identifiers, f"no API page renders {required}"
 
