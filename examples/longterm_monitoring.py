@@ -1,5 +1,5 @@
 """Week-long wearable monitoring of a patient cohort: drift,
-recalibration, battery.
+recalibration, reconstruction, battery.
 
 The chronic-patient scenario of the paper's introduction, end to end —
 now literally *as a scenario*: the whole cohort wear simulation (eight
@@ -9,9 +9,14 @@ declarative, serializable :class:`repro.scenarios.Scenario` dispatched
 through the unified front door (``run_scenario`` — the same spec also
 lives in ``examples/scenarios/glucose_week.json`` for
 ``python -m repro run``).  The open-loop comparison is the same spec
-with recalibration switched off — a dict edit, not new code.  The drift
-budget's analytic schedule and the energy model round out the
-deployment picture.
+with recalibration switched off — a dict edit, not new code.
+
+New in PR 5: the week is dispatched through the ``estimation`` workload
+(:mod:`repro.inference`), so next to the wearer-facing linear estimate
+we also get the *reconstructed* trajectory — the Kalman/RTS posterior
+over concentration, with a 95 % credible band — overlaid against the
+ground truth in the morning-window table.  The drift budget's analytic
+schedule and the energy model round out the deployment picture.
 
 Run:  python examples/longterm_monitoring.py
 """
@@ -44,21 +49,24 @@ def main() -> None:
     # plain data only, so the same run replays bit-identically from the
     # JSON file ``scenario.save()`` would write.
     # ------------------------------------------------------------------
+    monitor_spec = {
+        "cohort": {"sensor": "glucose/this-work", "analyte": "glucose",
+                   "n_patients": 8, "wander_sigma_a": 2e-9},
+        "duration_h": WEEK_H,
+        "sample_period_s": 300.0,
+        "recalibration": {"reference_interval_h": 6.0,
+                          "tolerance": 0.08},
+    }
     scenario = Scenario(
-        workload="monitor",
+        workload="estimation",
         name="glucose-week",
         seed=42,
-        spec={
-            "cohort": {"sensor": "glucose/this-work", "analyte": "glucose",
-                       "n_patients": 8, "wander_sigma_a": 2e-9},
-            "duration_h": WEEK_H,
-            "sample_period_s": 300.0,
-            "recalibration": {"reference_interval_h": 6.0,
-                              "tolerance": 0.08},
-        })
-    result = run_scenario(scenario)
+        spec={**monitor_spec, "smooth": True, "interval_level": 0.95})
+    estimation = run_scenario(scenario)
+    result = estimation.monitor          # the wear simulation inside
     plan = result.plan
     print(f"\n{result.summary()}")
+    print(f"\n{estimation.summary()}")
 
     # The same cohort open-loop: what recalibration is worth.  The
     # scenario is data, so the ablation is a spec edit.
@@ -66,27 +74,34 @@ def main() -> None:
         workload="monitor",
         name="glucose-week-open-loop",
         seed=42,
-        spec={**scenario.spec,
+        spec={**monitor_spec,
               "recalibration": {"enabled": False},
               "keep_traces": False},
     ))
     print(f"\nWithout recalibration the cohort MARD would be "
           f"{float(open_loop.mard.mean()) * 100:.1f} % "
           f"(vs {float(result.mard.mean()) * 100:.1f} % with the "
-          f"6-hourly finger-stick policy).")
+          f"6-hourly finger-stick policy; the reconstruction gets "
+          f"{float(estimation.smoothed_mard.mean()) * 100:.1f} %).")
 
-    # One patient's morning, as the wearer would see it.
+    # One patient's morning: the wearer-facing linear estimate next to
+    # the reconstructed posterior and its 95 % credible band.
     hours = result.time_h
+    reconstruction, _ = estimation.reconstruction()
+    lower, upper = estimation.interval(smoothed=True)
     mask = (hours >= 24.0) & (hours <= 30.0)
-    print("\npatient-000, day 2, 06:00-12:00 window (hourly):")
-    print(f"{'t [h]':>6} {'true [mM]':>10} {'estimated [mM]':>15}")
+    print("\npatient-000, day 2, 06:00-12:00 window (hourly), in mM:")
+    print(f"{'t [h]':>6} {'true':>7} {'linear':>7} {'reconstr':>9} "
+          f"{'95 % band':>16}")
     step = max(1, int(3600.0 / plan.sample_period_s))
     for idx in range(0, hours.size, step):
         if not mask[idx]:
             continue
         print(f"{hours[idx]:6.0f} "
-              f"{result.true_concentration_molar[0, idx] * 1e3:10.2f} "
-              f"{result.estimated_concentration_molar[0, idx] * 1e3:15.2f}")
+              f"{result.true_concentration_molar[0, idx] * 1e3:7.2f} "
+              f"{result.estimated_concentration_molar[0, idx] * 1e3:7.2f} "
+              f"{reconstruction[0, idx] * 1e3:9.2f} "
+              f"[{lower[0, idx] * 1e3:6.2f}, {upper[0, idx] * 1e3:6.2f}]")
 
     # ------------------------------------------------------------------
     # Energy: does a 100 mAh cell survive the week at this cadence?

@@ -44,6 +44,7 @@ from repro import (  # noqa: F401  (re-exported subpackages)
     enzymes,
     experiments,
     engine,
+    inference,
     instrument,
     nano,
     pk,
@@ -68,6 +69,7 @@ __all__ = [
     "enzymes",
     "engine",
     "experiments",
+    "inference",
     "instrument",
     "nano",
     "pk",

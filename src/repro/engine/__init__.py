@@ -53,6 +53,7 @@ artifact, and dispatches them through ``run_scenario`` or the
 from repro.engine import kernels
 from repro.engine import monitor
 from repro.engine import therapy
+from repro.engine import estimation
 from repro.engine.plan import BatchPlan, BatchResult, CellIndex
 from repro.engine.measure import (
     measure_amperometric_batch,
@@ -83,6 +84,12 @@ from repro.engine.therapy import (
     run_therapy,
     run_therapy_scalar,
 )
+from repro.engine.estimation import (
+    EstimationPlan,
+    EstimationResult,
+    run_estimation,
+    run_estimation_scalar,
+)
 
 __all__ = [
     "BatchPlan",
@@ -105,6 +112,11 @@ __all__ = [
     "TherapyResult",
     "run_therapy",
     "run_therapy_scalar",
+    "estimation",
+    "EstimationPlan",
+    "EstimationResult",
+    "run_estimation",
+    "run_estimation_scalar",
     "measure_amperometric_batch",
     "measure_voltammetric_batch",
     "run_batch",

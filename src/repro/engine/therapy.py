@@ -55,6 +55,11 @@ from repro.engine.monitor import (
     reading_noise_sigma_a,
 )
 from repro.enzymes.stability import EnzymeStability
+from repro.inference.kalman import KalmanState, kalman_predict, kalman_update
+from repro.inference.observation import (
+    observation_variance_a2,
+    response_linearization,
+)
 from repro.pk.dosing import concentration_from_doses
 from repro.pk.drugs import DrugSpec, TherapeuticWindow
 from repro.pk.models import Route
@@ -116,6 +121,17 @@ class TherapyPlan:
         process_noise_tau_h: correlation time of that noise [h].
         wander_sigma_a: per-patient baseline-wander RMS [A].
         wander_tau_h: correlation time of the wander [h].
+        filter_troughs: run the online trough filter — an extended
+            Kalman filter (:mod:`repro.inference.kalman`, local-level
+            drug state + the known wander model, relinearized through
+            the sensor's actual response) over the measured currents —
+            and hand the controller its posterior trough means *and
+            variances* instead of the raw linear readouts.
+        filter_process_sigma_molar: per-step random-walk sigma of the
+            trough filter's drug state [mol/L]; ``None`` derives the
+            default from the therapeutic window (5 % of the target
+            trough per sample), covering PK slew without tracking the
+            measurement noise.
         keep_traces: store full per-sample traces on the result.
     """
 
@@ -139,6 +155,8 @@ class TherapyPlan:
     process_noise_tau_h: float = 2.0
     wander_sigma_a: float = 0.0
     wander_tau_h: float = 6.0
+    filter_troughs: bool = False
+    filter_process_sigma_molar: float | None = None
     keep_traces: bool = True
 
     def __post_init__(self) -> None:
@@ -177,6 +195,9 @@ class TherapyPlan:
             raise ValueError("wander sigma must be >= 0")
         if self.wander_tau_h <= 0:
             raise ValueError("wander tau must be > 0")
+        if (self.filter_process_sigma_molar is not None
+                and self.filter_process_sigma_molar <= 0):
+            raise ValueError("filter process sigma must be > 0")
 
     @classmethod
     def for_drug(cls, drug: DrugSpec, cohort: PatientCohort,
@@ -265,6 +286,19 @@ class TherapyPlan:
             return 0
         return self.n_samples // self.reference_every_samples
 
+    @property
+    def trough_filter_step_sigma_molar(self) -> float:
+        """Per-step random-walk sigma of the trough filter [mol/L].
+
+        The explicit override when configured, otherwise 5 % of the
+        therapeutic window's target trough per sample — large enough to
+        track PK absorption/elimination slew between readings, small
+        enough that the filter still averages measurement noise down.
+        """
+        if self.filter_process_sigma_molar is not None:
+            return self.filter_process_sigma_molar
+        return 0.05 * self.window.target_trough_molar
+
     def sample_times_h(self, start: int, stop: int) -> np.ndarray:
         """Reading times [h] of samples ``[start, stop)``.
 
@@ -298,6 +332,10 @@ class TherapyResult:
         overdose_exposure_molar_h: toxic exposure integral above the
             window ceiling, ``(n_patients,)``.
         n_recalibrations: accepted one-point re-fits per patient.
+        trough_variance_molar2: the trough filter's posterior variances
+            per readout, ``(n_patients, n_doses)`` — what the
+            variance-aware controller weighted by; ``None`` unless
+            ``plan.filter_troughs``.
         time_h: sample times [h] (``None`` unless ``plan.keep_traces``).
         true_concentration_molar / estimated_concentration_molar:
             ``(n_patients, n_samples)`` traces (``None`` unless
@@ -316,6 +354,8 @@ class TherapyResult:
     trough_abs_rel_error: np.ndarray
     overdose_exposure_molar_h: np.ndarray
     n_recalibrations: np.ndarray
+    trough_variance_molar2: np.ndarray | None = field(
+        default=None, repr=False)
     time_h: np.ndarray | None = field(default=None, repr=False)
     true_concentration_molar: np.ndarray | None = field(
         default=None, repr=False)
@@ -408,6 +448,9 @@ class TherapyResult:
             "trough_true_molar": self.trough_true_molar[i].tolist(),
             "trough_estimated_molar": (
                 self.trough_estimated_molar[i].tolist()),
+            **({"trough_variance_molar2":
+                self.trough_variance_molar2[i].tolist()}
+               if self.trough_variance_molar2 is not None else {}),
         } for i, patient in enumerate(self.plan.cohort.patients)]
         data = {**self.summary_row(), "patients": patients}
         if include_traces and self.time_h is not None:
@@ -452,7 +495,9 @@ def _gather(plan: TherapyPlan) -> _CohortParams:
 
 
 def _observation(plan: TherapyPlan, k: int, doses: np.ndarray,
-                 trough_estimates: np.ndarray) -> ControllerObservation:
+                 trough_estimates: np.ndarray,
+                 trough_variances: np.ndarray | None = None,
+                 ) -> ControllerObservation:
     """The controller's view right before dose ``k`` (k >= 1)."""
     interval_h = plan.dose_interval_h
     return ControllerObservation(
@@ -463,7 +508,69 @@ def _observation(plan: TherapyPlan, k: int, doses: np.ndarray,
         doses_mol=doses[:, :k],
         trough_times_h=(np.arange(k) + 1.0) * interval_h,
         trough_estimates_molar=trough_estimates[:, :k],
+        trough_variances_molar2=(None if trough_variances is None
+                                 else trough_variances[:, :k]),
     )
+
+
+def _trough_filter_params(plan: TherapyPlan) -> tuple:
+    """Constants of the trough filter, derived once per run.
+
+    Returns ``(q_signal, a_wander, q_wander, r, censor_level_a)``: the
+    random-walk innovation variance of the drug state (PK slew
+    allowance plus the true process-noise innovation, so the filter's
+    dynamics dominate the simulator's), the wander AR(1) model exactly
+    as simulated, the per-reading measurement variance including the
+    quantization floor, and the rail-censoring threshold (readings at
+    or beyond it carry no amplitude information — same rule as
+    :func:`repro.inference.observation.rail_censored_mask`, hoisted out
+    of the per-sample loop because the cohort shares one chain design).
+    """
+    dt_s = plan.sample_period_s
+    q_signal = plan.trough_filter_step_sigma_molar ** 2
+    a_wander = float(np.exp(-dt_s / (plan.wander_tau_h * 3600.0)))
+    if plan.add_noise:
+        a_process = float(np.exp(
+            -dt_s / (plan.process_noise_tau_h * 3600.0)))
+        q_signal += (plan.process_noise_sigma_molar ** 2
+                     * (1.0 - a_process ** 2))
+        q_wander = plan.wander_sigma_a ** 2 * (1.0 - a_wander ** 2)
+    else:
+        q_wander = 0.0
+    r = observation_variance_a2(plan.sensor, add_noise=plan.add_noise)
+    chain = plan.sensor.chain
+    censor_level_a = ((chain.tia.rail_v - 1.5 * chain.adc.lsb_v)
+                      / chain.tia.gain_v_per_a)
+    return q_signal, a_wander, q_wander, r, censor_level_a
+
+
+def _trough_filter_step(plan: TherapyPlan, params: _CohortParams,
+                        state: KalmanState, measured: np.ndarray,
+                        t_h: float, q_signal: float, a_wander: float,
+                        q_wander: float, r: float,
+                        censor_level_a: float) -> KalmanState:
+    """Advance the trough filter by one reading (vectorized or 1-wide).
+
+    One extended-Kalman step: random-walk predict, relinearize the
+    sensor's *actual* (saturating) response at the predicted drug
+    level (:func:`repro.inference.observation.response_linearization`
+    — the same definition the estimation engine uses), then update
+    against the digitized reading — with the same drifted-gain/baseline
+    observation terms the simulator applied, and rail-censored readings
+    skipped (infinite variance).  Called with the full cohort by
+    :func:`run_therapy` and with single-patient slices by
+    :func:`run_therapy_scalar`, so both paths share one arithmetic.
+    """
+    state = kalman_predict(state, 1.0, q_signal, a_wander, q_wander)
+    c_lin = np.maximum(state.m1, 0.0)
+    response, slope = response_linearization(plan.sensor, c_lin)
+    retention = np.exp(-params.decay_rate_per_hour * t_h)
+    baseline = (params.background_a
+                + params.baseline_drift_a_per_hour * t_h)
+    gain = retention * slope
+    offset = retention * (response - slope * c_lin) + baseline
+    r_k = np.where(np.abs(measured) >= censor_level_a, np.inf, r)
+    return kalman_update(state, measured, gain, offset, r_k)
 
 
 def run_therapy(plan: TherapyPlan) -> TherapyResult:
@@ -508,6 +615,12 @@ def run_therapy(plan: TherapyPlan) -> TherapyResult:
     doses = np.zeros((n, plan.n_doses))
     trough_true = np.zeros((n, plan.n_doses))
     trough_est = np.zeros((n, plan.n_doses))
+    trough_var = None
+    filter_state = None
+    if plan.filter_troughs:
+        trough_var = np.zeros((n, plan.n_doses))
+        filter_state = KalmanState.zeros(n)
+        q_f, a_wf, q_wf, r_f, censor_f = _trough_filter_params(plan)
     in_range_count = np.zeros(n)
     below_count = np.zeros(n)
     above_count = np.zeros(n)
@@ -523,7 +636,7 @@ def run_therapy(plan: TherapyPlan) -> TherapyResult:
             doses[:, 0] = plan.controller.initial_doses(n, plan.regimen)
         else:
             doses[:, k] = plan.controller.next_doses(
-                _observation(plan, k, doses, trough_est))
+                _observation(plan, k, doses, trough_est, trough_var))
         if np.any(~np.isfinite(doses[:, k])) or np.any(doses[:, k] < 0):
             raise ValueError(
                 f"controller produced an invalid dose at interval {k}")
@@ -578,6 +691,13 @@ def run_therapy(plan: TherapyPlan) -> TherapyResult:
             for _, accepted in events:
                 n_recals += accepted
 
+            # --- online trough filter (optional) ----------------------
+            if plan.filter_troughs:
+                for j in range(chunk):
+                    filter_state = _trough_filter_step(
+                        plan, params, filter_state, measured[:, j],
+                        float(t_h[j]), q_f, a_wf, q_wf, r_f, censor_f)
+
             # --- window accounting -----------------------------------
             in_range_count += np.sum(
                 (c >= plan.window.low_molar)
@@ -592,7 +712,11 @@ def run_therapy(plan: TherapyPlan) -> TherapyResult:
                 meas_i[:, start:stop] = measured
             if stop == interval_stop:
                 trough_true[:, k] = c[:, -1]
-                trough_est[:, k] = estimates[:, -1]
+                if plan.filter_troughs:
+                    trough_est[:, k] = np.maximum(filter_state.m1, 0.0)
+                    trough_var[:, k] = np.maximum(filter_state.p11, 0.0)
+                else:
+                    trough_est[:, k] = estimates[:, -1]
 
     period_h = plan.sample_period_s / 3600.0
     target = plan.window.target_trough_molar
@@ -609,6 +733,7 @@ def run_therapy(plan: TherapyPlan) -> TherapyResult:
             trough_true, target, skip_first=skip),
         overdose_exposure_molar_h=over_sum * period_h,
         n_recalibrations=n_recals,
+        trough_variance_molar2=trough_var,
         time_h=plan.sample_times_h(0, n_samples)
         if plan.keep_traces else None,
         true_concentration_molar=true_c if plan.keep_traces else None,
@@ -648,6 +773,10 @@ def run_therapy_scalar(plan: TherapyPlan) -> TherapyResult:
     doses = np.zeros((n, plan.n_doses))
     trough_true = np.zeros((n, plan.n_doses))
     trough_est = np.zeros((n, plan.n_doses))
+    trough_var = None
+    if plan.filter_troughs:
+        trough_var = np.zeros((n, plan.n_doses))
+        q_f, a_wf, q_wf, r_f, censor_f = _trough_filter_params(plan)
     in_range_count = np.zeros(n)
     below_count = np.zeros(n)
     above_count = np.zeros(n)
@@ -667,6 +796,8 @@ def run_therapy_scalar(plan: TherapyPlan) -> TherapyResult:
         intercept = params.day0_intercept
         process_state = 0.0
         wander_state = 0.0
+        filter_state = (KalmanState.zeros(1) if plan.filter_troughs
+                        else None)
 
         for k in range(plan.n_doses):
             if k == 0:
@@ -675,7 +806,9 @@ def run_therapy_scalar(plan: TherapyPlan) -> TherapyResult:
             else:
                 doses[i, k] = float(plan.controller.next_doses(
                     _observation(plan, k, doses[i:i + 1],
-                                 trough_est[i:i + 1]))[0])
+                                 trough_est[i:i + 1],
+                                 None if trough_var is None
+                                 else trough_var[i:i + 1]))[0])
             if not np.isfinite(doses[i, k]) or doses[i, k] < 0:
                 raise ValueError(
                     f"controller produced an invalid dose at interval {k}")
@@ -711,6 +844,11 @@ def run_therapy_scalar(plan: TherapyPlan) -> TherapyResult:
                 measured = float(chain.adc.convert(volts)[0]
                                  / chain.tia.gain_v_per_a)
                 estimate = max(0.0, (measured - intercept) / slope)
+                if plan.filter_troughs:
+                    filter_state = _trough_filter_step(
+                        plan, params, filter_state,
+                        np.array([measured]), t_h,
+                        q_f, a_wf, q_wf, r_f, censor_f)
                 if policy_active and (j + 1) % ref_every == 0 and c > 0:
                     rel_error = abs(estimate - c) / c
                     if rel_error > policy.tolerance:
@@ -731,7 +869,13 @@ def run_therapy_scalar(plan: TherapyPlan) -> TherapyResult:
                     meas_i[i, j] = measured
                 if j == (k + 1) * spi - 1:
                     trough_true[i, k] = c
-                    trough_est[i, k] = estimate
+                    if plan.filter_troughs:
+                        trough_est[i, k] = max(
+                            float(filter_state.m1[0]), 0.0)
+                        trough_var[i, k] = max(
+                            float(filter_state.p11[0]), 0.0)
+                    else:
+                        trough_est[i, k] = estimate
 
     period_h = plan.sample_period_s / 3600.0
     target = plan.window.target_trough_molar
@@ -748,6 +892,7 @@ def run_therapy_scalar(plan: TherapyPlan) -> TherapyResult:
             trough_true, target, skip_first=skip),
         overdose_exposure_molar_h=over_sum * period_h,
         n_recalibrations=n_recals,
+        trough_variance_molar2=trough_var,
         time_h=plan.sample_times_h(0, n_samples)
         if plan.keep_traces else None,
         true_concentration_molar=true_c if plan.keep_traces else None,

@@ -1,0 +1,509 @@
+"""Batch Kalman filter and RTS smoother for sensor-current streams.
+
+The estimation core of :mod:`repro.inference`: a two-state
+linear-Gaussian model per channel, vectorized across the cohort.  State
+``x_k = [d_k, w_k]`` carries the *signal deviation* (the concentration's
+departure from its deterministic trajectory, or the concentration itself
+for random-walk dynamics) and the *baseline wander* (the slow additive
+current drift of the reference electrode):
+
+.. code-block:: text
+
+    d_k = a_d d_{k-1} + eps_k,   eps_k ~ N(0, q_d)
+    w_k = a_w w_{k-1} + eta_k,   eta_k ~ N(0, q_w)
+    z_k = offset_k + gain_k d_k + w_k + v_k,   v_k ~ N(0, r_k)
+
+which is exactly the structure the streaming engines *generate*: OU
+physiological noise and OU wander (:func:`repro.signal.drift.ou_process_batch`
+uses the same ``a = exp(-dt/tau)`` recursion), a time-varying observation
+gain (calibrated slope decayed by the :class:`~repro.core.longterm.DriftBudget`),
+a known deterministic offset (faradaic response at the trajectory mean
+plus baseline drift) and white measurement noise (chain noise floor plus
+the ADC quantization floor).  :mod:`repro.inference.observation` builds
+these arrays straight from a :class:`~repro.engine.monitor.MonitorPlan`,
+so the filter is consistent-by-construction with the simulator.
+
+Execution model mirrors the engines: the recursion is inherently causal,
+so the batch path advances all channels one sample at a time as
+``(n_channels,)`` array operations — one NumPy pass per sample instead
+of one Python iteration per (channel, sample) pair.  The scalar
+reference (:func:`kalman_filter_scalar` / :func:`rts_smoother_scalar`)
+replays the identical arithmetic with Python floats, channel by channel,
+and is gated bit-identical (<= 1e-9) with a >= 5x speedup floor in
+``benchmarks/bench_inference.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class KalmanState:
+    """Gaussian belief over the two-state model, one entry per channel.
+
+    Attributes:
+        m1 / m2: posterior means of signal deviation and wander,
+            shape ``(n_channels,)``.
+        p11 / p12 / p22: the symmetric 2x2 posterior covariance entries,
+            shape ``(n_channels,)``.
+    """
+
+    m1: np.ndarray
+    m2: np.ndarray
+    p11: np.ndarray
+    p12: np.ndarray
+    p22: np.ndarray
+
+    @classmethod
+    def zeros(cls, n_channels: int) -> "KalmanState":
+        """The exactly-known initial state of the streaming engines.
+
+        Both OU processes start from state 0 with zero uncertainty
+        (the simulators initialize ``trajectory_state = wander_state =
+        0``), so the filter's prior is a point mass at the origin —
+        uncertainty enters only through the process noise.
+        """
+        if n_channels < 1:
+            raise ValueError("need at least one channel")
+        return cls(*(np.zeros(n_channels) for _ in range(5)))
+
+    def copy(self) -> "KalmanState":
+        """An independent copy (the recursions never mutate inputs)."""
+        return KalmanState(self.m1.copy(), self.m2.copy(),
+                           self.p11.copy(), self.p12.copy(),
+                           self.p22.copy())
+
+
+def kalman_predict(state: KalmanState,
+                   a_signal: "np.ndarray | float",
+                   q_signal: "np.ndarray | float",
+                   a_wander: "np.ndarray | float",
+                   q_wander: "np.ndarray | float") -> KalmanState:
+    """One time-update through the diagonal transition ``diag(a_d, a_w)``.
+
+    Args:
+        state: posterior after the previous sample.
+        a_signal / a_wander: per-channel AR(1) coefficients
+            (``exp(-dt/tau)`` for OU dynamics, ``1.0`` for a random
+            walk); scalars broadcast.
+        q_signal / q_wander: per-step innovation variances; scalars
+            broadcast.
+
+    Returns:
+        The predicted (prior) state for the next sample.
+    """
+    return KalmanState(
+        m1=a_signal * state.m1,
+        m2=a_wander * state.m2,
+        p11=a_signal * a_signal * state.p11 + q_signal,
+        p12=a_signal * a_wander * state.p12,
+        p22=a_wander * a_wander * state.p22 + q_wander,
+    )
+
+
+def kalman_update(state: KalmanState,
+                  z: np.ndarray,
+                  gain: "np.ndarray | float",
+                  offset: "np.ndarray | float",
+                  r: "np.ndarray | float") -> KalmanState:
+    """One measurement update with observation row ``[gain, 1]``.
+
+    The measurement model is ``z = offset + gain * d + w + v`` with
+    ``v ~ N(0, r)``.  Channels whose innovation variance is not positive
+    (a fully deterministic, noise-free configuration) keep their
+    predicted state instead of dividing by zero.
+
+    Args:
+        state: the *predicted* state for this sample
+            (:func:`kalman_predict` output).
+        z: measured currents [A], ``(n_channels,)``.
+        gain: observation gains [A per unit signal]; scalars broadcast.
+        offset: known deterministic observation offsets [A].
+        r: measurement noise variances [A^2]; scalars broadcast.
+
+    Returns:
+        The filtered (posterior) state at this sample.
+    """
+    z = np.asarray(z, dtype=float)
+    u1 = gain * state.p11 + state.p12          # (P H^T) row 1
+    u2 = gain * state.p12 + state.p22          # (P H^T) row 2
+    s = gain * u1 + u2 + r                     # innovation variance
+    s = np.broadcast_to(np.asarray(s, dtype=float), z.shape)
+    residual = z - (offset + gain * state.m1 + state.m2)
+    k1 = np.zeros_like(z)
+    k2 = np.zeros_like(z)
+    positive = s > 0
+    np.divide(np.broadcast_to(u1, z.shape), s, out=k1, where=positive)
+    np.divide(np.broadcast_to(u2, z.shape), s, out=k2, where=positive)
+    return KalmanState(
+        m1=state.m1 + k1 * residual,
+        m2=state.m2 + k2 * residual,
+        p11=state.p11 - k1 * u1,
+        p12=state.p12 - k1 * u2,
+        p22=state.p22 - k2 * u2,
+    )
+
+
+@dataclass
+class KalmanTrace:
+    """Per-sample filter output: filtered and predicted moments.
+
+    All arrays are ``(n_channels, n_samples)``.  The predicted moments
+    (``pm* / pp*``) are what the RTS smoother consumes on its backward
+    pass, so the forward pass stores both.
+
+    Attributes:
+        m1 / m2: filtered posterior means.
+        p11 / p12 / p22: filtered posterior covariances.
+        pm1 / pm2: one-step-ahead predicted means.
+        pp11 / pp12 / pp22: one-step-ahead predicted covariances.
+    """
+
+    m1: np.ndarray
+    m2: np.ndarray
+    p11: np.ndarray
+    p12: np.ndarray
+    p22: np.ndarray
+    pm1: np.ndarray
+    pm2: np.ndarray
+    pp11: np.ndarray
+    pp12: np.ndarray
+    pp22: np.ndarray
+
+    @property
+    def n_channels(self) -> int:
+        """Cohort size of the trace."""
+        return self.m1.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        """Samples per channel in the trace."""
+        return self.m1.shape[1]
+
+
+@dataclass
+class SmoothedTrace:
+    """RTS-smoothed per-sample moments, ``(n_channels, n_samples)``.
+
+    Attributes:
+        m1 / m2: smoothed posterior means (signal deviation, wander).
+        p11 / p12 / p22: smoothed posterior covariances.
+    """
+
+    m1: np.ndarray
+    m2: np.ndarray
+    p11: np.ndarray
+    p12: np.ndarray
+    p22: np.ndarray
+
+
+def _prepare(z, gain, offset, r, a_signal, q_signal, a_wander, q_wander):
+    """Validate and broadcast every filter input to its canonical shape."""
+    z = np.asarray(z, dtype=float)
+    if z.ndim != 2:
+        raise ValueError("measurements must be (n_channels, n_samples)")
+    n, t = z.shape
+    if t < 1:
+        raise ValueError("need at least one sample")
+    gain = np.broadcast_to(np.asarray(gain, dtype=float), (n, t))
+    offset = np.broadcast_to(np.asarray(offset, dtype=float), (n, t))
+    r = np.asarray(r, dtype=float)
+    if r.ndim <= 1:
+        r = np.broadcast_to(r, (n,))[:, None]
+    r = np.broadcast_to(r, (n, t))
+    if np.any(r < 0):
+        raise ValueError("measurement variance must be >= 0")
+    params = []
+    for name, p in (("a_signal", a_signal), ("q_signal", q_signal),
+                    ("a_wander", a_wander), ("q_wander", q_wander)):
+        p = np.broadcast_to(np.asarray(p, dtype=float), (n,))
+        if name.startswith("q") and np.any(p < 0):
+            raise ValueError(f"{name} must be >= 0")
+        params.append(p)
+    return z, gain, offset, r, *params
+
+
+def kalman_filter_batch(z: np.ndarray,
+                        gain: np.ndarray,
+                        offset: np.ndarray,
+                        r: "np.ndarray | float",
+                        a_signal: "np.ndarray | float",
+                        q_signal: "np.ndarray | float",
+                        a_wander: "np.ndarray | float",
+                        q_wander: "np.ndarray | float",
+                        initial: KalmanState | None = None) -> KalmanTrace:
+    """Run the filter over a whole cohort block, vectorized by channel.
+
+    Args:
+        z: measured currents [A], ``(n_channels, n_samples)``.
+        gain / offset: time-varying observation model, broadcastable to
+            ``z``'s shape.
+        r: measurement noise variance [A^2] — scalar, ``(n_channels,)``
+            or ``(n_channels, n_samples)``.
+        a_signal / q_signal / a_wander / q_wander: per-channel dynamics
+            (scalars broadcast).
+        initial: belief entering the first sample; defaults to the
+            engines' exactly-known zero state
+            (:meth:`KalmanState.zeros`).
+
+    Returns:
+        The full :class:`KalmanTrace` (filtered + predicted moments).
+    """
+    z, gain, offset, r, a_s, q_s, a_w, q_w = _prepare(
+        z, gain, offset, r, a_signal, q_signal, a_wander, q_wander)
+    n, t = z.shape
+    state = initial.copy() if initial is not None else KalmanState.zeros(n)
+    trace = KalmanTrace(*(np.empty((n, t)) for _ in range(10)))
+    # The hot loop inlines kalman_predict / kalman_update on reused
+    # buffers — same arithmetic, no per-sample object churn.  The
+    # composite transition factors are formed once (a * a is a single
+    # deterministic product, so precomputing it changes nothing).
+    m1, m2 = state.m1.copy(), state.m2.copy()
+    p11, p12, p22 = state.p11.copy(), state.p12.copy(), state.p22.copy()
+    aa_s = a_s * a_s
+    aa_w = a_w * a_w
+    a_sw = a_s * a_w
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for k in range(t):
+            # Predict.
+            m1 *= a_s
+            m2 *= a_w
+            p11 *= aa_s
+            p11 += q_s
+            p12 *= a_sw
+            p22 *= aa_w
+            p22 += q_w
+            trace.pm1[:, k] = m1
+            trace.pm2[:, k] = m2
+            trace.pp11[:, k] = p11
+            trace.pp12[:, k] = p12
+            trace.pp22[:, k] = p22
+            # Update.
+            g = gain[:, k]
+            u1 = g * p11 + p12
+            u2 = g * p12 + p22
+            s = g * u1 + u2 + r[:, k]
+            positive = s > 0
+            k1 = np.where(positive, u1 / s, 0.0)
+            k2 = np.where(positive, u2 / s, 0.0)
+            residual = z[:, k] - (offset[:, k] + g * m1 + m2)
+            m1 += k1 * residual
+            m2 += k2 * residual
+            p11 -= k1 * u1
+            p12 -= k1 * u2
+            p22 -= k2 * u2
+            trace.m1[:, k] = m1
+            trace.m2[:, k] = m2
+            trace.p11[:, k] = p11
+            trace.p12[:, k] = p12
+            trace.p22[:, k] = p22
+    return trace
+
+
+def kalman_filter_scalar(z: np.ndarray,
+                         gain: np.ndarray,
+                         offset: np.ndarray,
+                         r: "np.ndarray | float",
+                         a_signal: "np.ndarray | float",
+                         q_signal: "np.ndarray | float",
+                         a_wander: "np.ndarray | float",
+                         q_wander: "np.ndarray | float",
+                         initial: KalmanState | None = None) -> KalmanTrace:
+    """Per-channel scalar reference: one (channel, sample) at a time.
+
+    The historical shape of an online estimator — a Python loop over
+    every channel and sample through plain float arithmetic, applying
+    exactly the formulas of :func:`kalman_predict` /
+    :func:`kalman_update`.  Agrees with :func:`kalman_filter_batch` to
+    floating-point reassociation (<= 1e-9, gated with the >= 5x speedup
+    floor in ``benchmarks/bench_inference.py``) — which is exactly why
+    the vectorized path exists.
+    """
+    z, gain, offset, r, a_s, q_s, a_w, q_w = _prepare(
+        z, gain, offset, r, a_signal, q_signal, a_wander, q_wander)
+    n, t = z.shape
+    trace = KalmanTrace(*(np.empty((n, t)) for _ in range(10)))
+    for i in range(n):
+        if initial is None:
+            m1 = m2 = p11 = p12 = p22 = 0.0
+        else:
+            m1 = float(initial.m1[i])
+            m2 = float(initial.m2[i])
+            p11 = float(initial.p11[i])
+            p12 = float(initial.p12[i])
+            p22 = float(initial.p22[i])
+        ai, qi = float(a_s[i]), float(q_s[i])
+        aw, qw = float(a_w[i]), float(q_w[i])
+        for k in range(t):
+            # Predict.
+            m1 = ai * m1
+            m2 = aw * m2
+            p11 = ai * ai * p11 + qi
+            p12 = ai * aw * p12
+            p22 = aw * aw * p22 + qw
+            trace.pm1[i, k] = m1
+            trace.pm2[i, k] = m2
+            trace.pp11[i, k] = p11
+            trace.pp12[i, k] = p12
+            trace.pp22[i, k] = p22
+            # Update.
+            h = float(gain[i, k])
+            u1 = h * p11 + p12
+            u2 = h * p12 + p22
+            s = h * u1 + u2 + float(r[i, k])
+            if s > 0:
+                k1 = u1 / s
+                k2 = u2 / s
+            else:
+                k1 = k2 = 0.0
+            residual = float(z[i, k]) - (float(offset[i, k]) + h * m1 + m2)
+            m1 = m1 + k1 * residual
+            m2 = m2 + k2 * residual
+            p11 = p11 - k1 * u1
+            p12 = p12 - k1 * u2
+            p22 = p22 - k2 * u2
+            trace.m1[i, k] = m1
+            trace.m2[i, k] = m2
+            trace.p11[i, k] = p11
+            trace.p12[i, k] = p12
+            trace.p22[i, k] = p22
+    return trace
+
+
+def _inverse_2x2(p11: np.ndarray, p12: np.ndarray, p22: np.ndarray):
+    """Symmetric 2x2 inverses with a diagonal fallback for singular covs.
+
+    A channel whose wander (or signal) process carries no noise keeps a
+    rank-deficient predicted covariance; the smoother then falls back to
+    inverting the positive diagonal blocks alone (the exact limit of the
+    full inverse as the dead block's variance goes to zero).
+    """
+    det = p11 * p22 - p12 * p12
+    ok = det > 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        fallback1 = np.where(p11 > 0, 1.0 / p11, 0.0)
+        fallback2 = np.where(p22 > 0, 1.0 / p22, 0.0)
+        i11 = np.where(ok, p22 / det, fallback1)
+        i12 = np.where(ok, -p12 / det, 0.0)
+        i22 = np.where(ok, p11 / det, fallback2)
+    return i11, i12, i22
+
+
+def rts_smoother_batch(trace: KalmanTrace,
+                       a_signal: "np.ndarray | float",
+                       a_wander: "np.ndarray | float") -> SmoothedTrace:
+    """Rauch-Tung-Striebel backward pass, vectorized by channel.
+
+    Conditions every sample's belief on the *whole* record (the offline
+    reconstruction the monitoring workload wants after a wear period),
+    shrinking the posterior variance relative to the causal filter.
+
+    Args:
+        trace: forward-pass output of :func:`kalman_filter_batch`.
+        a_signal / a_wander: the same transition coefficients the filter
+            ran with (scalars broadcast).
+
+    Returns:
+        The :class:`SmoothedTrace` of smoothed moments.
+    """
+    n, t = trace.m1.shape
+    a_s = np.broadcast_to(np.asarray(a_signal, dtype=float), (n,))
+    a_w = np.broadcast_to(np.asarray(a_wander, dtype=float), (n,))
+    out = SmoothedTrace(*(np.empty((n, t)) for _ in range(5)))
+    out.m1[:, -1] = trace.m1[:, -1]
+    out.m2[:, -1] = trace.m2[:, -1]
+    out.p11[:, -1] = trace.p11[:, -1]
+    out.p12[:, -1] = trace.p12[:, -1]
+    out.p22[:, -1] = trace.p22[:, -1]
+    for k in range(t - 2, -1, -1):
+        i11, i12, i22 = _inverse_2x2(
+            trace.pp11[:, k + 1], trace.pp12[:, k + 1],
+            trace.pp22[:, k + 1])
+        # G = P_f A^T P_pred^{-1} with A = diag(a_s, a_w).
+        f11 = trace.p11[:, k] * a_s
+        f12 = trace.p12[:, k] * a_w
+        f21 = trace.p12[:, k] * a_s
+        f22 = trace.p22[:, k] * a_w
+        g11 = f11 * i11 + f12 * i12
+        g12 = f11 * i12 + f12 * i22
+        g21 = f21 * i11 + f22 * i12
+        g22 = f21 * i12 + f22 * i22
+        dm1 = out.m1[:, k + 1] - trace.pm1[:, k + 1]
+        dm2 = out.m2[:, k + 1] - trace.pm2[:, k + 1]
+        out.m1[:, k] = trace.m1[:, k] + g11 * dm1 + g12 * dm2
+        out.m2[:, k] = trace.m2[:, k] + g21 * dm1 + g22 * dm2
+        d11 = out.p11[:, k + 1] - trace.pp11[:, k + 1]
+        d12 = out.p12[:, k + 1] - trace.pp12[:, k + 1]
+        d22 = out.p22[:, k + 1] - trace.pp22[:, k + 1]
+        out.p11[:, k] = (trace.p11[:, k] + g11 * g11 * d11
+                         + 2.0 * g11 * g12 * d12 + g12 * g12 * d22)
+        out.p12[:, k] = (trace.p12[:, k] + g11 * g21 * d11
+                         + (g11 * g22 + g12 * g21) * d12
+                         + g12 * g22 * d22)
+        out.p22[:, k] = (trace.p22[:, k] + g21 * g21 * d11
+                         + 2.0 * g21 * g22 * d12 + g22 * g22 * d22)
+    return out
+
+
+def rts_smoother_scalar(trace: KalmanTrace,
+                        a_signal: "np.ndarray | float",
+                        a_wander: "np.ndarray | float") -> SmoothedTrace:
+    """Per-channel scalar reference of the RTS backward pass.
+
+    Same float-by-float arithmetic discipline as
+    :func:`kalman_filter_scalar`; agrees with :func:`rts_smoother_batch`
+    to <= 1e-9 (gated in ``benchmarks/bench_inference.py``).
+    """
+    n, t = trace.m1.shape
+    a_s = np.broadcast_to(np.asarray(a_signal, dtype=float), (n,))
+    a_w = np.broadcast_to(np.asarray(a_wander, dtype=float), (n,))
+    out = SmoothedTrace(*(np.empty((n, t)) for _ in range(5)))
+    for i in range(n):
+        ai, aw = float(a_s[i]), float(a_w[i])
+        m1 = float(trace.m1[i, -1])
+        m2 = float(trace.m2[i, -1])
+        p11 = float(trace.p11[i, -1])
+        p12 = float(trace.p12[i, -1])
+        p22 = float(trace.p22[i, -1])
+        out.m1[i, -1], out.m2[i, -1] = m1, m2
+        out.p11[i, -1], out.p12[i, -1], out.p22[i, -1] = p11, p12, p22
+        for k in range(t - 2, -1, -1):
+            pp11 = float(trace.pp11[i, k + 1])
+            pp12 = float(trace.pp12[i, k + 1])
+            pp22 = float(trace.pp22[i, k + 1])
+            det = pp11 * pp22 - pp12 * pp12
+            if det > 0:
+                i11 = pp22 / det
+                i12 = -pp12 / det
+                i22 = pp11 / det
+            else:
+                i11 = 1.0 / pp11 if pp11 > 0 else 0.0
+                i12 = 0.0
+                i22 = 1.0 / pp22 if pp22 > 0 else 0.0
+            f11 = float(trace.p11[i, k]) * ai
+            f12 = float(trace.p12[i, k]) * aw
+            f21 = float(trace.p12[i, k]) * ai
+            f22 = float(trace.p22[i, k]) * aw
+            g11 = f11 * i11 + f12 * i12
+            g12 = f11 * i12 + f12 * i22
+            g21 = f21 * i11 + f22 * i12
+            g22 = f21 * i12 + f22 * i22
+            dm1 = m1 - float(trace.pm1[i, k + 1])
+            dm2 = m2 - float(trace.pm2[i, k + 1])
+            d11 = p11 - pp11
+            d12 = p12 - pp12
+            d22 = p22 - pp22
+            m1 = float(trace.m1[i, k]) + g11 * dm1 + g12 * dm2
+            m2 = float(trace.m2[i, k]) + g21 * dm1 + g22 * dm2
+            p11 = (float(trace.p11[i, k]) + g11 * g11 * d11
+                   + 2.0 * g11 * g12 * d12 + g12 * g12 * d22)
+            p12 = (float(trace.p12[i, k]) + g11 * g21 * d11
+                   + (g11 * g22 + g12 * g21) * d12 + g12 * g22 * d22)
+            p22 = (float(trace.p22[i, k]) + g21 * g21 * d11
+                   + 2.0 * g21 * g22 * d12 + g22 * g22 * d22)
+            out.m1[i, k], out.m2[i, k] = m1, m2
+            out.p11[i, k], out.p12[i, k], out.p22[i, k] = p11, p12, p22
+    return out

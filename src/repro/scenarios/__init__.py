@@ -48,6 +48,7 @@ from repro.scenarios.protocols import (
 from repro.scenarios.spec import SCHEMA_VERSION, Scenario
 from repro.scenarios.workloads import (
     CalibrationWorkload,
+    EstimationWorkload,
     MonitorWorkload,
     TherapyWorkload,
     calibration_results_from_batch,
@@ -61,6 +62,7 @@ from repro.scenarios.runner import (
 
 __all__ = [
     "CalibrationWorkload",
+    "EstimationWorkload",
     "MonitorWorkload",
     "ResultProtocol",
     "SCHEMA_VERSION",

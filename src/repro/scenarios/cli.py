@@ -74,11 +74,17 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (exposed for docs/tests)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run declarative biosensor scenarios (calibration "
                     "campaigns, wear-time monitoring, closed-loop "
-                    "therapy) from JSON files.")
+                    "therapy, concentration reconstruction) from JSON "
+                    "files.")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}",
+                        help="print the repro package version and exit")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser(

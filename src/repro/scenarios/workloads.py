@@ -24,6 +24,12 @@ from repro.core.calibration import (
     default_protocol_for_range,
 )
 from repro.engine.calibrate import calibration_plan, calibration_result_from_batch
+from repro.engine.estimation import (
+    EstimationPlan,
+    EstimationResult,
+    run_estimation,
+    run_estimation_scalar,
+)
 from repro.engine.monitor import (
     MonitorPlan,
     MonitorResult,
@@ -284,6 +290,74 @@ class MonitorWorkload:
             "  keep_traces      store full traces (default true)"))
 
 
+class EstimationWorkload:
+    """Cohort concentration reconstruction (:func:`repro.engine.run_estimation`).
+
+    Spec fields: everything the ``monitor`` workload accepts (the wear
+    simulation whose currents are inverted; ``keep_traces`` is forced on
+    — the filter consumes the per-sample readings), plus:
+
+    * ``smooth`` — also run the RTS smoothing pass (default true);
+    * ``interval_level`` — nominal credible level of the reported bands
+      (default 0.95).
+    """
+
+    name = "estimation"
+    plan_type = EstimationPlan
+
+    _OWN = frozenset({"smooth", "interval_level"})
+
+    def build_plan(self, spec: Mapping[str, Any],
+                   seed: int | None) -> EstimationPlan:
+        """Resolve the wear spec through the monitor adapter, then wrap."""
+        _check_keys(spec, MonitorWorkload._ALLOWED | self._OWN,
+                    {"cohort", "duration_h"}, self.name)
+        monitor_spec = {key: value for key, value in spec.items()
+                       if key not in self._OWN}
+        # The filter needs every reading: a keep_traces=False monitor
+        # spec would fail in EstimationPlan anyway, so default it on.
+        monitor_spec.setdefault("keep_traces", True)
+        kwargs: dict[str, Any] = {
+            key: spec[key] for key in self._OWN if key in spec}
+        return EstimationPlan(
+            monitor=MONITOR.build_plan(monitor_spec, seed), **kwargs)
+
+    def run(self, plan: EstimationPlan) -> EstimationResult:
+        """Reconstruct the cohort on the vectorized filter path."""
+        return run_estimation(plan)
+
+    def run_scalar(self, plan: EstimationPlan) -> EstimationResult:
+        """Reconstruct channel by channel (equivalence reference)."""
+        return run_estimation_scalar(plan)
+
+    def summarize(self, result: EstimationResult) -> str:
+        """Reconstruction accuracy + interval-coverage summary."""
+        return result.summary()
+
+    def example_spec(self) -> dict:
+        """A one-day, four-patient glucose reconstruction."""
+        return {
+            "cohort": {"sensor": "glucose/this-work", "analyte": "glucose",
+                       "n_patients": 4, "wander_sigma_a": 2e-9},
+            "duration_h": 24.0,
+            "sample_period_s": 600.0,
+            "smooth": True,
+        }
+
+    def describe(self) -> str:
+        """Spec documentation plus a runnable example."""
+        return _describe(self, (
+            "  cohort           {sensor, analyte, n_patients, ...} "
+            "(required; as in the monitor workload)\n"
+            "  duration_h       wear horizon [h] (required)\n"
+            "  sample_period_s  reading cadence [s] (default 300)\n"
+            "  recalibration    {reference_interval_h, tolerance, enabled}\n"
+            "  smooth           also run the RTS smoother (default true)\n"
+            "  interval_level   credible level of the bands (default 0.95)\n"
+            "  (plus chunk_samples, add_noise, spec_tolerance as in the\n"
+            "   monitor workload; keep_traces is forced on)"))
+
+
 def _controller_from(drug: DrugSpec,
                      cfg: Mapping[str, Any]) -> DosingController:
     """Build a dosing controller from its spec mapping.
@@ -366,8 +440,10 @@ class TherapyWorkload:
       ``infusion_duration_h`` / ``sample_period_s`` / ``chunk_samples``
       / ``add_noise`` / ``keep_traces`` /
       ``process_noise_sigma_molar`` / ``process_noise_tau_h`` /
-      ``wander_sigma_a`` / ``wander_tau_h`` — forwarded to
-      :class:`~repro.engine.TherapyPlan`;
+      ``wander_sigma_a`` / ``wander_tau_h`` / ``filter_troughs`` /
+      ``filter_process_sigma_molar`` — forwarded to
+      :class:`~repro.engine.TherapyPlan` (``filter_troughs`` hands the
+      controller Kalman-filtered trough estimates with variances);
     * ``recalibration`` — mapping with ``reference_interval_h``,
       ``tolerance``, ``enabled``.
     """
@@ -380,12 +456,14 @@ class TherapyWorkload:
         "dose_interval_h", "route", "infusion_duration_h",
         "sample_period_s", "chunk_samples", "add_noise", "keep_traces",
         "recalibration", "process_noise_sigma_molar",
-        "process_noise_tau_h", "wander_sigma_a", "wander_tau_h"})
+        "process_noise_tau_h", "wander_sigma_a", "wander_tau_h",
+        "filter_troughs", "filter_process_sigma_molar"})
     _PASSTHROUGH = ("dose_interval_h", "infusion_duration_h",
                     "sample_period_s", "chunk_samples", "add_noise",
                     "keep_traces", "process_noise_sigma_molar",
                     "process_noise_tau_h", "wander_sigma_a",
-                    "wander_tau_h")
+                    "wander_tau_h", "filter_troughs",
+                    "filter_process_sigma_molar")
 
     def build_plan(self, spec: Mapping[str, Any],
                    seed: int | None) -> TherapyPlan:
@@ -454,3 +532,4 @@ class TherapyWorkload:
 CALIBRATION = register_workload(CalibrationWorkload())
 MONITOR = register_workload(MonitorWorkload())
 THERAPY = register_workload(TherapyWorkload())
+ESTIMATION = register_workload(EstimationWorkload())

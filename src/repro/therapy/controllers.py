@@ -71,8 +71,14 @@ class ControllerObservation:
         trough_times_h: times of the trough readouts [h], ``(k,)`` (the
             last sensor sample of each elapsed interval).
         trough_estimates_molar: sensor-estimated trough levels [mol/L],
-            ``(n_patients, k)`` — noisy, drift-affected, exactly what
-            the instrument chain reported.
+            ``(n_patients, k)`` — either the raw linear inversion of the
+            instrument chain's reading, or (when the therapy plan runs
+            the trough filter) the Kalman-filtered posterior mean.
+        trough_variances_molar2: posterior variances of the trough
+            estimates [mol^2/L^2], ``(n_patients, k)``; ``None`` when
+            the readouts are raw (no uncertainty quantification).
+            Variance-aware controllers weight each trough by its
+            precision instead of assuming one fixed readout sigma.
     """
 
     regimen: RegimenSpec
@@ -82,6 +88,7 @@ class ControllerObservation:
     doses_mol: np.ndarray
     trough_times_h: np.ndarray
     trough_estimates_molar: np.ndarray
+    trough_variances_molar2: np.ndarray | None = None
 
     @property
     def n_patients(self) -> int:
@@ -280,6 +287,14 @@ class BayesianTroughController(DosingController):
         likelihood around the superposed model prediction plus the
         lognormal prior penalty.  Each patient's optimum is independent,
         so the search runs as one ``(n_patients, n_grid)`` array pass.
+
+        When the observation carries per-trough posterior variances
+        (filtered readouts), the likelihood weights every trough by its
+        own precision instead of the fixed ``observation_sigma_molar``
+        — an early noisy trough then counts less than a late converged
+        one.  Variances are floored at 1 % of the configured sigma's
+        variance so a (near-)exact readout cannot dominate with
+        unbounded weight.
         """
         z, clearances = self._clearance_grid()
         dose_times = observation.dose_times_h
@@ -305,9 +320,15 @@ class BayesianTroughController(DosingController):
                           * unit[None, :, :, m])
         residuals = (observation.trough_estimates_molar[:, None, :]
                      - predicted)
-        objective = (np.sum(residuals ** 2, axis=2)
-                     / (2.0 * self.observation_sigma_molar ** 2)
-                     + 0.5 * z[None, :] ** 2)
+        variances = observation.trough_variances_molar2
+        if variances is None:
+            misfit = (np.sum(residuals ** 2, axis=2)
+                      / (2.0 * self.observation_sigma_molar ** 2))
+        else:
+            floor = (0.1 * self.observation_sigma_molar) ** 2
+            weights = 1.0 / (2.0 * np.maximum(variances, floor))
+            misfit = np.sum(residuals ** 2 * weights[:, None, :], axis=2)
+        objective = misfit + 0.5 * z[None, :] ** 2
         return clearances[np.argmin(objective, axis=1)]
 
     def next_doses(self, observation: ControllerObservation) -> np.ndarray:

@@ -308,3 +308,68 @@ class TestTherapyResult:
         plan = short_plan(cohort)
         open_loop = replace(plan, keep_traces=False)
         assert open_loop.keep_traces is False
+
+
+class TestFilteredTroughs:
+    """The PR-5 refactor: the controller can consume Kalman-filtered
+    trough estimates (and their variances) instead of raw readouts."""
+
+    def test_plan_knobs_validated(self, cohort):
+        with pytest.raises(ValueError, match="filter process sigma"):
+            short_plan(cohort, filter_troughs=True,
+                       filter_process_sigma_molar=0.0)
+        default = short_plan(cohort, filter_troughs=True)
+        assert default.trough_filter_step_sigma_molar \
+            == pytest.approx(0.05 * TARGET)
+        explicit = short_plan(cohort, filter_troughs=True,
+                              filter_process_sigma_molar=1e-7)
+        assert explicit.trough_filter_step_sigma_molar == 1e-7
+
+    def test_raw_plan_carries_no_variances(self, cohort):
+        result = run_therapy(short_plan(cohort, keep_traces=False))
+        assert result.trough_variance_molar2 is None
+        assert "trough_variance_molar2" not in \
+            result.to_dict()["patients"][0]
+
+    def test_variances_shaped_and_positive(self, cohort):
+        plan = short_plan(cohort, filter_troughs=True, keep_traces=False)
+        result = run_therapy(plan)
+        variances = result.trough_variance_molar2
+        assert variances.shape == (plan.n_patients, plan.n_doses)
+        assert np.all(variances > 0)
+        assert "trough_variance_molar2" in \
+            result.to_dict()["patients"][0]
+
+    def test_scalar_equivalence_with_filter(self, cohort):
+        plan = short_plan(cohort, filter_troughs=True, chunk_samples=7)
+        batch = run_therapy(plan)
+        scalar = run_therapy_scalar(plan)
+        np.testing.assert_allclose(batch.doses_mol, scalar.doses_mol,
+                                   rtol=1e-9, atol=0.0)
+        np.testing.assert_allclose(
+            batch.trough_estimated_molar, scalar.trough_estimated_molar,
+            rtol=0.0, atol=1e-12)
+        np.testing.assert_allclose(
+            batch.trough_variance_molar2, scalar.trough_variance_molar2,
+            rtol=1e-9, atol=0.0)
+
+    def test_chunk_size_invariance_with_filter(self, cohort):
+        whole = run_therapy(short_plan(cohort, filter_troughs=True,
+                                       chunk_samples=10 ** 6))
+        slivers = run_therapy(short_plan(cohort, filter_troughs=True,
+                                         chunk_samples=5))
+        np.testing.assert_allclose(slivers.doses_mol, whole.doses_mol,
+                                   rtol=0.0, atol=1e-18)
+        np.testing.assert_allclose(
+            slivers.trough_variance_molar2, whole.trough_variance_molar2,
+            rtol=0.0, atol=1e-24)
+
+    def test_filtered_troughs_reduce_readout_error(self, cohort):
+        raw = run_therapy(short_plan(cohort, keep_traces=False))
+        filtered = run_therapy(short_plan(cohort, filter_troughs=True,
+                                          keep_traces=False))
+        raw_err = np.abs(raw.trough_estimated_molar
+                         - raw.trough_true_molar)
+        filtered_err = np.abs(filtered.trough_estimated_molar
+                              - filtered.trough_true_molar)
+        assert float(np.mean(filtered_err)) < float(np.mean(raw_err))

@@ -1,0 +1,127 @@
+"""Tests for repro.inference.fusion (crosstalk unmixing + stacking)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.monitor import MonitorPlan, glucose_cohort, run_monitor
+from repro.inference.fusion import (
+    fuse_redundant_channels,
+    mux_crosstalk_apply,
+    mux_crosstalk_unmix,
+    precision_weighted_stack,
+)
+from repro.inference.observation import monitor_observation_model
+from repro.instrument.multiplexer import ChannelMultiplexer
+
+
+@pytest.fixture()
+def mux():
+    return ChannelMultiplexer(n_channels=3, off_isolation=5e-3)
+
+
+class TestCrosstalk:
+    def test_apply_matches_scalar_multiplexer_model(self, mux):
+        currents = np.array([[1e-7], [3e-7], [-2e-8]])
+        observed = mux_crosstalk_apply(mux, currents)
+        per_channel = {i: float(currents[i, 0]) for i in range(3)}
+        for i in range(3):
+            assert observed[i, 0] == pytest.approx(
+                mux.observed_current(i, per_channel))
+
+    def test_unmix_inverts_apply_exactly(self, mux):
+        rng = np.random.default_rng(3)
+        currents = rng.normal(scale=1e-7, size=(3, 40))
+        recovered = mux_crosstalk_unmix(
+            mux, mux_crosstalk_apply(mux, currents))
+        np.testing.assert_allclose(recovered, currents,
+                                   rtol=0.0, atol=1e-18)
+
+    def test_zero_isolation_is_identity(self):
+        mux = ChannelMultiplexer(n_channels=2, off_isolation=0.0)
+        currents = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(
+            mux_crosstalk_unmix(mux, currents), currents)
+
+    def test_channel_count_mismatch_rejected(self, mux):
+        with pytest.raises(ValueError, match="n_samples"):
+            mux_crosstalk_unmix(mux, np.zeros((2, 5)))
+
+
+class TestPrecisionStack:
+    def test_equal_channels_average_and_shrink_variance(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        fused, var = precision_weighted_stack(values, np.array([2.0, 2.0]))
+        np.testing.assert_allclose(fused, [2.0, 3.0])
+        np.testing.assert_allclose(var, [1.0, 1.0])  # 2.0 / m
+
+    def test_precise_channel_dominates(self):
+        values = np.array([[0.0], [10.0]])
+        fused, var = precision_weighted_stack(
+            values, np.array([1e-6, 1.0]))
+        assert fused[0] == pytest.approx(0.0, abs=1e-4)
+        assert var[0] < 1e-6
+
+    def test_rejects_non_positive_variances(self):
+        with pytest.raises(ValueError, match="> 0"):
+            precision_weighted_stack(np.zeros((2, 3)),
+                                     np.array([1.0, 0.0]))
+
+
+class TestFuseRedundantChannels:
+    @pytest.fixture(scope="class")
+    def bank(self):
+        """Three redundant electrodes on one patient, one truth.
+
+        The trajectory is pinned to the low-glucose end so the bank's
+        currents stay inside the TIA rails — fusion of in-range
+        channels is what this class exercises (censoring has its own
+        tests).
+        """
+        from dataclasses import replace
+
+        base = glucose_cohort(1)[0]
+        trajectory = replace(base.trajectory, baseline_molar=3.2e-3,
+                             circadian_amplitude_molar=2e-4,
+                             excursion_amplitude_molar=2e-4)
+        channel = replace(base, trajectory=trajectory)
+        plan = MonitorPlan(channels=(channel,) * 3, duration_h=6.0,
+                           seed=5)
+        result = run_monitor(plan)
+        model = monitor_observation_model(plan)
+        return plan, result, model
+
+    def test_fused_variance_beats_single_channel(self, bank):
+        _, result, model = bank
+        fused = fuse_redundant_channels(result.measured_current_a, model)
+        single = ((model.measurement_variance_a2[0]
+                   + model.wander_stationary_variance_a2()[0])
+                  / model.gain_a_per_molar[0] ** 2)
+        assert fused.concentration_molar.shape == (model.n_samples,)
+        assert np.all(fused.variance_molar2 < single)
+
+    def test_fused_estimate_tracks_truth_where_not_railed(self, bank):
+        from repro.inference.observation import rail_censored_mask
+
+        plan, result, model = bank
+        fused = fuse_redundant_channels(result.measured_current_a, model)
+        censored = rail_censored_mask(
+            [c.sensor for c in plan.channels],
+            result.measured_current_a).any(axis=0)
+        truth = result.true_concentration_molar[0]
+        errors = np.abs(fused.concentration_molar - truth)[~censored]
+        assert np.mean(errors) < 0.05 * np.mean(truth)
+
+    def test_mux_crosstalk_is_removed(self, bank):
+        _, result, model = bank
+        mux = ChannelMultiplexer(n_channels=3, off_isolation=2e-2)
+        mixed = mux_crosstalk_apply(mux, result.measured_current_a)
+        direct = fuse_redundant_channels(result.measured_current_a, model)
+        unmixed = fuse_redundant_channels(mixed, model, mux=mux)
+        np.testing.assert_allclose(unmixed.concentration_molar,
+                                   direct.concentration_molar,
+                                   rtol=0.0, atol=1e-12)
+
+    def test_shape_mismatch_rejected(self, bank):
+        _, _, model = bank
+        with pytest.raises(ValueError, match="does not match"):
+            fuse_redundant_channels(np.zeros((2, 3)), model)

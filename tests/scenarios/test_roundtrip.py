@@ -40,6 +40,14 @@ ROUND_TRIP_SPECS = {
         "sample_period_s": 1800.0,
         "recalibration": {"reference_interval_h": 6.0, "tolerance": 0.05},
     },
+    "estimation": {
+        "cohort": {"sensor": "glucose/this-work", "analyte": "glucose",
+                   "n_patients": 2, "wander_sigma_a": 2e-9},
+        "duration_h": 4.0,
+        "sample_period_s": 600.0,
+        "smooth": True,
+        "interval_level": 0.95,
+    },
 }
 
 

@@ -17,16 +17,29 @@ def scenario_file(tmp_path):
     ).save(tmp_path / "scenario.json")
 
 
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert repro.__version__ in output
+        assert output.startswith("repro ")
+
+
 class TestList:
     def test_lists_every_workload(self, capsys):
         assert main(["list"]) == 0
         output = capsys.readouterr().out
-        for name in ("calibration", "monitor", "therapy"):
+        for name in ("calibration", "estimation", "monitor", "therapy"):
             assert name in output
 
 
 class TestDescribe:
-    @pytest.mark.parametrize("name", ["calibration", "monitor", "therapy"])
+    @pytest.mark.parametrize("name", ["calibration", "estimation",
+                                      "monitor", "therapy"])
     def test_describe_prints_example_spec(self, capsys, name):
         assert main(["describe", name]) == 0
         output = capsys.readouterr().out

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.engine import BatchPlan, MonitorPlan, TherapyPlan
+from repro.engine import BatchPlan, EstimationPlan, MonitorPlan, TherapyPlan
 from repro.scenarios import (
     ResultProtocol,
     WORKLOADS,
@@ -24,7 +24,8 @@ from repro.therapy import (
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert available_workloads() == ("calibration", "monitor", "therapy")
+        assert available_workloads() == (
+            "calibration", "estimation", "monitor", "therapy")
 
     def test_every_workload_satisfies_the_protocol(self):
         for name in available_workloads():
@@ -34,6 +35,7 @@ class TestRegistry:
         assert workload_by_name("calibration").plan_type is BatchPlan
         assert workload_by_name("monitor").plan_type is MonitorPlan
         assert workload_by_name("therapy").plan_type is TherapyPlan
+        assert workload_by_name("estimation").plan_type is EstimationPlan
 
     def test_unknown_workload_lists_registry(self):
         with pytest.raises(KeyError, match="registered"):
@@ -169,6 +171,47 @@ class TestMonitorWorkload:
             self.WORKLOAD.build_plan(spec, seed=0)
 
 
+class TestEstimationWorkload:
+    WORKLOAD = workload_by_name("estimation")
+
+    SPEC = {
+        "cohort": {"sensor": "glucose/this-work", "analyte": "glucose",
+                   "n_patients": 2, "wander_sigma_a": 2e-9},
+        "duration_h": 6.0,
+        "sample_period_s": 600.0,
+        "smooth": False,
+        "interval_level": 0.9,
+    }
+
+    def test_build_plan_wraps_a_monitor_plan(self):
+        plan = self.WORKLOAD.build_plan(self.SPEC, seed=3)
+        assert isinstance(plan, EstimationPlan)
+        assert plan.n_channels == 2
+        assert plan.seed == 3
+        assert plan.smooth is False
+        assert plan.interval_level == 0.9
+
+    def test_keep_traces_forced_on(self):
+        plan = self.WORKLOAD.build_plan(self.SPEC, seed=0)
+        assert plan.monitor.keep_traces
+
+    def test_explicit_keep_traces_false_rejected(self):
+        with pytest.raises(ValueError, match="keep_traces"):
+            self.WORKLOAD.build_plan({**self.SPEC, "keep_traces": False},
+                                     seed=0)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            self.WORKLOAD.build_plan({**self.SPEC, "wat": 1}, seed=0)
+
+    def test_run_scenario_summarizes_coverage(self):
+        scenario = Scenario(workload="estimation", name="est", seed=7,
+                            spec=self.SPEC)
+        result = run_scenario(scenario)
+        assert isinstance(result, ResultProtocol)
+        assert "coverage" in self.WORKLOAD.summarize(result)
+
+
 class TestTherapyWorkload:
     WORKLOAD = workload_by_name("therapy")
 
@@ -291,6 +334,8 @@ class TestResultProtocol:
                            "n_doses": 2, "dose_interval_h": 6.0,
                            "sample_period_s": 1800.0,
                            "keep_traces": False}),
+            Scenario(workload="estimation", name="est", seed=1,
+                     spec=TestEstimationWorkload.SPEC),
         ]
         import json
 

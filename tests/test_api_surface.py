@@ -17,9 +17,9 @@ import repro
 
 SUBPACKAGES = [
     "analytes", "bio", "chem", "classification", "core", "electrodes",
-    "engine", "enzymes", "experiments", "instrument", "nano", "pk",
-    "scenarios", "signal", "system", "techniques", "therapy",
-    "transducers",
+    "engine", "enzymes", "experiments", "inference", "instrument",
+    "nano", "pk", "scenarios", "signal", "system", "techniques",
+    "therapy", "transducers",
 ]
 
 
@@ -66,12 +66,16 @@ class TestDocstrings:
         "repro.engine", "repro.engine.monitor", "repro.engine.plan",
         "repro.engine.measure", "repro.engine.runner",
         "repro.engine.calibrate", "repro.engine.kernels",
-        "repro.engine.therapy", "repro.pk.models", "repro.pk.dosing",
+        "repro.engine.therapy", "repro.engine.estimation",
+        "repro.pk.models", "repro.pk.dosing",
         "repro.pk.population", "repro.pk.drugs",
         "repro.therapy.controllers", "repro.therapy.metrics",
         "repro.scenarios", "repro.scenarios.spec",
         "repro.scenarios.protocols", "repro.scenarios.workloads",
         "repro.scenarios.runner", "repro.scenarios.cli",
+        "repro.inference", "repro.inference.observation",
+        "repro.inference.kalman", "repro.inference.fusion",
+        "repro.inference.evaluate",
     ])
     def test_engine_modules_documented(self, module_name):
         """The engine is the documented flagship: every module, public

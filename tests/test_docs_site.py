@@ -50,11 +50,16 @@ class TestSiteSkeleton:
                                     re.MULTILINE)
         }
         for required in ("repro.engine", "repro.engine.monitor",
-                         "repro.engine.therapy", "repro.pk.models",
+                         "repro.engine.therapy",
+                         "repro.engine.estimation", "repro.pk.models",
                          "repro.pk.population",
                          "repro.therapy.controllers",
                          "repro.scenarios", "repro.scenarios.spec",
                          "repro.scenarios.workloads",
+                         "repro.inference", "repro.inference.kalman",
+                         "repro.inference.observation",
+                         "repro.inference.fusion",
+                         "repro.inference.evaluate",
                          "repro.core", "repro.instrument"):
             assert required in identifiers, f"no API page renders {required}"
 
