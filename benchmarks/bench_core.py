@@ -1,0 +1,145 @@
+"""Bench: every registered workload through the shared speedup harness.
+
+One loop replaces the four per-engine speedup gates: for each workload
+registered on the execution core, the chunked executor is timed against
+that workload's honest scalar baseline and gated on the floor named by
+its kernel set (``floor_env``, 5x by default, relaxed in CI).  Each
+workload still drops its historical ``BENCH_<record>.json`` payload, and
+the whole sweep additionally lands in one unified ``BENCH_core.json``
+(workload -> payload) so the perf trajectory of the whole execution core
+diffs as a single file across PRs.
+
+Baselines are chosen per workload to keep the claim honest:
+
+* **calibration** — the pre-engine scalar pipeline (one full
+  technique -> chain -> DSP pass per cell), not ``run_scalar``, whose
+  single-cell batch calls would share the engine's kernel cache;
+* **monitor** / **therapy** — the per-(channel, sample) scalar
+  reference, i.e. ``run_scalar(workload, plan)``;
+* **estimation** — scalar filter + smoother on precomputed currents
+  (the wear simulation feeding both paths is identical and vectorized,
+  so timing it would dilute the filter claim).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchPlan
+from repro.engine.core import (
+    floor_from_env,
+    kernels_for,
+    measure_speedup,
+    registered_workloads,
+    run_scalar,
+    run_workload,
+)
+from repro.inference.kalman import (
+    kalman_filter_batch,
+    kalman_filter_scalar,
+    rts_smoother_batch,
+    rts_smoother_scalar,
+)
+from repro.inference.observation import (
+    monitor_observation_model,
+    rail_censored_mask,
+)
+from repro.rng import spawn_generators
+
+N_REPLICATES = 25
+
+
+def _calibration_bench(panel, historical_point):
+    """Batched campaign vs. the historical per-point pipeline."""
+    sensors, grids = panel
+    plan = BatchPlan(sensors=sensors, concentrations_molar=grids,
+                     replicates=N_REPLICATES, seed=7)
+    rngs = spawn_generators(7, plan.n_cells)
+
+    def slow():
+        values = []
+        flat = 0
+        for sensor, grid in zip(sensors, grids):
+            for concentration in grid:
+                for __ in range(N_REPLICATES):
+                    values.append(historical_point(
+                        sensor, concentration, rngs[flat]))
+                    flat += 1
+        return np.array(values)
+
+    return (lambda: run_workload("calibration", plan), slow,
+            dict(n_cells=plan.n_cells))
+
+
+def _streaming_bench(workload, plan):
+    """Chunked executor vs. the per-(channel, sample) scalar loop."""
+    n_channels = getattr(plan, "n_channels", None) or plan.n_patients
+    extras = dict(n_channels=n_channels, n_samples=plan.n_samples,
+                  n_readings=n_channels * plan.n_samples)
+    return (lambda: run_workload(workload, plan),
+            lambda: run_scalar(workload, plan), extras)
+
+
+def _estimation_bench(plan):
+    """Batch vs. scalar filter + smoother on precomputed currents."""
+    monitor_result = run_workload("monitor", plan.monitor)
+    model = monitor_observation_model(plan.monitor)
+    censored = rail_censored_mask(
+        [channel.sensor for channel in plan.monitor.channels],
+        monitor_result.measured_current_a)
+    r = np.where(censored, np.inf,
+                 model.measurement_variance_a2[:, None])
+    z = monitor_result.measured_current_a
+    args = (model.gain_a_per_molar, model.offset_a, r,
+            model.a_signal, model.q_signal,
+            model.a_wander, model.q_wander)
+
+    def fast():
+        trace = kalman_filter_batch(z, *args)
+        return rts_smoother_batch(trace, model.a_signal, model.a_wander)
+
+    def slow():
+        trace = kalman_filter_scalar(z, *args)
+        return rts_smoother_scalar(trace, model.a_signal,
+                                   model.a_wander)
+
+    extras = dict(n_channels=plan.n_channels, n_samples=plan.n_samples,
+                  n_readings=plan.n_channels * plan.n_samples)
+    return fast, slow, extras
+
+
+def test_registered_workload_speedups(bench_json, historical_point,
+                                      calibration_panel,
+                                      monitor_week_plan,
+                                      therapy_course_plan,
+                                      estimation_cohort_plan):
+    """One gate for all workloads: each must beat its scalar baseline."""
+    benches = {
+        "calibration": lambda: _calibration_bench(calibration_panel,
+                                                  historical_point),
+        "monitor": lambda: _streaming_bench(
+            "monitor", monitor_week_plan(keep_traces=False)),
+        "therapy": lambda: _streaming_bench(
+            "therapy", therapy_course_plan(keep_traces=False)),
+        "estimation": lambda: _estimation_bench(estimation_cohort_plan()),
+    }
+    unified = {}
+    for workload in registered_workloads():
+        if workload not in benches:
+            pytest.fail(f"registered workload {workload!r} has no bench "
+                        "spec: add one to benchmarks/bench_core.py")
+        kernels = kernels_for(workload)
+        fast, slow, extras = benches[workload]()
+        payload = measure_speedup(
+            fast, slow, floor_from_env(kernels.floor_env),
+            extras=extras, scalar_repeats=1)
+        path = bench_json(kernels.bench_record, **payload)
+        unified[workload] = payload
+        print(f"\n{workload}: scalar {payload['scalar_wall_s'] * 1e3:.0f}"
+              f" ms, chunked {payload['batch_wall_s'] * 1e3:.1f} ms -> "
+              f"{payload['speedup']:.1f}x (floor "
+              f"{payload['speedup_floor']:.1f}x) -> {path}")
+    print(f"unified record -> {bench_json('core', **unified)}")
+    below = {workload: payload["speedup"]
+             for workload, payload in unified.items()
+             if payload["speedup"] < payload["speedup_floor"]}
+    assert not below, f"speedups below their floors: {below}"

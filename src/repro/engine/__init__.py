@@ -48,8 +48,17 @@ All three workloads share one declarative front door:
 serializes any configured run as a JSON :class:`~repro.scenarios.Scenario`
 artifact, and dispatches them through ``run_scenario`` or the
 ``python -m repro`` command line.
+
+Under all of them sits one execution core (:mod:`repro.engine.core`):
+each workload is a registered :class:`~repro.engine.core.KernelSet`
+whose declarative plan compiles to a segment/chunk
+:class:`~repro.engine.core.ExecutionPlan`, and the shared executor
+threads carry state through the chunk loop.  The historical
+``run_*_scalar`` quartet is deprecated in favour of
+:func:`repro.engine.core.run_scalar`.
 """
 
+from repro.engine import core
 from repro.engine import kernels
 from repro.engine import monitor
 from repro.engine import therapy
@@ -90,9 +99,20 @@ from repro.engine.estimation import (
     run_estimation,
     run_estimation_scalar,
 )
+from repro.engine.core import (
+    kernels_for,
+    registered_workloads,
+    run_scalar,
+    run_workload,
+)
 
 __all__ = [
     "BatchPlan",
+    "core",
+    "kernels_for",
+    "registered_workloads",
+    "run_scalar",
+    "run_workload",
     "BatchResult",
     "CellIndex",
     "kernels",

@@ -1,0 +1,101 @@
+"""The execution contract every registered workload must honour.
+
+Three properties, checked once here instead of once per engine:
+
+* **Chunk-size invariance** — results depend only on the plan, never
+  on ``chunk_samples`` (chunks of 1, a prime, and one covering the
+  whole axis all agree).
+* **Scalar equivalence** — the vectorized kernels agree with the
+  per-element ``run_scalar`` reference to each field's declared
+  tolerance (``<= 1e-9`` for concentrations and derived scores).
+* **Deterministic replay** — the same plan replays bit for bit.
+
+Each check runs the workload through :func:`~.executor.execute` and
+compares the field dictionaries the kernel set declares via
+``contract_fields`` — a field compares either exactly (counts, event
+times) or under its :class:`~.kernelset.Check` tolerances.  The
+parametrized suite in ``tests/engine/test_core_contract.py`` applies
+these helpers to every registered workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.core.executor import execute
+from repro.engine.core.kernelset import Check, KernelSet
+
+#: Chunk sizes the invariance check compares against the plan's own
+#: chunking: single-sample, an awkward prime, and one chunk spanning
+#: everything.
+DEFAULT_CHUNK_SIZES = (1, 13, 10**6)
+
+
+def _compare_field(workload: str, context: str, name: str,
+                   reference: Check, candidate: Check) -> None:
+    ref, cand = reference.value, candidate.value
+    label = f"{workload} {context}: field {name!r}"
+    if ref is None or cand is None:
+        assert ref is None and cand is None, label
+        return
+    if reference.exact:
+        if isinstance(ref, np.ndarray) or isinstance(cand, np.ndarray):
+            np.testing.assert_array_equal(cand, ref, err_msg=label)
+        else:
+            assert cand == ref, f"{label}: {cand!r} != {ref!r}"
+        return
+    np.testing.assert_allclose(cand, ref, rtol=reference.rtol,
+                               atol=reference.atol, err_msg=label)
+
+
+def assert_fields_match(workload: str, context: str,
+                        reference: "dict[str, Check]",
+                        candidate: "dict[str, Check]") -> None:
+    """Assert two contract-field dictionaries agree field by field.
+
+    Tolerances come from the ``reference`` side; both dictionaries
+    must declare the same field names.
+    """
+    assert set(reference) == set(candidate), (
+        f"{workload} {context}: field sets differ: "
+        f"{sorted(set(reference) ^ set(candidate))}")
+    for name, ref_check in reference.items():
+        _compare_field(workload, context, name, ref_check,
+                       candidate[name])
+
+
+def check_chunk_invariance(kernels: KernelSet,
+                           chunk_sizes=DEFAULT_CHUNK_SIZES) -> None:
+    """Prove results are independent of the chunking policy.
+
+    Runs the kernel set's contract plan as declared, then once per
+    entry in ``chunk_sizes``, and asserts every contract field agrees.
+    """
+    plan = kernels.contract_plan()
+    reference = kernels.contract_fields(execute(kernels, plan))
+    for chunk in chunk_sizes:
+        rechunked = kernels.with_chunk_samples(plan, chunk)
+        candidate = kernels.contract_fields(execute(kernels, rechunked))
+        assert_fields_match(kernels.name, f"chunk={chunk}", reference,
+                            candidate)
+
+
+def check_scalar_equivalence(kernels: KernelSet) -> None:
+    """Prove the vectorized kernels match the scalar reference."""
+    plan = kernels.contract_plan()
+    reference = kernels.contract_fields(execute(kernels, plan))
+    candidate = kernels.contract_fields(kernels.run_scalar(plan))
+    assert_fields_match(kernels.name, "scalar reference", reference,
+                        candidate)
+
+
+def check_deterministic_replay(kernels: KernelSet) -> None:
+    """Prove the same plan replays identically (exact comparison)."""
+    plan = kernels.contract_plan()
+    first = kernels.contract_fields(execute(kernels, plan))
+    second = kernels.contract_fields(execute(kernels, plan))
+    exact = {name: Check(value=check.value, exact=True)
+             for name, check in first.items()}
+    again = {name: Check(value=check.value, exact=True)
+             for name, check in second.items()}
+    assert_fields_match(kernels.name, "replay", exact, again)

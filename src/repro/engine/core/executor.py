@@ -1,0 +1,55 @@
+"""The chunk executor: one loop that runs every workload.
+
+:func:`execute` is the single execution path behind ``run_batch``,
+``run_monitor``, ``run_therapy`` and ``run_estimation``.  It compiles
+the declarative plan, builds the kernel set's carry state, then walks
+the segment graph chunk by chunk:
+
+    compile -> init_state
+    for each segment:
+        begin_segment
+        for each chunk in segment:          # never crosses a boundary
+            run_chunk(start, stop)
+        end_segment
+    finalize -> result
+
+Because all cross-chunk information lives in the carry state and each
+kernel consumes its random streams strictly in sample order, results
+depend only on the plan (and its seed), never on the chunking policy —
+the property the shared contract suite gates for every workload.
+"""
+
+from __future__ import annotations
+
+from repro.engine.core.kernelset import KernelSet
+
+
+def execute(kernels: KernelSet, plan):
+    """Run one declarative plan through its kernel set.
+
+    Args:
+        kernels: the workload's registered :class:`KernelSet`.
+        plan: an instance of ``kernels.plan_type``.
+
+    Returns:
+        The workload's result object (``kernels.finalize``'s return),
+        satisfying the scenario layer's ``ResultProtocol``.
+
+    Raises:
+        TypeError: if ``plan`` is not the plan type the kernel set
+            compiles.
+    """
+    if not isinstance(plan, kernels.plan_type):
+        raise TypeError(
+            f"{kernels.name} kernels expect {kernels.plan_type.__name__}, "
+            f"got {type(plan).__name__}")
+    compiled = kernels.compile(plan)
+    state = kernels.init_state(plan)
+    for segment in compiled.segments:
+        kernels.begin_segment(plan, state, segment)
+        for start in range(segment.start, segment.stop,
+                           compiled.chunk_samples):
+            stop = min(start + compiled.chunk_samples, segment.stop)
+            kernels.run_chunk(plan, state, segment, start, stop)
+        kernels.end_segment(plan, state, segment)
+    return kernels.finalize(plan, state)

@@ -1,0 +1,124 @@
+"""The kernel-set contract: what a workload registers with the core.
+
+A workload joins the execution core by subclassing :class:`KernelSet`
+and registering one instance.  The subclass supplies three surfaces:
+
+* **Execution** — ``compile`` turns the declarative plan into an
+  :class:`~repro.engine.core.plan.ExecutionPlan`; ``init_state`` builds
+  the carry state threaded through every chunk; ``begin_segment`` /
+  ``run_chunk`` / ``end_segment`` advance it; ``finalize`` assembles
+  the result object.  The executor owns the loop — kernel sets never
+  iterate chunks themselves.
+
+* **Reference** — ``run_scalar`` is the slow, per-element reference
+  implementation the vectorized kernels are checked against (the
+  registry exposes it as ``run_scalar(workload, plan)``).
+
+* **Contract** — ``contract_plan`` / ``with_chunk_samples`` /
+  ``contract_fields`` let the shared contract suite prove chunk-size
+  invariance, scalar equivalence, and deterministic replay for every
+  registered workload from one parametrized test, with each field's
+  tolerance declared as a :class:`Check`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.engine.core.plan import ExecutionPlan, Segment
+
+
+@dataclass(frozen=True)
+class Check:
+    """One result field plus the tolerance it is compared under.
+
+    Attributes:
+        value: the field's value in one particular run.
+        atol: absolute tolerance for float comparisons.
+        rtol: relative tolerance for float comparisons.
+        exact: compare with ``==`` (ints, tuples, event lists) instead
+            of a toleranced float comparison.
+    """
+
+    value: Any
+    atol: float = 1e-9
+    rtol: float = 0.0
+    exact: bool = False
+
+
+class KernelSet(abc.ABC):
+    """Everything one workload teaches the execution core.
+
+    Class attributes:
+        name: registry key (``"calibration"``, ``"monitor"``, ...).
+        plan_type: the declarative plan dataclass this set compiles.
+        bench_record: stem of the per-workload benchmark record the
+            shared harness writes (``BENCH_<bench_record>.json``).
+        floor_env: environment variable holding this workload's
+            speedup floor (read by the shared bench harness).
+    """
+
+    name: ClassVar[str]
+    plan_type: ClassVar[type]
+    bench_record: ClassVar[str]
+    floor_env: ClassVar[str]
+
+    # -- execution surface -------------------------------------------------
+
+    @abc.abstractmethod
+    def compile(self, plan) -> ExecutionPlan:
+        """Compile the declarative plan into an execution plan."""
+
+    @abc.abstractmethod
+    def init_state(self, plan) -> Any:
+        """Build the carry state threaded through every chunk."""
+
+    def begin_segment(self, plan, state, segment: Segment) -> None:
+        """Hook run before a segment's first chunk (default: no-op)."""
+
+    @abc.abstractmethod
+    def run_chunk(self, plan, state, segment: Segment,
+                  start: int, stop: int) -> None:
+        """Advance the carry state over samples ``[start, stop)``."""
+
+    def end_segment(self, plan, state, segment: Segment) -> None:
+        """Hook run after a segment's last chunk (default: no-op)."""
+
+    @abc.abstractmethod
+    def finalize(self, plan, state):
+        """Assemble the workload's result object from the carry state."""
+
+    # -- reference surface -------------------------------------------------
+
+    @abc.abstractmethod
+    def run_scalar(self, plan):
+        """Per-element reference implementation (slow, no chunking)."""
+
+    # -- contract surface --------------------------------------------------
+
+    @abc.abstractmethod
+    def contract_plan(self):
+        """A small declarative plan the shared contract suite can run
+        in well under a second."""
+
+    def with_chunk_samples(self, plan, chunk_samples: int):
+        """Return a copy of ``plan`` with a different chunking policy.
+
+        The default assumes the plan dataclass carries a
+        ``chunk_samples`` field; workloads whose knob lives elsewhere
+        (calibration chunks cells, estimation chunks the wrapped
+        monitor) override this.
+        """
+        return dataclasses.replace(plan, chunk_samples=chunk_samples)
+
+    @abc.abstractmethod
+    def contract_fields(self, result) -> "dict[str, Check]":
+        """Map result-field names to :class:`Check` comparisons.
+
+        The shared contract suite runs the workload twice (different
+        chunking, or batch vs. scalar) and asserts each named field
+        agrees under its declared tolerance.
+        """

@@ -27,12 +27,27 @@ Quickstart::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
+from types import SimpleNamespace
 
 import numpy as np
 from scipy.stats import norm
 
-from repro.engine.monitor import MonitorPlan, MonitorResult, run_monitor
+from repro.engine.core import (
+    Check,
+    KernelSet,
+    PlanBase,
+    execute,
+    register_kernels,
+    single_segment,
+)
+from repro.engine.monitor import (
+    MonitorPlan,
+    MonitorResult,
+    glucose_cohort,
+    run_monitor,
+)
 from repro.inference.evaluate import (
     credible_interval,
     detection_delay_h,
@@ -54,7 +69,7 @@ from repro.inference.observation import (
 
 
 @dataclass(frozen=True)
-class EstimationPlan:
+class EstimationPlan(PlanBase):
     """Declarative description of one cohort reconstruction run.
 
     Attributes:
@@ -72,7 +87,8 @@ class EstimationPlan:
     smooth: bool = True
     interval_level: float = 0.95
 
-    def __post_init__(self) -> None:
+    def validate(self) -> None:
+        """Field-level invariants, in the shared ``PlanBase`` wording."""
         if not self.monitor.keep_traces:
             raise ValueError(
                 "estimation needs the monitor traces: set keep_traces=True")
@@ -329,32 +345,34 @@ def _evaluate(truth: np.ndarray, concentration: np.ndarray,
             interval_coverage(truth, lower, upper))
 
 
-def _run(plan: EstimationPlan, scalar: bool) -> EstimationResult:
-    """Shared body of both estimation paths (filter flavor injected)."""
-    monitor_result = run_monitor(plan.monitor)
+def _observation_inputs(plan: EstimationPlan,
+                        monitor_result: MonitorResult):
+    """Observation model and per-sample measurement variances.
+
+    Rail-saturated readings carry no amplitude information: censor
+    them (infinite variance -> pure prediction) instead of letting
+    the clipped value masquerade as a measurement.
+    """
     model = monitor_observation_model(plan.monitor)
-    filter_fn = kalman_filter_scalar if scalar else kalman_filter_batch
-    smoother_fn = rts_smoother_scalar if scalar else rts_smoother_batch
-    # Rail-saturated readings carry no amplitude information: censor
-    # them (infinite variance -> pure prediction) instead of letting
-    # the clipped value masquerade as a measurement.
     censored = rail_censored_mask(
         [channel.sensor for channel in plan.monitor.channels],
         monitor_result.measured_current_a)
     r = np.where(censored, np.inf,
                  model.measurement_variance_a2[:, None])
-    trace = filter_fn(
-        monitor_result.measured_current_a,
-        model.gain_a_per_molar, model.offset_a, r,
-        model.a_signal, model.q_signal, model.a_wander, model.q_wander)
+    return model, r
+
+
+def _assemble(plan: EstimationPlan, monitor_result: MonitorResult,
+              model: MonitorObservationModel, trace,
+              smoothed) -> EstimationResult:
+    """Score filter (and optional smoother) traces into the result."""
     truth = monitor_result.true_concentration_molar
     z = plan.interval_z
     filtered_c, filtered_std = _reconstruct(model, trace.m1, trace.p11)
     filtered_scores = _evaluate(truth, filtered_c, filtered_std, z)
     smoothed_c = smoothed_std = None
     smoothed_scores = (None, None, None)
-    if plan.smooth:
-        smoothed = smoother_fn(trace, model.a_signal, model.a_wander)
+    if smoothed is not None:
         smoothed_c, smoothed_std = _reconstruct(
             model, smoothed.m1, smoothed.p11)
         smoothed_scores = _evaluate(truth, smoothed_c, smoothed_std, z)
@@ -388,16 +406,122 @@ def run_estimation(plan: EstimationPlan) -> EstimationResult:
     Determinism: with a fixed monitor seed the result is reproducible;
     the filter itself is deterministic given the currents.
     """
-    return _run(plan, scalar=False)
+    return execute(ESTIMATION_KERNELS, plan)
 
 
 def run_estimation_scalar(plan: EstimationPlan) -> EstimationResult:
+    """Deprecated alias of ``run_scalar("estimation", plan)``.
+
+    The scalar reference now lives on the registered kernel set; use
+    :func:`repro.engine.core.run_scalar` instead.
+    """
+    warnings.warn(
+        "run_estimation_scalar() is deprecated; use "
+        "repro.engine.core.run_scalar('estimation', plan)",
+        DeprecationWarning, stacklevel=2)
+    return _run_estimation_scalar(plan)
+
+
+def _run_estimation_scalar(plan: EstimationPlan) -> EstimationResult:
     """Per-channel scalar reference of :func:`run_estimation`.
 
     Identical wear simulation and observation model; the filter and
     smoother run channel by channel through plain float arithmetic
     (:func:`repro.inference.kalman.kalman_filter_scalar`).  Agrees with
-    the vectorized path to <= 1e-9, gated with the >= 5x speedup floor
-    in ``benchmarks/bench_inference.py``.
+    the vectorized path to <= 1e-9 (gated by the shared contract
+    suite).
     """
-    return _run(plan, scalar=True)
+    monitor_result = run_monitor(plan.monitor)
+    model, r = _observation_inputs(plan, monitor_result)
+    trace = kalman_filter_scalar(
+        monitor_result.measured_current_a,
+        model.gain_a_per_molar, model.offset_a, r,
+        model.a_signal, model.q_signal, model.a_wander, model.q_wander)
+    smoothed = (rts_smoother_scalar(trace, model.a_signal,
+                                    model.a_wander)
+                if plan.smooth else None)
+    return _assemble(plan, monitor_result, model, trace, smoothed)
+
+
+class EstimationKernels(KernelSet):
+    """The estimation workload as a kernel set on the execution core.
+
+    The Kalman recursion is inherently sequential, so the execution
+    plan is a single segment processed in one chunk spanning the whole
+    sample axis; what *is* chunked is the wear simulation feeding it
+    (the wrapped monitor plan's own chunking), which is also the knob
+    the chunk-invariance contract turns.
+    """
+
+    name = "estimation"
+    plan_type = EstimationPlan
+    bench_record = "inference"
+    floor_env = "INFERENCE_SPEEDUP_FLOOR"
+
+    def compile(self, plan: EstimationPlan):
+        """One segment, one chunk: the filter runs the full horizon."""
+        return single_segment(self.name, plan.n_channels,
+                              plan.n_samples, plan.n_samples)
+
+    def init_state(self, plan: EstimationPlan) -> SimpleNamespace:
+        """Run the wear simulation and derive the observation model."""
+        monitor_result = run_monitor(plan.monitor)
+        model, r = _observation_inputs(plan, monitor_result)
+        return SimpleNamespace(monitor_result=monitor_result,
+                               model=model, r=r, trace=None,
+                               smoothed=None)
+
+    def run_chunk(self, plan: EstimationPlan, state, segment,
+                  start: int, stop: int) -> None:
+        """Filter (and optionally smooth) the cohort's currents."""
+        model = state.model
+        state.trace = kalman_filter_batch(
+            state.monitor_result.measured_current_a[:, start:stop],
+            model.gain_a_per_molar, model.offset_a,
+            state.r[:, start:stop], model.a_signal, model.q_signal,
+            model.a_wander, model.q_wander)
+        if plan.smooth:
+            state.smoothed = rts_smoother_batch(
+                state.trace, model.a_signal, model.a_wander)
+
+    def finalize(self, plan: EstimationPlan, state) -> EstimationResult:
+        """Score the traces into the :class:`EstimationResult`."""
+        return _assemble(plan, state.monitor_result, state.model,
+                         state.trace, state.smoothed)
+
+    def run_scalar(self, plan: EstimationPlan) -> EstimationResult:
+        """Per-channel reference through the scalar filter/smoother."""
+        return _run_estimation_scalar(plan)
+
+    def contract_plan(self) -> EstimationPlan:
+        """Two glucose wearers over 12 h at 10-min cadence."""
+        return EstimationPlan(monitor=MonitorPlan(
+            channels=glucose_cohort(2), duration_h=12.0,
+            sample_period_s=600.0, chunk_samples=16, seed=3))
+
+    def with_chunk_samples(self, plan: EstimationPlan,
+                           chunk_samples: int) -> EstimationPlan:
+        """Re-chunk the wrapped wear simulation (the filter itself is
+        a single sequential pass)."""
+        return replace(plan, monitor=replace(
+            plan.monitor, chunk_samples=chunk_samples))
+
+    def contract_fields(self, result: EstimationResult) -> dict:
+        """Reconstruction traces, bands and per-channel scores."""
+        return {
+            "filtered_concentration_molar": Check(
+                result.filtered_concentration_molar, atol=1e-9),
+            "filtered_std_molar": Check(result.filtered_std_molar,
+                                        atol=1e-9),
+            "smoothed_concentration_molar": Check(
+                result.smoothed_concentration_molar, atol=1e-9),
+            "smoothed_std_molar": Check(result.smoothed_std_molar,
+                                        atol=1e-9),
+            "filtered_rmse_molar": Check(result.filtered_rmse_molar,
+                                         atol=1e-12, rtol=1e-9),
+            "filtered_mard": Check(result.filtered_mard, atol=1e-9),
+        }
+
+
+#: The registered estimation kernel set (target of ``run_estimation``).
+ESTIMATION_KERNELS = register_kernels(EstimationKernels())

@@ -41,7 +41,9 @@ Quickstart::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -53,6 +55,19 @@ from repro.core.longterm import (
     one_point_recalibration_batch,
 )
 from repro.core.sensor import Biosensor
+from repro.engine.core import (
+    Check,
+    KernelSet,
+    PlanBase,
+    execute,
+    register_kernels,
+    require_at_least,
+    require_in_open_unit_interval,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+    single_segment,
+)
 from repro.enzymes.stability import EnzymeStability
 from repro.rng import spawn_generators
 from repro.signal.drift import ou_process_batch
@@ -78,10 +93,8 @@ class RecalibrationPolicy:
     enabled: bool = True
 
     def __post_init__(self) -> None:
-        if self.reference_interval_h <= 0:
-            raise ValueError("reference interval must be > 0")
-        if not 0.0 < self.tolerance < 1.0:
-            raise ValueError("tolerance must be in (0, 1)")
+        require_positive("reference_interval_h", self.reference_interval_h)
+        require_in_open_unit_interval("tolerance", self.tolerance)
 
 
 @dataclass(frozen=True)
@@ -115,12 +128,10 @@ class MonitorChannel:
     intercept_a: float | None = None
 
     def __post_init__(self) -> None:
-        if self.wander_sigma_a < 0:
-            raise ValueError("wander sigma must be >= 0")
-        if self.wander_tau_h <= 0:
-            raise ValueError("wander tau must be > 0")
-        if self.slope_a_per_molar is not None and self.slope_a_per_molar <= 0:
-            raise ValueError("day-0 slope must be > 0")
+        require_non_negative("wander_sigma_a", self.wander_sigma_a)
+        require_positive("wander_tau_h", self.wander_tau_h)
+        if self.slope_a_per_molar is not None:
+            require_positive("slope_a_per_molar", self.slope_a_per_molar)
 
     @property
     def day0_slope_a_per_molar(self) -> float:
@@ -138,7 +149,7 @@ class MonitorChannel:
 
 
 @dataclass(frozen=True)
-class MonitorPlan:
+class MonitorPlan(PlanBase):
     """Declarative description of a cohort wear-time simulation.
 
     Attributes:
@@ -171,17 +182,13 @@ class MonitorPlan:
     spec_tolerance: float = 0.20
     keep_traces: bool = True
 
-    def __post_init__(self) -> None:
-        if not self.channels:
-            raise ValueError("plan needs at least one channel")
-        if self.duration_h <= 0:
-            raise ValueError("duration must be > 0")
-        if self.sample_period_s <= 0:
-            raise ValueError("sample period must be > 0")
-        if self.chunk_samples < 1:
-            raise ValueError("chunk size must be >= 1")
-        if not 0.0 < self.spec_tolerance < 1.0:
-            raise ValueError("spec tolerance must be in (0, 1)")
+    def validate(self) -> None:
+        """Field-level invariants, in the shared ``PlanBase`` wording."""
+        require_non_empty("channel", self.channels)
+        require_positive("duration_h", self.duration_h)
+        require_positive("sample_period_s", self.sample_period_s)
+        require_at_least("chunk_samples", self.chunk_samples, 1)
+        require_in_open_unit_interval("spec_tolerance", self.spec_tolerance)
         if self.n_samples < 1:
             raise ValueError("horizon shorter than one sample period")
         if (self.recalibration.enabled
@@ -535,121 +542,154 @@ def run_monitor(plan: MonitorPlan) -> MonitorResult:
         summaries (and full traces when ``plan.keep_traces``).
 
     Determinism: with a fixed ``plan.seed`` the result is reproducible
-    and independent of ``plan.chunk_samples`` (asserted to <= 1e-9 in
-    ``benchmarks/bench_monitor_stream.py``).
+    and independent of ``plan.chunk_samples`` (asserted to <= 1e-9 by
+    the shared contract suite, ``tests/engine/test_core_contract.py``).
     """
+    return execute(MONITOR_KERNELS, plan)
+
+
+def _init_monitor_state(plan: MonitorPlan) -> SimpleNamespace:
+    """Carry state threaded through the monitor chunks: generator
+    streams, live calibration, OU states and accuracy accumulators."""
     params = _gather(plan)
     n_channels, n_samples = plan.n_channels, plan.n_samples
     rngs = spawn_generators(plan.seed, _STREAMS_PER_CHANNEL * n_channels)
-    trajectory_rngs = rngs[0::_STREAMS_PER_CHANNEL]
-    wander_rngs = rngs[1::_STREAMS_PER_CHANNEL]
-    measurement_rngs = rngs[2::_STREAMS_PER_CHANNEL]
+    keep = plan.keep_traces
+    return SimpleNamespace(
+        params=params,
+        trajectory_rngs=rngs[0::_STREAMS_PER_CHANNEL],
+        wander_rngs=rngs[1::_STREAMS_PER_CHANNEL],
+        measurement_rngs=rngs[2::_STREAMS_PER_CHANNEL],
+        slopes=params.day0_slope.copy(),
+        intercepts=params.day0_intercept,
+        trajectory_state=np.zeros(n_channels),
+        wander_state=np.zeros(n_channels),
+        ref_every=plan.reference_every_samples,
+        # The explicit zero-recalibration path: a reference schedule
+        # that cannot fire inside the horizon (interval > wear time)
+        # degrades to open-loop monitoring instead of dead
+        # segment-splitting arithmetic.
+        policy_active=plan.n_reference_draws > 0,
+        abs_rel_error_sum=np.zeros(n_channels),
+        in_spec_count=np.zeros(n_channels),
+        valid_count=np.zeros(n_channels),
+        recal_times=[[] for _ in range(n_channels)],
+        true_c=np.empty((n_channels, n_samples)) if keep else None,
+        est_c=np.empty((n_channels, n_samples)) if keep else None,
+        meas_i=np.empty((n_channels, n_samples)) if keep else None,
+    )
 
-    slopes = params.day0_slope.copy()
-    intercepts = params.day0_intercept
-    trajectory_state = np.zeros(n_channels)
-    wander_state = np.zeros(n_channels)
-    ref_every = plan.reference_every_samples
-    policy = plan.recalibration
-    # The explicit zero-recalibration path: a reference schedule that
-    # cannot fire inside the horizon (interval > wear time) degrades to
-    # open-loop monitoring instead of dead segment-splitting arithmetic.
-    policy_active = plan.n_reference_draws > 0
 
-    abs_rel_error_sum = np.zeros(n_channels)
-    in_spec_count = np.zeros(n_channels)
-    valid_count = np.zeros(n_channels)
-    recal_times: list[list[float]] = [[] for _ in range(n_channels)]
+def _monitor_chunk(plan: MonitorPlan, state: SimpleNamespace,
+                   start: int, stop: int) -> None:
+    """Advance every channel by one ``(n_channels, chunk)`` block."""
+    params = state.params
+    n_channels = plan.n_channels
+    chunk = stop - start
+    t_h = plan.sample_times_h(start, stop)
+
+    # --- truth: physiological concentration per channel ------------
+    c_mean = np.stack([
+        channel.trajectory.mean_molar(t_h)
+        for channel in plan.channels])
+    if plan.add_noise:
+        c_noise, state.trajectory_state = ou_process_batch(
+            chunk, plan.sample_period_s, params.noise_tau_s,
+            params.noise_sigma_molar, state.trajectory_state,
+            rngs=state.trajectory_rngs)
+    else:
+        c_noise = np.zeros((n_channels, chunk))
+    c = np.maximum(c_mean + c_noise, params.floor_molar[:, None])
+
+    # --- sensor physics: drifted faradaic response + baseline ------
+    faradaic = np.stack([
+        np.asarray(channel.sensor.layer.steady_state_current(
+            c[i], channel.sensor.area_m2), dtype=float)
+        for i, channel in enumerate(plan.channels)])
+    retention = np.exp(
+        -params.decay_rate_per_hour[:, None] * t_h[None, :])
+    baseline = (params.background_a[:, None]
+                + params.baseline_drift_a_per_hour[:, None]
+                * t_h[None, :])
+    if plan.add_noise:
+        wander, state.wander_state = ou_process_batch(
+            chunk, plan.sample_period_s, params.wander_tau_s,
+            params.wander_sigma_a, state.wander_state,
+            rngs=state.wander_rngs)
+    else:
+        wander = np.zeros((n_channels, chunk))
+    current = retention * faradaic + baseline + wander
+
+    # --- instrument chain: noise floor, rails, quantization --------
+    if plan.add_noise:
+        shocks = np.stack([
+            rng.standard_normal(chunk) for rng in state.measurement_rngs])
+        current = current + params.measurement_sigma_a[:, None] * shocks
+    measured = _digitize_rows(plan, current)
+
+    # --- estimation + online recalibration, segment-wise -----------
+    estimates, state.slopes, events = estimate_chunk_with_recalibration(
+        measured, c, start, stop, state.slopes, state.intercepts,
+        state.ref_every, plan.recalibration.tolerance,
+        state.policy_active)
+    for last, accepted in events:
+        when = float(t_h[last - start])
+        for i in np.flatnonzero(accepted):
+            state.recal_times[i].append(when)
+
+    # --- accuracy accounting ---------------------------------------
+    valid = c > 0
+    rel_errors = np.zeros((n_channels, chunk))
+    np.divide(np.abs(estimates - c), c, out=rel_errors, where=valid)
+    state.abs_rel_error_sum += np.sum(rel_errors, axis=1, where=valid)
+    state.in_spec_count += np.sum(
+        (rel_errors <= plan.spec_tolerance) & valid, axis=1)
+    state.valid_count += np.sum(valid, axis=1)
     if plan.keep_traces:
-        true_c = np.empty((n_channels, n_samples))
-        est_c = np.empty((n_channels, n_samples))
-        meas_i = np.empty((n_channels, n_samples))
+        state.true_c[:, start:stop] = c
+        state.est_c[:, start:stop] = estimates
+        state.meas_i[:, start:stop] = measured
 
-    for start in range(0, n_samples, plan.chunk_samples):
-        stop = min(start + plan.chunk_samples, n_samples)
-        chunk = stop - start
-        t_h = plan.sample_times_h(start, stop)
 
-        # --- truth: physiological concentration per channel ------------
-        c_mean = np.stack([
-            channel.trajectory.mean_molar(t_h)
-            for channel in plan.channels])
-        if plan.add_noise:
-            c_noise, trajectory_state = ou_process_batch(
-                chunk, plan.sample_period_s, params.noise_tau_s,
-                params.noise_sigma_molar, trajectory_state,
-                rngs=trajectory_rngs)
-        else:
-            c_noise = np.zeros((n_channels, chunk))
-        c = np.maximum(c_mean + c_noise, params.floor_molar[:, None])
-
-        # --- sensor physics: drifted faradaic response + baseline ------
-        faradaic = np.stack([
-            np.asarray(channel.sensor.layer.steady_state_current(
-                c[i], channel.sensor.area_m2), dtype=float)
-            for i, channel in enumerate(plan.channels)])
-        retention = np.exp(
-            -params.decay_rate_per_hour[:, None] * t_h[None, :])
-        baseline = (params.background_a[:, None]
-                    + params.baseline_drift_a_per_hour[:, None]
-                    * t_h[None, :])
-        if plan.add_noise:
-            wander, wander_state = ou_process_batch(
-                chunk, plan.sample_period_s, params.wander_tau_s,
-                params.wander_sigma_a, wander_state, rngs=wander_rngs)
-        else:
-            wander = np.zeros((n_channels, chunk))
-        current = retention * faradaic + baseline + wander
-
-        # --- instrument chain: noise floor, rails, quantization --------
-        if plan.add_noise:
-            shocks = np.stack([
-                rng.standard_normal(chunk) for rng in measurement_rngs])
-            current = current + params.measurement_sigma_a[:, None] * shocks
-        measured = _digitize_rows(plan, current)
-
-        # --- estimation + online recalibration, segment-wise -----------
-        estimates, slopes, events = estimate_chunk_with_recalibration(
-            measured, c, start, stop, slopes, intercepts,
-            ref_every, policy.tolerance, policy_active)
-        for last, accepted in events:
-            when = float(t_h[last - start])
-            for i in np.flatnonzero(accepted):
-                recal_times[i].append(when)
-
-        # --- accuracy accounting ---------------------------------------
-        valid = c > 0
-        rel_errors = np.zeros((n_channels, chunk))
-        np.divide(np.abs(estimates - c), c, out=rel_errors, where=valid)
-        abs_rel_error_sum += np.sum(rel_errors, axis=1, where=valid)
-        in_spec_count += np.sum(
-            (rel_errors <= plan.spec_tolerance) & valid, axis=1)
-        valid_count += np.sum(valid, axis=1)
-        if plan.keep_traces:
-            true_c[:, start:stop] = c
-            est_c[:, start:stop] = estimates
-            meas_i[:, start:stop] = measured
-
-    safe_n = np.maximum(valid_count, 1.0)
+def _finalize_monitor(plan: MonitorPlan,
+                      state: SimpleNamespace) -> MonitorResult:
+    """Assemble the :class:`MonitorResult` from the carry state."""
+    params = state.params
+    n_samples = plan.n_samples
+    recal_times = state.recal_times
+    safe_n = np.maximum(state.valid_count, 1.0)
     return MonitorResult(
         plan=plan,
-        mard=abs_rel_error_sum / safe_n,
-        time_in_spec=in_spec_count / safe_n,
+        mard=state.abs_rel_error_sum / safe_n,
+        time_in_spec=state.in_spec_count / safe_n,
         n_recalibrations=np.array([len(times) for times in recal_times]),
         recalibration_times_h=tuple(tuple(times) for times in recal_times),
         final_retention=np.exp(
             -params.decay_rate_per_hour
             * float(plan.sample_times_h(n_samples - 1, n_samples)[0])),
-        final_slope_a_per_molar=slopes,
+        final_slope_a_per_molar=state.slopes,
         time_h=plan.sample_times_h(0, n_samples)
         if plan.keep_traces else None,
-        true_concentration_molar=true_c if plan.keep_traces else None,
-        estimated_concentration_molar=est_c if plan.keep_traces else None,
-        measured_current_a=meas_i if plan.keep_traces else None,
+        true_concentration_molar=state.true_c,
+        estimated_concentration_molar=state.est_c,
+        measured_current_a=state.meas_i,
     )
 
 
 def run_monitor_scalar(plan: MonitorPlan) -> MonitorResult:
+    """Deprecated alias of ``run_scalar("monitor", plan)``.
+
+    The scalar reference now lives on the registered kernel set; use
+    :func:`repro.engine.core.run_scalar` instead.
+    """
+    warnings.warn(
+        "run_monitor_scalar() is deprecated; use "
+        "repro.engine.core.run_scalar('monitor', plan)",
+        DeprecationWarning, stacklevel=2)
+    return _run_monitor_scalar(plan)
+
+
+def _run_monitor_scalar(plan: MonitorPlan) -> MonitorResult:
     """Day-by-day scalar reference: one channel, one sample at a time.
 
     The historical way the long-term examples advanced wear-time — a
@@ -659,7 +699,7 @@ def run_monitor_scalar(plan: MonitorPlan) -> MonitorResult:
     generator streams as :func:`run_monitor`, so the two paths agree to
     floating-point reassociation (asserted to <= 1e-9) — which is exactly
     why the chunked engine exists: same physics, >= 5x the throughput
-    (``benchmarks/bench_monitor_stream.py``).
+    (gated by the shared bench harness, ``benchmarks/bench_core.py``).
     """
     params = _gather(plan)
     n_channels, n_samples = plan.n_channels, plan.n_samples
@@ -839,3 +879,70 @@ def glucose_cohort(n_patients: int = 8,
     sensor = build_sensor(spec_by_id("glucose/this-work"))
     return cohort(sensor, "glucose", n_patients,
                   wander_sigma_a=wander_sigma_a)
+
+
+class MonitorKernels(KernelSet):
+    """The monitoring workload as a kernel set on the execution core.
+
+    One segment spans the whole wear horizon; the carry state threads
+    the live calibration (slopes), both OU states and the accuracy
+    accumulators across chunks, which is what makes results
+    chunk-size-invariant.
+    """
+
+    name = "monitor"
+    plan_type = MonitorPlan
+    bench_record = "monitor"
+    floor_env = "MONITOR_SPEEDUP_FLOOR"
+
+    def compile(self, plan: MonitorPlan):
+        """One segment spanning the wear horizon, chunked as planned."""
+        return single_segment(self.name, plan.n_channels,
+                              plan.n_samples, plan.chunk_samples)
+
+    def init_state(self, plan: MonitorPlan) -> SimpleNamespace:
+        """Generator streams, day-0 calibration and accumulators."""
+        return _init_monitor_state(plan)
+
+    def run_chunk(self, plan: MonitorPlan, state, segment,
+                  start: int, stop: int) -> None:
+        """Advance the cohort across samples ``[start, stop)``."""
+        _monitor_chunk(plan, state, start, stop)
+
+    def finalize(self, plan: MonitorPlan, state) -> MonitorResult:
+        """Assemble the :class:`MonitorResult`."""
+        return _finalize_monitor(plan, state)
+
+    def run_scalar(self, plan: MonitorPlan) -> MonitorResult:
+        """Per-(channel, sample) reference through the scalar APIs."""
+        return _run_monitor_scalar(plan)
+
+    def contract_plan(self) -> MonitorPlan:
+        """Three glucose wearers over 36 h at 15-min cadence."""
+        return MonitorPlan(channels=glucose_cohort(3), duration_h=36.0,
+                           sample_period_s=900.0, chunk_samples=64,
+                           seed=7)
+
+    def contract_fields(self, result: MonitorResult) -> dict:
+        """Traces, accuracy scores and the recalibration record."""
+        return {
+            "true_concentration_molar": Check(
+                result.true_concentration_molar, atol=1e-9),
+            "measured_current_a": Check(
+                result.measured_current_a, atol=1e-15),
+            "estimated_concentration_molar": Check(
+                result.estimated_concentration_molar, atol=1e-9),
+            "mard": Check(result.mard, atol=1e-9),
+            "time_in_spec": Check(result.time_in_spec, atol=1e-12),
+            "n_recalibrations": Check(result.n_recalibrations,
+                                      exact=True),
+            "recalibration_times_h": Check(
+                np.array([t for times in result.recalibration_times_h
+                          for t in times]), atol=1e-9),
+            "final_slope_a_per_molar": Check(
+                result.final_slope_a_per_molar, atol=0.0, rtol=1e-9),
+        }
+
+
+#: The registered monitor kernel set (the target of ``run_monitor``).
+MONITOR_KERNELS = register_kernels(MonitorKernels())

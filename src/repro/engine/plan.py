@@ -23,6 +23,12 @@ from typing import Iterator, NamedTuple
 import numpy as np
 
 from repro.core.sensor import Biosensor
+from repro.engine.core import (
+    PlanBase,
+    require_at_least,
+    require_non_empty,
+    require_positive,
+)
 
 
 class CellIndex(NamedTuple):
@@ -42,7 +48,7 @@ class CellIndex(NamedTuple):
 
 
 @dataclass(frozen=True)
-class BatchPlan:
+class BatchPlan(PlanBase):
     """Declarative description of a calibration campaign.
 
     Attributes:
@@ -58,6 +64,10 @@ class BatchPlan:
             mutually independent).
         add_noise: include instrument + repeatability noise.
         step_duration_s: chronoamperometric step length per cell [s].
+        chunk_cells: executor chunk size along the flat cell axis; any
+            value yields bit-identical results (per-cell generators make
+            each cell independent of its neighbours), so this is purely
+            a working-set knob.
     """
 
     sensors: tuple[Biosensor, ...]
@@ -66,10 +76,11 @@ class BatchPlan:
     seed: int | None = None
     add_noise: bool = True
     step_duration_s: float = 16.0
+    chunk_cells: int = 4096
 
-    def __post_init__(self) -> None:
-        if not self.sensors:
-            raise ValueError("plan needs at least one sensor")
+    def validate(self) -> None:
+        """Field-level invariants, in the shared ``PlanBase`` wording."""
+        require_non_empty("sensor", self.sensors)
         if len(self.concentrations_molar) != len(self.sensors):
             raise ValueError(
                 f"{len(self.sensors)} sensors but "
@@ -97,8 +108,8 @@ class BatchPlan:
                         f"grid: {len(reps)} != {len(grid)}")
                 if any(r < 1 for r in reps):
                     raise ValueError("replicates must be >= 1")
-        if self.step_duration_s <= 0:
-            raise ValueError("step duration must be > 0")
+        require_positive("step_duration_s", self.step_duration_s)
+        require_at_least("chunk_cells", self.chunk_cells, 1)
 
     def replicates_for(self, sensor_index: int) -> tuple[int, ...]:
         """Replicate count at each concentration of one sensor."""

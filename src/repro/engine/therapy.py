@@ -19,9 +19,10 @@ contract: three generator streams per patient (process noise, baseline
 wander, measurement noise) spawned from the plan seed and consumed
 strictly sequentially — results depend only on ``(seed, patient,
 sample index)``, never on chunking.  A scalar per-patient reference
-(:func:`run_therapy_scalar`) replays the same streams one sample at a
-time and agrees to <= 1e-9 (gated, with the >= 5x speedup floor, in
-``benchmarks/bench_therapy_loop.py``).
+(``run_scalar("therapy", plan)``) replays the same streams one sample
+at a time and agrees to <= 1e-9 (gated, with the >= 5x speedup floor,
+by the shared execution-core contract suite and
+``benchmarks/bench_core.py``).
 
 Quickstart::
 
@@ -41,13 +42,27 @@ Quickstart::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 
 import numpy as np
 
 from repro.bio.matrix import SERUM
 from repro.core.longterm import DriftBudget, one_point_recalibration
 from repro.core.sensor import Biosensor
+from repro.engine.core import (
+    Check,
+    KernelSet,
+    PlanBase,
+    Segment,
+    execute,
+    register_kernels,
+    require_at_least,
+    require_non_negative,
+    require_positive,
+    uniform_segments,
+)
 from repro.engine.monitor import (
     RecalibrationPolicy,
     digitize_rows,
@@ -91,7 +106,7 @@ def _default_budget() -> DriftBudget:
 
 
 @dataclass(frozen=True)
-class TherapyPlan:
+class TherapyPlan(PlanBase):
     """Declarative description of one closed-loop therapy course.
 
     Attributes:
@@ -159,15 +174,12 @@ class TherapyPlan:
     filter_process_sigma_molar: float | None = None
     keep_traces: bool = True
 
-    def __post_init__(self) -> None:
-        if self.n_doses < 1:
-            raise ValueError("need at least one dose")
-        if self.dose_interval_h <= 0:
-            raise ValueError("dose interval must be > 0")
-        if self.sample_period_s <= 0:
-            raise ValueError("sample period must be > 0")
-        if self.chunk_samples < 1:
-            raise ValueError("chunk size must be >= 1")
+    def validate(self) -> None:
+        """Field-level invariants, in the shared ``PlanBase`` wording."""
+        require_at_least("n_doses", self.n_doses, 1)
+        require_positive("dose_interval_h", self.dose_interval_h)
+        require_positive("sample_period_s", self.sample_period_s)
+        require_at_least("chunk_samples", self.chunk_samples, 1)
         ratio = self.dose_interval_h * 3600.0 / self.sample_period_s
         if abs(ratio - round(ratio)) > _GRID_ALIGNMENT_RTOL * ratio:
             raise ValueError(
@@ -187,14 +199,11 @@ class TherapyPlan:
                 < self.sample_period_s):
             raise ValueError(
                 "reference interval shorter than the sample period")
-        if self.process_noise_sigma_molar < 0:
-            raise ValueError("process noise sigma must be >= 0")
-        if self.process_noise_tau_h <= 0:
-            raise ValueError("process noise tau must be > 0")
-        if self.wander_sigma_a < 0:
-            raise ValueError("wander sigma must be >= 0")
-        if self.wander_tau_h <= 0:
-            raise ValueError("wander tau must be > 0")
+        require_non_negative("process_noise_sigma_molar",
+                             self.process_noise_sigma_molar)
+        require_positive("process_noise_tau_h", self.process_noise_tau_h)
+        require_non_negative("wander_sigma_a", self.wander_sigma_a)
+        require_positive("wander_tau_h", self.wander_tau_h)
         if (self.filter_process_sigma_molar is not None
                 and self.filter_process_sigma_molar <= 0):
             raise ValueError("filter process sigma must be > 0")
@@ -589,160 +598,202 @@ def run_therapy(plan: TherapyPlan) -> TherapyResult:
 
     Determinism: with a fixed ``plan.seed`` the result is reproducible
     and independent of ``plan.chunk_samples``; the scalar reference
-    (:func:`run_therapy_scalar`) agrees to <= 1e-9 (gated in
-    ``benchmarks/bench_therapy_loop.py``).
+    agrees to <= 1e-9 (gated by the shared contract suite,
+    ``tests/engine/test_core_contract.py``).
     """
+    return execute(THERAPY_KERNELS, plan)
+
+
+def _init_therapy_state(plan: TherapyPlan) -> SimpleNamespace:
+    """Carry state threaded through the therapy intervals and chunks:
+    generator streams, live calibration, OU and filter states, the dose
+    history, and the window accumulators."""
     params = _gather(plan)
-    pk = plan.cohort.params()
-    n, spi = plan.n_patients, plan.samples_per_interval
+    n = plan.n_patients
     n_samples = plan.n_samples
     rngs = spawn_generators(plan.seed, _STREAMS_PER_PATIENT * n)
-    process_rngs = rngs[0::_STREAMS_PER_PATIENT]
-    wander_rngs = rngs[1::_STREAMS_PER_PATIENT]
-    measurement_rngs = rngs[2::_STREAMS_PER_PATIENT]
-    sensors = [plan.sensor] * n
+    keep = plan.keep_traces
+    return SimpleNamespace(
+        params=params,
+        pk=plan.cohort.params(),
+        sensors=[plan.sensor] * n,
+        process_rngs=rngs[0::_STREAMS_PER_PATIENT],
+        wander_rngs=rngs[1::_STREAMS_PER_PATIENT],
+        measurement_rngs=rngs[2::_STREAMS_PER_PATIENT],
+        slopes=np.full(n, params.day0_slope),
+        intercepts=np.full(n, params.day0_intercept),
+        process_state=np.zeros(n),
+        wander_state=np.zeros(n),
+        process_tau_s=plan.process_noise_tau_h * 3600.0,
+        wander_tau_s=plan.wander_tau_h * 3600.0,
+        ref_every=plan.reference_every_samples,
+        policy_active=plan.n_reference_draws > 0,  # zero-recal explicit
+        doses=np.zeros((n, plan.n_doses)),
+        trough_true=np.zeros((n, plan.n_doses)),
+        trough_est=np.zeros((n, plan.n_doses)),
+        trough_var=(np.zeros((n, plan.n_doses))
+                    if plan.filter_troughs else None),
+        filter_state=(KalmanState.zeros(n)
+                      if plan.filter_troughs else None),
+        filter_params=(_trough_filter_params(plan)
+                       if plan.filter_troughs else None),
+        dose_times=None,
+        in_range_count=np.zeros(n),
+        below_count=np.zeros(n),
+        above_count=np.zeros(n),
+        over_sum=np.zeros(n),
+        n_recals=np.zeros(n, dtype=int),
+        true_c=np.empty((n, n_samples)) if keep else None,
+        est_c=np.empty((n, n_samples)) if keep else None,
+        meas_i=np.empty((n, n_samples)) if keep else None,
+    )
 
-    slopes = np.full(n, params.day0_slope)
-    intercepts = np.full(n, params.day0_intercept)
-    process_state = np.zeros(n)
-    wander_state = np.zeros(n)
-    process_tau_s = plan.process_noise_tau_h * 3600.0
-    wander_tau_s = plan.wander_tau_h * 3600.0
-    ref_every = plan.reference_every_samples
-    policy = plan.recalibration
-    policy_active = plan.n_reference_draws > 0  # zero-recal path explicit
 
-    doses = np.zeros((n, plan.n_doses))
-    trough_true = np.zeros((n, plan.n_doses))
-    trough_est = np.zeros((n, plan.n_doses))
-    trough_var = None
-    filter_state = None
+def _begin_interval(plan: TherapyPlan, state: SimpleNamespace,
+                    segment: Segment) -> None:
+    """Fix the cohort's doses for interval ``segment.index``: the
+    controller turns the trough history into the next administration."""
+    k = segment.index
+    doses = state.doses
+    if k == 0:
+        doses[:, 0] = plan.controller.initial_doses(
+            plan.n_patients, plan.regimen)
+    else:
+        doses[:, k] = plan.controller.next_doses(
+            _observation(plan, k, doses, state.trough_est,
+                         state.trough_var))
+    if np.any(~np.isfinite(doses[:, k])) or np.any(doses[:, k] < 0):
+        raise ValueError(
+            f"controller produced an invalid dose at interval {k}")
+    state.dose_times = plan.dose_times_h[:k + 1]
+
+
+def _therapy_chunk(plan: TherapyPlan, state: SimpleNamespace,
+                   segment: Segment, start: int, stop: int) -> None:
+    """Advance the cohort by one ``(n_patients, chunk)`` block of
+    interval ``segment.index`` (trough readout on the last chunk)."""
+    params = state.params
+    n = plan.n_patients
+    k = segment.index
+    chunk = stop - start
+    t_h = plan.sample_times_h(start, stop)
+
+    # --- truth: PK superposition + physiological noise -------
+    c_pk = concentration_from_doses(
+        t_h, state.dose_times, state.doses[:, :k + 1], state.pk,
+        plan.route, plan.infusion_duration_h)
+    if plan.add_noise:
+        c_noise, state.process_state = ou_process_batch(
+            chunk, plan.sample_period_s,
+            state.process_tau_s, plan.process_noise_sigma_molar,
+            state.process_state, rngs=state.process_rngs)
+    else:
+        c_noise = np.zeros((n, chunk))
+    c = np.maximum(c_pk + c_noise, 0.0)
+
+    # --- sensor physics: drifted response + baseline ---------
+    faradaic = np.asarray(plan.sensor.layer.steady_state_current(
+        c, plan.sensor.area_m2), dtype=float)
+    retention = np.exp(-params.decay_rate_per_hour * t_h)[None, :]
+    baseline = (params.background_a
+                + params.baseline_drift_a_per_hour * t_h)[None, :]
+    if plan.add_noise:
+        wander, state.wander_state = ou_process_batch(
+            chunk, plan.sample_period_s, state.wander_tau_s,
+            plan.wander_sigma_a, state.wander_state,
+            rngs=state.wander_rngs)
+    else:
+        wander = np.zeros((n, chunk))
+    current = retention * faradaic + baseline + wander
+
+    # --- instrument chain ------------------------------------
+    if plan.add_noise:
+        shocks = np.stack([
+            rng.standard_normal(chunk) for rng in state.measurement_rngs])
+        current = current + params.measurement_sigma_a * shocks
+    measured = digitize_rows(state.sensors, current)
+
+    # --- estimation + online recalibration, segment-wise -----
+    estimates, state.slopes, events = estimate_chunk_with_recalibration(
+        measured, c, start, stop, state.slopes, state.intercepts,
+        state.ref_every, plan.recalibration.tolerance,
+        state.policy_active)
+    for _, accepted in events:
+        state.n_recals += accepted
+
+    # --- online trough filter (optional) ----------------------
     if plan.filter_troughs:
-        trough_var = np.zeros((n, plan.n_doses))
-        filter_state = KalmanState.zeros(n)
-        q_f, a_wf, q_wf, r_f, censor_f = _trough_filter_params(plan)
-    in_range_count = np.zeros(n)
-    below_count = np.zeros(n)
-    above_count = np.zeros(n)
-    over_sum = np.zeros(n)
-    n_recals = np.zeros(n, dtype=int)
+        q_f, a_wf, q_wf, r_f, censor_f = state.filter_params
+        for j in range(chunk):
+            state.filter_state = _trough_filter_step(
+                plan, params, state.filter_state, measured[:, j],
+                float(t_h[j]), q_f, a_wf, q_wf, r_f, censor_f)
+
+    # --- window accounting -----------------------------------
+    state.in_range_count += np.sum(
+        (c >= plan.window.low_molar)
+        & (c <= plan.window.high_molar), axis=1)
+    state.below_count += np.sum(c < plan.window.low_molar, axis=1)
+    state.above_count += np.sum(c > plan.window.high_molar, axis=1)
+    state.over_sum += np.sum(
+        np.maximum(c - plan.window.high_molar, 0.0), axis=1)
     if plan.keep_traces:
-        true_c = np.empty((n, n_samples))
-        est_c = np.empty((n, n_samples))
-        meas_i = np.empty((n, n_samples))
-
-    for k in range(plan.n_doses):
-        if k == 0:
-            doses[:, 0] = plan.controller.initial_doses(n, plan.regimen)
+        state.true_c[:, start:stop] = c
+        state.est_c[:, start:stop] = estimates
+        state.meas_i[:, start:stop] = measured
+    if stop == segment.stop:
+        state.trough_true[:, k] = c[:, -1]
+        if plan.filter_troughs:
+            state.trough_est[:, k] = np.maximum(
+                state.filter_state.m1, 0.0)
+            state.trough_var[:, k] = np.maximum(
+                state.filter_state.p11, 0.0)
         else:
-            doses[:, k] = plan.controller.next_doses(
-                _observation(plan, k, doses, trough_est, trough_var))
-        if np.any(~np.isfinite(doses[:, k])) or np.any(doses[:, k] < 0):
-            raise ValueError(
-                f"controller produced an invalid dose at interval {k}")
-        dose_times = plan.dose_times_h[:k + 1]
+            state.trough_est[:, k] = estimates[:, -1]
 
-        interval_start = k * spi
-        interval_stop = (k + 1) * spi
-        for start in range(interval_start, interval_stop,
-                           plan.chunk_samples):
-            stop = min(start + plan.chunk_samples, interval_stop)
-            chunk = stop - start
-            t_h = plan.sample_times_h(start, stop)
 
-            # --- truth: PK superposition + physiological noise -------
-            c_pk = concentration_from_doses(
-                t_h, dose_times, doses[:, :k + 1], pk,
-                plan.route, plan.infusion_duration_h)
-            if plan.add_noise:
-                c_noise, process_state = ou_process_batch(
-                    chunk, plan.sample_period_s,
-                    process_tau_s, plan.process_noise_sigma_molar,
-                    process_state, rngs=process_rngs)
-            else:
-                c_noise = np.zeros((n, chunk))
-            c = np.maximum(c_pk + c_noise, 0.0)
-
-            # --- sensor physics: drifted response + baseline ---------
-            faradaic = np.asarray(plan.sensor.layer.steady_state_current(
-                c, plan.sensor.area_m2), dtype=float)
-            retention = np.exp(-params.decay_rate_per_hour * t_h)[None, :]
-            baseline = (params.background_a
-                        + params.baseline_drift_a_per_hour * t_h)[None, :]
-            if plan.add_noise:
-                wander, wander_state = ou_process_batch(
-                    chunk, plan.sample_period_s, wander_tau_s,
-                    plan.wander_sigma_a, wander_state, rngs=wander_rngs)
-            else:
-                wander = np.zeros((n, chunk))
-            current = retention * faradaic + baseline + wander
-
-            # --- instrument chain ------------------------------------
-            if plan.add_noise:
-                shocks = np.stack([
-                    rng.standard_normal(chunk) for rng in measurement_rngs])
-                current = current + params.measurement_sigma_a * shocks
-            measured = digitize_rows(sensors, current)
-
-            # --- estimation + online recalibration, segment-wise -----
-            estimates, slopes, events = estimate_chunk_with_recalibration(
-                measured, c, start, stop, slopes, intercepts,
-                ref_every, policy.tolerance, policy_active)
-            for _, accepted in events:
-                n_recals += accepted
-
-            # --- online trough filter (optional) ----------------------
-            if plan.filter_troughs:
-                for j in range(chunk):
-                    filter_state = _trough_filter_step(
-                        plan, params, filter_state, measured[:, j],
-                        float(t_h[j]), q_f, a_wf, q_wf, r_f, censor_f)
-
-            # --- window accounting -----------------------------------
-            in_range_count += np.sum(
-                (c >= plan.window.low_molar)
-                & (c <= plan.window.high_molar), axis=1)
-            below_count += np.sum(c < plan.window.low_molar, axis=1)
-            above_count += np.sum(c > plan.window.high_molar, axis=1)
-            over_sum += np.sum(np.maximum(c - plan.window.high_molar, 0.0),
-                               axis=1)
-            if plan.keep_traces:
-                true_c[:, start:stop] = c
-                est_c[:, start:stop] = estimates
-                meas_i[:, start:stop] = measured
-            if stop == interval_stop:
-                trough_true[:, k] = c[:, -1]
-                if plan.filter_troughs:
-                    trough_est[:, k] = np.maximum(filter_state.m1, 0.0)
-                    trough_var[:, k] = np.maximum(filter_state.p11, 0.0)
-                else:
-                    trough_est[:, k] = estimates[:, -1]
-
+def _finalize_therapy(plan: TherapyPlan,
+                      state: SimpleNamespace) -> TherapyResult:
+    """Assemble the :class:`TherapyResult` from the carry state."""
+    n_samples = plan.n_samples
     period_h = plan.sample_period_s / 3600.0
     target = plan.window.target_trough_molar
     skip = 1 if plan.n_doses > 1 else 0
     return TherapyResult(
         plan=plan,
-        doses_mol=doses,
-        trough_true_molar=trough_true,
-        trough_estimated_molar=trough_est,
-        time_in_range=in_range_count / n_samples,
-        fraction_below=below_count / n_samples,
-        fraction_above=above_count / n_samples,
+        doses_mol=state.doses,
+        trough_true_molar=state.trough_true,
+        trough_estimated_molar=state.trough_est,
+        time_in_range=state.in_range_count / n_samples,
+        fraction_below=state.below_count / n_samples,
+        fraction_above=state.above_count / n_samples,
         trough_abs_rel_error=trough_abs_rel_error(
-            trough_true, target, skip_first=skip),
-        overdose_exposure_molar_h=over_sum * period_h,
-        n_recalibrations=n_recals,
-        trough_variance_molar2=trough_var,
+            state.trough_true, target, skip_first=skip),
+        overdose_exposure_molar_h=state.over_sum * period_h,
+        n_recalibrations=state.n_recals,
+        trough_variance_molar2=state.trough_var,
         time_h=plan.sample_times_h(0, n_samples)
         if plan.keep_traces else None,
-        true_concentration_molar=true_c if plan.keep_traces else None,
-        estimated_concentration_molar=est_c if plan.keep_traces else None,
-        measured_current_a=meas_i if plan.keep_traces else None,
+        true_concentration_molar=state.true_c,
+        estimated_concentration_molar=state.est_c,
+        measured_current_a=state.meas_i,
     )
 
 
 def run_therapy_scalar(plan: TherapyPlan) -> TherapyResult:
+    """Deprecated alias of ``run_scalar("therapy", plan)``.
+
+    The scalar reference now lives on the registered kernel set; use
+    :func:`repro.engine.core.run_scalar` instead.
+    """
+    warnings.warn(
+        "run_therapy_scalar() is deprecated; use "
+        "repro.engine.core.run_scalar('therapy', plan)",
+        DeprecationWarning, stacklevel=2)
+    return _run_therapy_scalar(plan)
+
+
+def _run_therapy_scalar(plan: TherapyPlan) -> TherapyResult:
     """Per-patient scalar reference: one patient, one sample at a time.
 
     The historical shape of a therapy simulation — a Python loop over
@@ -750,9 +801,9 @@ def run_therapy_scalar(plan: TherapyPlan) -> TherapyResult:
     digitization and scalar recalibration, with the controller consulted
     per patient on single-patient histories.  Consumes the same
     per-patient generator streams as :func:`run_therapy`, so the two
-    paths agree to floating-point reassociation (<= 1e-9, gated in
-    ``benchmarks/bench_therapy_loop.py``) — which is exactly why the
-    chunked engine exists: same physics, >= 5x the throughput.
+    paths agree to floating-point reassociation (<= 1e-9, gated by the
+    shared contract suite) — which is exactly why the chunked engine
+    exists: same physics, >= 5x the throughput.
     """
     params = _gather(plan)
     pk = plan.cohort.params()
@@ -899,3 +950,91 @@ def run_therapy_scalar(plan: TherapyPlan) -> TherapyResult:
         estimated_concentration_molar=est_c if plan.keep_traces else None,
         measured_current_a=meas_i if plan.keep_traces else None,
     )
+
+
+class TherapyKernels(KernelSet):
+    """The closed-loop therapy workload as a kernel set on the core.
+
+    One segment per dose interval: ``begin_segment`` is the controller's
+    dose decision (the closed-loop step), chunks stream the interval
+    through the wear physics, and the last chunk of each segment takes
+    the trough readout.  The carry state threads calibration, OU and
+    trough-filter states across both chunk and interval boundaries.
+    """
+
+    name = "therapy"
+    plan_type = TherapyPlan
+    bench_record = "therapy"
+    floor_env = "THERAPY_SPEEDUP_FLOOR"
+
+    def compile(self, plan: TherapyPlan):
+        """One segment per dose interval, chunked within intervals."""
+        return uniform_segments(self.name, plan.n_patients,
+                                plan.n_doses, plan.samples_per_interval,
+                                plan.chunk_samples)
+
+    def init_state(self, plan: TherapyPlan) -> SimpleNamespace:
+        """Generator streams, PK params, calibration and accumulators."""
+        return _init_therapy_state(plan)
+
+    def begin_segment(self, plan: TherapyPlan, state,
+                      segment: Segment) -> None:
+        """Controller dose decision for interval ``segment.index``."""
+        _begin_interval(plan, state, segment)
+
+    def run_chunk(self, plan: TherapyPlan, state, segment: Segment,
+                  start: int, stop: int) -> None:
+        """Advance the cohort across samples ``[start, stop)``."""
+        _therapy_chunk(plan, state, segment, start, stop)
+
+    def finalize(self, plan: TherapyPlan, state) -> TherapyResult:
+        """Assemble the :class:`TherapyResult`."""
+        return _finalize_therapy(plan, state)
+
+    def run_scalar(self, plan: TherapyPlan) -> TherapyResult:
+        """Per-(patient, sample) reference through the scalar APIs."""
+        return _run_therapy_scalar(plan)
+
+    def contract_plan(self) -> TherapyPlan:
+        """Four cyclosporine patients, three Bayesian-dosed intervals
+        with the online trough filter engaged."""
+        from repro.pk.drugs import CYCLOSPORINE
+        from repro.therapy.controllers import BayesianTroughController
+
+        cohort = CYCLOSPORINE.population.sample(n_patients=4, seed=5)
+        return TherapyPlan.for_drug(
+            CYCLOSPORINE, cohort=cohort,
+            controller=BayesianTroughController(
+                prior=CYCLOSPORINE.typical_model(),
+                target_trough_molar=(
+                    CYCLOSPORINE.window.target_trough_molar),
+                observation_sigma_molar=4e-7),
+            n_doses=3, dose_interval_h=8.0, sample_period_s=1800.0,
+            chunk_samples=7, seed=5, filter_troughs=True,
+            process_noise_sigma_molar=1e-7, wander_sigma_a=2e-9)
+
+    def contract_fields(self, result: TherapyResult) -> dict:
+        """Doses, troughs, window metrics and the filter posterior."""
+        return {
+            "doses_mol": Check(result.doses_mol, atol=1e-18, rtol=1e-9),
+            "trough_true_molar": Check(result.trough_true_molar,
+                                       atol=1e-15, rtol=1e-9),
+            "trough_estimated_molar": Check(
+                result.trough_estimated_molar, atol=1e-12, rtol=1e-9),
+            "trough_variance_molar2": Check(
+                result.trough_variance_molar2, atol=1e-24, rtol=1e-9),
+            "true_concentration_molar": Check(
+                result.true_concentration_molar, atol=1e-15, rtol=1e-9),
+            "estimated_concentration_molar": Check(
+                result.estimated_concentration_molar, atol=1e-15,
+                rtol=1e-9),
+            "measured_current_a": Check(
+                result.measured_current_a, atol=1e-15),
+            "time_in_range": Check(result.time_in_range, atol=1e-12),
+            "n_recalibrations": Check(result.n_recalibrations,
+                                      exact=True),
+        }
+
+
+#: The registered therapy kernel set (the target of ``run_therapy``).
+THERAPY_KERNELS = register_kernels(TherapyKernels())

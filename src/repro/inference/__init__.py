@@ -13,8 +13,9 @@ concentration, and how sure are we?  This package is that inverse layer:
   simulator can never disagree about the model;
 * :mod:`repro.inference.kalman` — a batch Kalman filter and RTS
   smoother vectorized over ``(n_channels, n_samples)`` cohort blocks,
-  with a bit-identical scalar reference (gated <= 1e-9 and >= 5x slower
-  in ``benchmarks/bench_inference.py``);
+  with a bit-identical scalar reference (gated <= 1e-9 in
+  ``tests/engine/test_core_contract.py`` and >= 5x slower in
+  ``benchmarks/bench_core.py``);
 * :mod:`repro.inference.fusion` — redundant sensors on one analyte are
   crosstalk-unmixed through the
   :class:`~repro.instrument.multiplexer.ChannelMultiplexer` model and

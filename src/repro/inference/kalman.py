@@ -29,8 +29,9 @@ so the batch path advances all channels one sample at a time as
 of one Python iteration per (channel, sample) pair.  The scalar
 reference (:func:`kalman_filter_scalar` / :func:`rts_smoother_scalar`)
 replays the identical arithmetic with Python floats, channel by channel,
-and is gated bit-identical (<= 1e-9) with a >= 5x speedup floor in
-``benchmarks/bench_inference.py``.
+and is gated bit-identical (<= 1e-9) by the execution-core contract
+suite (``tests/engine/test_core_contract.py``) with a >= 5x speedup
+floor in ``benchmarks/bench_core.py``.
 """
 
 from __future__ import annotations
@@ -319,7 +320,7 @@ def kalman_filter_scalar(z: np.ndarray,
     exactly the formulas of :func:`kalman_predict` /
     :func:`kalman_update`.  Agrees with :func:`kalman_filter_batch` to
     floating-point reassociation (<= 1e-9, gated with the >= 5x speedup
-    floor in ``benchmarks/bench_inference.py``) — which is exactly why
+    floor in ``benchmarks/bench_core.py``) — which is exactly why
     the vectorized path exists.
     """
     z, gain, offset, r, a_s, q_s, a_w, q_w = _prepare(
@@ -455,7 +456,7 @@ def rts_smoother_scalar(trace: KalmanTrace,
 
     Same float-by-float arithmetic discipline as
     :func:`kalman_filter_scalar`; agrees with :func:`rts_smoother_batch`
-    to <= 1e-9 (gated in ``benchmarks/bench_inference.py``).
+    to <= 1e-9 (gated in ``benchmarks/bench_core.py``).
     """
     n, t = trace.m1.shape
     a_s = np.broadcast_to(np.asarray(a_signal, dtype=float), (n,))

@@ -24,11 +24,11 @@ from repro.core.calibration import (
     default_protocol_for_range,
 )
 from repro.engine.calibrate import calibration_plan, calibration_result_from_batch
+from repro.engine import core as engine_core
 from repro.engine.estimation import (
     EstimationPlan,
     EstimationResult,
     run_estimation,
-    run_estimation_scalar,
 )
 from repro.engine.monitor import (
     MonitorPlan,
@@ -36,11 +36,10 @@ from repro.engine.monitor import (
     RecalibrationPolicy,
     cohort,
     run_monitor,
-    run_monitor_scalar,
 )
 from repro.engine.plan import BatchPlan, BatchResult
-from repro.engine.runner import run_batch, run_batch_scalar
-from repro.engine.therapy import TherapyPlan, TherapyResult, run_therapy, run_therapy_scalar
+from repro.engine.runner import run_batch
+from repro.engine.therapy import TherapyPlan, TherapyResult, run_therapy
 from repro.pk.drugs import DrugSpec, drug_by_name
 from repro.pk.models import Route
 from repro.scenarios.protocols import Workload, register_workload
@@ -175,7 +174,7 @@ class CalibrationWorkload:
 
     def run_scalar(self, plan: BatchPlan) -> BatchResult:
         """Evaluate the campaign cell-by-cell (equivalence reference)."""
-        return run_batch_scalar(plan)
+        return engine_core.run_scalar("calibration", plan)
 
     def summarize(self, result: BatchResult) -> str:
         """Table-2 metrics per sensor (falls back to raw signal stats)."""
@@ -259,7 +258,7 @@ class MonitorWorkload:
 
     def run_scalar(self, plan: MonitorPlan) -> MonitorResult:
         """Stream the cohort day-by-day (equivalence reference)."""
-        return run_monitor_scalar(plan)
+        return engine_core.run_scalar("monitor", plan)
 
     def summarize(self, result: MonitorResult) -> str:
         """Cohort MARD / time-in-spec summary."""
@@ -328,7 +327,7 @@ class EstimationWorkload:
 
     def run_scalar(self, plan: EstimationPlan) -> EstimationResult:
         """Reconstruct channel by channel (equivalence reference)."""
-        return run_estimation_scalar(plan)
+        return engine_core.run_scalar("estimation", plan)
 
     def summarize(self, result: EstimationResult) -> str:
         """Reconstruction accuracy + interval-coverage summary."""
@@ -492,7 +491,7 @@ class TherapyWorkload:
 
     def run_scalar(self, plan: TherapyPlan) -> TherapyResult:
         """Close the loop per patient (equivalence reference)."""
-        return run_therapy_scalar(plan)
+        return engine_core.run_scalar("therapy", plan)
 
     def summarize(self, result: TherapyResult) -> str:
         """Window metrics plus the phenotype breakdown."""

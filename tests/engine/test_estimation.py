@@ -6,11 +6,7 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.engine.estimation import (
-    EstimationPlan,
-    run_estimation,
-    run_estimation_scalar,
-)
+from repro.engine.estimation import EstimationPlan, run_estimation
 from repro.engine.monitor import MonitorPlan, glucose_cohort
 
 
@@ -105,21 +101,6 @@ class TestRunEstimation:
         b = run_estimation(plan)
         np.testing.assert_array_equal(a.filtered_concentration_molar,
                                       b.filtered_concentration_molar)
-
-
-class TestScalarReference:
-    def test_scalar_path_matches_batch(self):
-        plan = EstimationPlan(monitor=MonitorPlan(
-            channels=glucose_cohort(2), duration_h=6.0,
-            sample_period_s=600.0, seed=3))
-        batch = run_estimation(plan)
-        scalar = run_estimation_scalar(plan)
-        np.testing.assert_allclose(
-            batch.filtered_concentration_molar,
-            scalar.filtered_concentration_molar, rtol=0.0, atol=1e-9)
-        np.testing.assert_allclose(
-            batch.smoothed_std_molar, scalar.smoothed_std_molar,
-            rtol=0.0, atol=1e-9)
 
 
 class TestResultExports:

@@ -15,8 +15,8 @@ from repro.engine.monitor import (
     cohort,
     glucose_cohort,
     run_monitor,
-    run_monitor_scalar,
 )
+from repro.engine.core import run_scalar
 from repro.enzymes.stability import EnzymeStability
 
 WEEK_S = 7 * 24 * 3600.0
@@ -92,49 +92,11 @@ class TestDeterminism:
         b = run_monitor(short_plan(channels, seed=100))
         assert np.any(a.measured_current_a != b.measured_current_a)
 
-    @pytest.mark.parametrize("chunk", [1, 7, 64, 10 ** 6])
-    def test_chunk_size_invariance(self, channels, chunk):
-        reference = run_monitor(short_plan(channels, chunk_samples=13))
-        other = run_monitor(short_plan(channels, chunk_samples=chunk))
-        np.testing.assert_allclose(
-            other.estimated_concentration_molar,
-            reference.estimated_concentration_molar,
-            rtol=0.0, atol=1e-9)
-        np.testing.assert_allclose(other.mard, reference.mard,
-                                   rtol=0.0, atol=1e-9)
-        assert (other.recalibration_times_h
-                == reference.recalibration_times_h)
-
     def test_noiseless_run_is_deterministic_without_seed(self, channels):
         a = run_monitor(short_plan(channels, seed=None, add_noise=False))
         b = run_monitor(short_plan(channels, seed=None, add_noise=False))
         np.testing.assert_array_equal(a.measured_current_a,
                                       b.measured_current_a)
-
-
-class TestScalarEquivalence:
-    @pytest.mark.parametrize("add_noise", [True, False])
-    def test_traces_match(self, channels, add_noise):
-        plan = short_plan(channels, add_noise=add_noise)
-        batch = run_monitor(plan)
-        scalar = run_monitor_scalar(plan)
-        np.testing.assert_allclose(
-            batch.true_concentration_molar,
-            scalar.true_concentration_molar, rtol=0.0, atol=1e-9)
-        np.testing.assert_allclose(
-            batch.measured_current_a, scalar.measured_current_a,
-            rtol=0.0, atol=1e-15)
-        np.testing.assert_allclose(
-            batch.estimated_concentration_molar,
-            scalar.estimated_concentration_molar, rtol=0.0, atol=1e-9)
-        np.testing.assert_allclose(batch.mard, scalar.mard,
-                                   rtol=0.0, atol=1e-9)
-        np.testing.assert_allclose(batch.time_in_spec,
-                                   scalar.time_in_spec,
-                                   rtol=0.0, atol=1e-12)
-        np.testing.assert_array_equal(batch.n_recalibrations,
-                                      scalar.n_recalibrations)
-        assert batch.recalibration_times_h == scalar.recalibration_times_h
 
 
 class TestDriftAndRecalibration:
@@ -212,7 +174,7 @@ class TestDriftAndRecalibration:
                               tolerance=0.05),
                           sample_period_s=900.0)
         batch = run_monitor(plan)
-        scalar = run_monitor_scalar(plan)
+        scalar = run_scalar("monitor", plan)
         assert np.any(batch.true_concentration_molar == 0.0)
         assert np.isfinite(batch.mard).all()
         np.testing.assert_allclose(
@@ -230,7 +192,7 @@ class TestDriftAndRecalibration:
                               reference_interval_h=12.0))
         assert plan.n_reference_draws == 0
         batch = run_monitor(plan)
-        scalar = run_monitor_scalar(plan)
+        scalar = run_scalar("monitor", plan)
         assert int(np.sum(batch.n_recalibrations)) == 0
         assert int(np.sum(scalar.n_recalibrations)) == 0
         np.testing.assert_allclose(
@@ -262,7 +224,7 @@ class TestDriftAndRecalibration:
                               tolerance=0.01))
         assert plan.n_reference_draws == 1
         batch = run_monitor(plan)
-        scalar = run_monitor_scalar(plan)
+        scalar = run_scalar("monitor", plan)
         np.testing.assert_array_equal(batch.n_recalibrations,
                                       scalar.n_recalibrations)
         for times in batch.recalibration_times_h:

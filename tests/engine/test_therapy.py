@@ -1,10 +1,12 @@
 """Tests for repro.engine.therapy (closed-loop virtual-patient dosing).
 
-Covers the acceptance gates of the therapy subsystem: scalar/vector
-equivalence to <= 1e-9, chunk-size invariance, deterministic replay,
-the explicit zero-recalibration path for short regimens, and the
-personalization claim itself — the Bayesian controller shrinking trough
-error versus fixed dosing for poor and ultrarapid metabolizer cohorts.
+Covers the domain gates of the therapy subsystem: controller path
+equivalence, the explicit zero-recalibration path for short regimens,
+and the personalization claim itself — the Bayesian controller
+shrinking trough error versus fixed dosing for poor and ultrarapid
+metabolizer cohorts.  The execution-contract gates (chunk invariance,
+scalar equivalence, deterministic replay) live in
+``tests/engine/test_core_contract.py``.
 """
 
 from dataclasses import replace
@@ -12,7 +14,8 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.engine.therapy import TherapyPlan, run_therapy, run_therapy_scalar
+from repro.engine.core import run_scalar
+from repro.engine.therapy import TherapyPlan, run_therapy
 from repro.pk import CYCLOSPORINE, CYPPhenotype, Route
 from repro.pk.dosing import steady_state_trough_per_mol
 from repro.therapy import (
@@ -85,26 +88,7 @@ class TestPlanValidation:
         assert plan.sensor.analyte.name == "ifosfamide"  # CYP3A4 electrode
 
 
-class TestScalarEquivalence:
-    @pytest.mark.parametrize("add_noise", [True, False])
-    def test_traces_and_doses_match(self, cohort, add_noise):
-        plan = short_plan(cohort, add_noise=add_noise, chunk_samples=16)
-        batch = run_therapy(plan)
-        scalar = run_therapy_scalar(plan)
-        np.testing.assert_allclose(
-            batch.true_concentration_molar,
-            scalar.true_concentration_molar, rtol=0.0, atol=1e-9)
-        np.testing.assert_allclose(
-            batch.estimated_concentration_molar,
-            scalar.estimated_concentration_molar, rtol=0.0, atol=1e-9)
-        np.testing.assert_allclose(batch.doses_mol, scalar.doses_mol,
-                                   rtol=0.0, atol=1e-9 * typical_dose_mol())
-        np.testing.assert_allclose(batch.trough_true_molar,
-                                   scalar.trough_true_molar,
-                                   rtol=0.0, atol=1e-9)
-        np.testing.assert_array_equal(batch.n_recalibrations,
-                                      scalar.n_recalibrations)
-
+class TestControllerEquivalence:
     @pytest.mark.parametrize("controller", [
         FixedRegimenController(dose_mol=8e-4),
         ProportionalTroughController(initial_dose_mol=8e-4,
@@ -113,7 +97,7 @@ class TestScalarEquivalence:
     def test_every_controller_is_path_equivalent(self, cohort, controller):
         plan = short_plan(cohort, controller=controller)
         batch = run_therapy(plan)
-        scalar = run_therapy_scalar(plan)
+        scalar = run_scalar("therapy", plan)
         np.testing.assert_allclose(batch.doses_mol, scalar.doses_mol,
                                    rtol=0.0, atol=1e-12)
         np.testing.assert_allclose(
@@ -134,19 +118,6 @@ class TestDeterminism:
         b = run_therapy(short_plan(cohort, seed=30))
         assert np.any(a.measured_current_a != b.measured_current_a)
 
-    @pytest.mark.parametrize("chunk", [1, 5, 24, 10 ** 6])
-    def test_chunk_size_invariance(self, cohort, chunk):
-        reference = run_therapy(short_plan(cohort, chunk_samples=13))
-        other = run_therapy(short_plan(cohort, chunk_samples=chunk))
-        np.testing.assert_allclose(
-            other.estimated_concentration_molar,
-            reference.estimated_concentration_molar,
-            rtol=0.0, atol=1e-9)
-        np.testing.assert_allclose(other.doses_mol, reference.doses_mol,
-                                   rtol=0.0, atol=1e-18)
-        np.testing.assert_array_equal(other.n_recalibrations,
-                                      reference.n_recalibrations)
-
 
 class TestZeroRecalibrationPath:
     """The satellite regression: reference schedules that cannot fire
@@ -157,7 +128,7 @@ class TestZeroRecalibrationPath:
         plan = short_plan(cohort, n_doses=1)  # 12 h < 24 h references
         assert plan.n_reference_draws == 0
         batch = run_therapy(plan)
-        scalar = run_therapy_scalar(plan)
+        scalar = run_scalar("therapy", plan)
         assert int(np.sum(batch.n_recalibrations)) == 0
         assert int(np.sum(scalar.n_recalibrations)) == 0
         np.testing.assert_allclose(
@@ -339,30 +310,6 @@ class TestFilteredTroughs:
         assert np.all(variances > 0)
         assert "trough_variance_molar2" in \
             result.to_dict()["patients"][0]
-
-    def test_scalar_equivalence_with_filter(self, cohort):
-        plan = short_plan(cohort, filter_troughs=True, chunk_samples=7)
-        batch = run_therapy(plan)
-        scalar = run_therapy_scalar(plan)
-        np.testing.assert_allclose(batch.doses_mol, scalar.doses_mol,
-                                   rtol=1e-9, atol=0.0)
-        np.testing.assert_allclose(
-            batch.trough_estimated_molar, scalar.trough_estimated_molar,
-            rtol=0.0, atol=1e-12)
-        np.testing.assert_allclose(
-            batch.trough_variance_molar2, scalar.trough_variance_molar2,
-            rtol=1e-9, atol=0.0)
-
-    def test_chunk_size_invariance_with_filter(self, cohort):
-        whole = run_therapy(short_plan(cohort, filter_troughs=True,
-                                       chunk_samples=10 ** 6))
-        slivers = run_therapy(short_plan(cohort, filter_troughs=True,
-                                         chunk_samples=5))
-        np.testing.assert_allclose(slivers.doses_mol, whole.doses_mol,
-                                   rtol=0.0, atol=1e-18)
-        np.testing.assert_allclose(
-            slivers.trough_variance_molar2, whole.trough_variance_molar2,
-            rtol=0.0, atol=1e-24)
 
     def test_filtered_troughs_reduce_readout_error(self, cohort):
         raw = run_therapy(short_plan(cohort, keep_traces=False))

@@ -67,6 +67,10 @@ class TestDocstrings:
         "repro.engine.measure", "repro.engine.runner",
         "repro.engine.calibrate", "repro.engine.kernels",
         "repro.engine.therapy", "repro.engine.estimation",
+        "repro.engine.core", "repro.engine.core.plan",
+        "repro.engine.core.kernelset", "repro.engine.core.executor",
+        "repro.engine.core.registry", "repro.engine.core.contract",
+        "repro.engine.core.bench",
         "repro.pk.models", "repro.pk.dosing",
         "repro.pk.population", "repro.pk.drugs",
         "repro.therapy.controllers", "repro.therapy.metrics",

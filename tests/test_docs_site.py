@@ -51,7 +51,14 @@ class TestSiteSkeleton:
         }
         for required in ("repro.engine", "repro.engine.monitor",
                          "repro.engine.therapy",
-                         "repro.engine.estimation", "repro.pk.models",
+                         "repro.engine.estimation",
+                         "repro.engine.core",
+                         "repro.engine.core.plan",
+                         "repro.engine.core.kernelset",
+                         "repro.engine.core.executor",
+                         "repro.engine.core.registry",
+                         "repro.engine.core.contract",
+                         "repro.engine.core.bench", "repro.pk.models",
                          "repro.pk.population",
                          "repro.therapy.controllers",
                          "repro.scenarios", "repro.scenarios.spec",
