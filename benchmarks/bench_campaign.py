@@ -1,0 +1,183 @@
+"""Bench: campaign fan-out throughput and the crash/resume guarantee.
+
+Two gates on one 64-shard monitor campaign:
+
+* **throughput** — the multi-worker ``ProcessPoolExecutor`` path must
+  run the campaign at least ``CAMPAIGN_SPEEDUP_FLOOR``x (default 2x)
+  faster than the in-process single-worker path, *and* write a
+  byte-identical export while doing it.  The assertion needs real
+  parallel hardware, so it is skipped (and recorded as ungated in the
+  JSON) on single-CPU machines; CI runners gate it.
+* **crash/resume** — a throttled subprocess campaign is ``SIGKILL``ed
+  (whole process group, like a machine crash) mid-shard and resumed
+  from its store; the final export must be byte-identical to the
+  uninterrupted single-worker reference.
+
+Both land in ``BENCH_campaign.json`` so fleet throughput is tracked
+across PRs alongside the engine speedups.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import (
+    ArtifactStore,
+    CampaignSpec,
+    resume_campaign,
+    run_campaign,
+)
+from repro.campaigns.runner import THROTTLE_ENV
+from repro.engine.core import floor_from_env
+from repro.scenarios import Scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+N_SHARDS = 64
+MULTI_WORKERS = 4
+KILL_SHARDS = 16
+KILL_THROTTLE_S = 0.15
+
+
+def _effective_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _fleet_spec(n_shards: int) -> CampaignSpec:
+    """A 64-way fleet of two-week, 16-patient wear simulations."""
+    return CampaignSpec(
+        name="bench-fleet", n_shards=n_shards, seed=2012,
+        base=Scenario(
+            workload="monitor", name="wear",
+            spec={"cohort": {"sensor": "glucose/this-work",
+                             "analyte": "glucose", "n_patients": 16},
+                  "duration_h": 336.0, "sample_period_s": 300.0,
+                  "keep_traces": False}))
+
+
+def _export(store_path: Path) -> str:
+    with ArtifactStore.open(store_path) as store:
+        return store.export_json()
+
+
+def _kill_resume_drill(spec: CampaignSpec, reference_export: str,
+                       tmp_path: Path) -> dict:
+    """SIGKILL a throttled subprocess campaign mid-shard and resume it.
+
+    Returns the JSON payload fields; asserts byte-identity.
+    """
+    spec_file = spec.save(tmp_path / "kill-fleet.json")
+    store_path = tmp_path / "killed.sqlite"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    env[THROTTLE_ENV] = str(KILL_THROTTLE_S)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "run",
+         str(spec_file), "--store", str(store_path), "--workers", "2"],
+        env=env, cwd=REPO_ROOT, stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL, start_new_session=True)
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            assert process.poll() is None, \
+                "campaign finished before the kill landed"
+            if store_path.exists():
+                try:
+                    with ArtifactStore.open(store_path,
+                                            readonly=True) as store:
+                        if store.counts()["done"] >= 2:
+                            break
+                except ValueError:
+                    pass  # store mid-creation
+            time.sleep(0.02)
+        else:
+            pytest.fail("campaign never reached the kill point")
+    finally:
+        try:
+            os.killpg(process.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        process.wait()
+    time.sleep(0.1)
+    with ArtifactStore.open(store_path, readonly=True) as store:
+        killed_counts = store.counts()
+    assert killed_counts["done"] < spec.n_shards, \
+        "kill landed after completion; raise the throttle"
+    report = resume_campaign(store_path, workers=1)
+    assert report.counts["done"] == spec.n_shards
+    resumed_identical = _export(store_path) == reference_export
+    assert resumed_identical, \
+        "resumed store export differs from the uninterrupted run"
+    return {
+        "kill_n_shards": spec.n_shards,
+        "kill_done_at_kill": killed_counts["done"],
+        "kill_resumed_shards": report.n_executed,
+        "resume_byte_identical": resumed_identical,
+    }
+
+
+def test_campaign_throughput_and_crash_resume(bench_json, tmp_path):
+    """The campaign runner's two acceptance gates, one JSON record."""
+    floor = floor_from_env("CAMPAIGN_SPEEDUP_FLOOR", default=2.0)
+    cpus = _effective_cpus()
+    spec = _fleet_spec(N_SHARDS)
+
+    single = run_campaign(spec, tmp_path / "single.sqlite", workers=1)
+    assert single.counts["done"] == N_SHARDS
+    reference_export = _export(tmp_path / "single.sqlite")
+
+    multi = run_campaign(spec, tmp_path / "multi.sqlite",
+                         workers=MULTI_WORKERS)
+    assert multi.counts["done"] == N_SHARDS
+    assert _export(tmp_path / "multi.sqlite") == reference_export, \
+        "multi-worker store export differs from single-worker"
+    speedup = single.elapsed_s / multi.elapsed_s
+    speedup_gated = cpus >= 2
+
+    drill = _kill_resume_drill(
+        _fleet_spec(KILL_SHARDS), _export_reference_for(
+            _fleet_spec(KILL_SHARDS), tmp_path), tmp_path)
+
+    payload = dict(
+        n_shards=N_SHARDS,
+        workers=MULTI_WORKERS,
+        effective_cpus=cpus,
+        single_wall_s=single.elapsed_s,
+        multi_wall_s=multi.elapsed_s,
+        single_shards_per_s=single.throughput_shards_per_s,
+        multi_shards_per_s=multi.throughput_shards_per_s,
+        speedup=speedup,
+        speedup_floor=floor,
+        speedup_gated=speedup_gated,
+        **drill,
+    )
+    path = bench_json("campaign", **payload)
+    print(f"\ncampaign fan-out: single {single.elapsed_s:.2f} s, "
+          f"{MULTI_WORKERS} workers {multi.elapsed_s:.2f} s -> "
+          f"{speedup:.1f}x (floor {floor:.1f}x, "
+          f"{'gated' if speedup_gated else 'ungated: single CPU'}); "
+          f"kill at {drill['kill_done_at_kill']}/{KILL_SHARDS} done, "
+          f"resume byte-identical -> {path}")
+    if speedup_gated:
+        assert speedup >= floor, (
+            f"multi-worker speedup {speedup:.2f}x below the "
+            f"{floor:.1f}x floor on {cpus} CPUs")
+
+
+def _export_reference_for(spec: CampaignSpec, tmp_path: Path) -> str:
+    """Uninterrupted single-worker reference export for ``spec``."""
+    store_path = tmp_path / "kill-reference.sqlite"
+    run_campaign(spec, store_path, workers=1)
+    return _export(store_path)

@@ -36,6 +36,7 @@ __version__ = "1.0.0"
 from repro import (  # noqa: F401  (re-exported subpackages)
     analytes,
     bio,
+    campaigns,
     chem,
     classification,
     constants,
@@ -61,6 +62,7 @@ from repro import (  # noqa: F401  (re-exported subpackages)
 __all__ = [
     "analytes",
     "bio",
+    "campaigns",
     "chem",
     "classification",
     "constants",

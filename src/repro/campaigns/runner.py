@@ -1,0 +1,198 @@
+"""The sharded campaign runner: fan out, stream to disk, resume.
+
+:func:`run_campaign` expands a :class:`~repro.campaigns.CampaignSpec`
+into an :class:`~repro.campaigns.ArtifactStore` and drives every
+``pending`` shard to ``done``/``failed``; :func:`resume_campaign`
+reopens a store — typically one whose run was killed — requeues the
+shards the dead run never finished and drives the rest.  Both return a
+:class:`CampaignReport`.
+
+The execution unit is :func:`execute_shard`: open the store, mark the
+shard ``running``, run its resolved scenario through the registered
+workload (:func:`repro.scenarios.run_scenario` — so all four engine
+workloads, and any later-registered one, shard identically), record
+its ``summary_row()``.  Crucially the *worker writes its own row*:
+results stream to disk as they finish, so a ``SIGKILL`` at any instant
+loses at most the shards that were mid-flight — and those are exactly
+the rows ``resume`` finds as ``running``/``pending`` and re-runs.
+Because every shard scenario carries an explicit position-stable seed,
+re-running a shard reproduces the identical result row, which makes a
+killed-and-resumed campaign export byte-identical to an uninterrupted
+one (the resume guarantee, gated in ``tests/campaigns/test_resume.py``
+and ``benchmarks/bench_campaign.py``).
+
+``workers > 1`` fans shards across a ``ProcessPoolExecutor`` (each
+worker opens its own SQLite connection; WAL serializes the writes);
+``workers=1`` runs the same :func:`execute_shard` loop in-process — one
+code path, one crash model.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from multiprocessing import get_all_start_methods, get_context
+from pathlib import Path
+
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ArtifactStore
+
+#: Environment knob: artificial per-shard delay in seconds.  Exists for
+#: crash drills — the kill/resume tests and the CI campaign smoke use
+#: it to guarantee the SIGKILL lands mid-campaign — and is harmless
+#: (default 0) in production runs.
+THROTTLE_ENV = "REPRO_CAMPAIGN_THROTTLE_S"
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Outcome of one :func:`run_campaign` / :func:`resume_campaign` call.
+
+    Attributes:
+        name: campaign name (from the spec in the store manifest).
+        store_path: the SQLite artifact store the run wrote to.
+        workers: worker processes used (1 means in-process).
+        n_shards: total shards in the campaign.
+        n_executed: shards this call actually ran (a resume of an
+            almost-finished campaign executes only the remainder).
+        counts: final per-status shard counts
+            (``pending``/``running``/``done``/``failed``).
+        elapsed_s: wall-clock duration of this call.
+    """
+
+    name: str
+    store_path: Path
+    workers: int
+    n_shards: int
+    n_executed: int
+    counts: dict[str, int]
+    elapsed_s: float
+
+    @property
+    def throughput_shards_per_s(self) -> float:
+        """Executed shards per wall-clock second of this call."""
+        if self.elapsed_s <= 0.0:
+            return float("inf")
+        return self.n_executed / self.elapsed_s
+
+    def summary(self) -> str:
+        """One human-readable block: progress, throughput, store path."""
+        return (
+            f"campaign {self.name!r}: ran {self.n_executed} of "
+            f"{self.n_shards} shards on {self.workers} worker(s) in "
+            f"{self.elapsed_s:.2f} s "
+            f"({self.throughput_shards_per_s:.1f} shards/s)\n"
+            f"  done {self.counts['done']}, "
+            f"failed {self.counts['failed']}, "
+            f"pending {self.counts['pending']}\n"
+            f"  store -> {self.store_path}")
+
+
+def execute_shard(store_path: "str | Path",
+                  shard_index: int) -> tuple[int, str]:
+    """Run one shard against the store at ``store_path``.
+
+    The worker entry point, also used verbatim by the in-process path:
+    marks the shard ``running``, runs its stored scenario, records the
+    ``summary_row()`` (or the failure).  Opens its own store connection
+    and holds write transactions only for the status flips, never
+    across the engine run.
+
+    Returns:
+        ``(shard_index, final_status)`` with status ``"done"`` or
+        ``"failed"`` — scenario failures are recorded as data, not
+        raised, so one bad shard cannot take down a million-shard
+        campaign.
+    """
+    with ArtifactStore.open(store_path) as store:
+        scenario = store.shard_scenario(shard_index)
+        store.mark_running(shard_index)
+    throttle = float(os.environ.get(THROTTLE_ENV, "0") or "0")
+    if throttle > 0.0:
+        time.sleep(throttle)
+    from repro.scenarios.runner import run_scenario
+
+    start = time.perf_counter()
+    try:
+        row = run_scenario(scenario).summary_row()
+    except Exception as error:  # one shard's failure is campaign data
+        with ArtifactStore.open(store_path) as store:
+            store.record_failure(
+                shard_index, f"{type(error).__name__}: {error}")
+        return shard_index, "failed"
+    elapsed = time.perf_counter() - start
+    with ArtifactStore.open(store_path) as store:
+        store.record_result(shard_index, row, elapsed_s=elapsed)
+    return shard_index, "done"
+
+
+def _drive(store_path: Path, workers: int) -> CampaignReport:
+    """Run every pending shard, then assemble the report."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    with ArtifactStore.open(store_path) as store:
+        indices = store.pending_indices()
+        name = store.spec.name
+        n_shards = store.n_shards()
+    start = time.perf_counter()
+    if workers == 1 or len(indices) <= 1:
+        for index in indices:
+            execute_shard(store_path, index)
+    else:
+        # fork (where available) shares the already-imported numpy/scipy
+        # stack with the workers instead of re-importing it per process;
+        # the parent's store connections are all closed by this point,
+        # so no SQLite handle crosses the fork.
+        context = (get_context("fork")
+                   if "fork" in get_all_start_methods() else None)
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            futures = [pool.submit(execute_shard, str(store_path), index)
+                       for index in indices]
+            for future in as_completed(futures):
+                future.result()  # surface worker infrastructure errors
+    elapsed = time.perf_counter() - start
+    with ArtifactStore.open(store_path) as store:
+        counts = store.counts()
+    return CampaignReport(
+        name=name, store_path=Path(store_path), workers=workers,
+        n_shards=n_shards, n_executed=len(indices), counts=counts,
+        elapsed_s=elapsed)
+
+
+def run_campaign(spec: CampaignSpec, store_path: "str | Path",
+                 workers: int = 1) -> CampaignReport:
+    """Expand a campaign into a new store and run every shard.
+
+    Args:
+        spec: the declarative campaign.
+        store_path: where to create the SQLite artifact store (must not
+            exist yet — an existing store is resumed, never silently
+            overwritten).
+        workers: worker processes; 1 runs in-process.
+
+    Returns:
+        The :class:`CampaignReport` (the store holds the full rows).
+    """
+    ArtifactStore.create(store_path, spec).close()
+    return _drive(Path(store_path), workers)
+
+
+def resume_campaign(store_path: "str | Path",
+                    workers: int = 1) -> CampaignReport:
+    """Pick a campaign up from its store after an interrupted run.
+
+    Reopens the manifest, requeues shards the dead run left
+    ``running``, runs everything still ``pending``, and skips ``done``
+    shards entirely — their rows are already on disk.  Safe to call on
+    a finished store (it executes nothing and reports the final
+    counts).
+
+    Returns:
+        The :class:`CampaignReport` for the resumed portion.
+    """
+    with ArtifactStore.open(store_path) as store:
+        store.reset_running()
+    return _drive(Path(store_path), workers)

@@ -1,0 +1,204 @@
+"""The declarative campaign spec: one scenario, fanned into N shards.
+
+A :class:`CampaignSpec` scales a single base :class:`~repro.scenarios.Scenario`
+to population size: the campaign's root ``seed`` is spawned into one
+independent, position-stable ``SeedSequence``-derived seed per shard
+(the same collision-resistant derivation the engines use per
+cell/channel/patient), and every shard is the base scenario with that
+seed — a fully resolved, replayable :class:`~repro.scenarios.Scenario`
+of its own.  Position stability is the load-bearing property: shard
+``i``'s seed depends only on ``(seed, i)``, never on ``n_shards``, the
+execution order, or the worker count, which is what makes a resumed
+campaign bit-identical to an uninterrupted one (gated in
+``tests/campaigns/test_resume.py`` and property-tested in
+``tests/campaigns/test_spec.py``).
+
+Like :class:`~repro.scenarios.Scenario`, the on-disk form is strict,
+schema-versioned JSON::
+
+    {
+      "schema_version": 1,
+      "name": "glucose-fleet",
+      "seed": 2012,
+      "n_shards": 1000,
+      "base": {"schema_version": 1, "workload": "monitor", ...}
+    }
+
+``python -m repro campaign run campaign.json`` executes such a file;
+:meth:`CampaignSpec.save` / :meth:`CampaignSpec.load` round-trip it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.scenarios.runner import spawn_scenario_seeds
+from repro.scenarios.spec import Scenario
+
+#: Version stamp written into every serialized campaign.  Bump when the
+#: envelope changes shape; ``from_dict`` rejects versions it does not
+#: understand instead of misreading them.
+SCHEMA_VERSION = 1
+
+#: Keys a serialized campaign envelope may carry.
+_ENVELOPE_KEYS = frozenset(
+    {"schema_version", "name", "description", "seed", "n_shards", "base"})
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One population-scale campaign: a base scenario times ``n_shards``.
+
+    Attributes:
+        name: human identifier of the campaign (shard scenarios are
+            named ``{name}/{index:05d}``).
+        base: the scenario every shard runs.  It must be *unseeded*
+            (``base.seed is None``): per-shard seeds are derived from
+            the campaign ``seed``, and an explicit base seed would
+            silently make every shard identical.
+        n_shards: number of virtual-patient shards to expand into.
+        seed: root seed of the per-shard seed streams.  Required — a
+            campaign exists to be resumed and replayed, so an entropy
+            root would defeat its purpose.
+        description: free-text note carried through serialization.
+    """
+
+    name: str
+    base: Scenario
+    n_shards: int
+    seed: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("name must be a non-empty string")
+        if not isinstance(self.base, Scenario):
+            raise ValueError(
+                f"base must be a Scenario, got {type(self.base).__name__}")
+        if self.base.seed is not None:
+            raise ValueError(
+                "base scenario must be unseeded (seed=None): the "
+                "campaign seed derives one independent seed per shard, "
+                "and an explicit base seed would make every shard "
+                "identical")
+        if isinstance(self.n_shards, bool) or not isinstance(
+                self.n_shards, int) or self.n_shards < 1:
+            raise ValueError(
+                f"n_shards must be an int >= 1, got {self.n_shards!r}")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int) \
+                or self.seed < 0:
+            raise ValueError(
+                f"seed must be an int >= 0, got {self.seed!r}")
+
+    def shard_seeds(self) -> tuple[int, ...]:
+        """The per-shard seeds, spawned position-stable from ``seed``.
+
+        ``shard_seeds()[i]`` depends only on ``(self.seed, i)`` — the
+        same value regardless of ``n_shards``, shard execution order or
+        worker count (property-tested in
+        ``tests/campaigns/test_spec.py``).
+        """
+        return tuple(spawn_scenario_seeds(self.seed, self.n_shards))
+
+    def shard(self, index: int) -> Scenario:
+        """Shard ``index`` as a fully resolved, replayable scenario.
+
+        The returned scenario carries its derived seed and the name
+        ``{campaign}/{index:05d}``; saving its JSON and re-running it
+        reproduces the shard's stored result bit for bit.
+        """
+        if not 0 <= index < self.n_shards:
+            raise ValueError(
+                f"shard index {index} out of range for "
+                f"{self.n_shards} shards")
+        # SeedSequence children are keyed by spawn position, so the
+        # prefix spawn reproduces exactly shard_seeds()[index].
+        seed = spawn_scenario_seeds(self.seed, index + 1)[index]
+        return replace(self.base, name=f"{self.name}/{index:05d}",
+                       seed=seed)
+
+    def shards(self) -> tuple[Scenario, ...]:
+        """All shards, in index order (``shard(0) .. shard(n-1)``)."""
+        seeds = self.shard_seeds()
+        return tuple(
+            replace(self.base, name=f"{self.name}/{index:05d}",
+                    seed=seed)
+            for index, seed in enumerate(seeds))
+
+    def spec_hash(self) -> str:
+        """SHA-256 over the canonical JSON form (hex digest).
+
+        Stored in the campaign manifest so ``resume`` can refuse a
+        store whose spec does not match the one that created it.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"), allow_nan=False)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain, schema-versioned dict."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "n_shards": self.n_shards,
+            "base": self.base.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a campaign from :meth:`to_dict` output.
+
+        Strict like :meth:`Scenario.from_dict`: unknown envelope keys,
+        a missing or unsupported ``schema_version``, or missing
+        required fields raise ``ValueError``.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"campaign must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - _ENVELOPE_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown campaign keys {sorted(unknown)}; "
+                f"allowed: {sorted(_ENVELOPE_KEYS)}")
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported campaign schema_version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})")
+        missing = {"name", "seed", "n_shards", "base"} - set(data)
+        if missing:
+            raise ValueError(f"campaign is missing {sorted(missing)}")
+        return cls(
+            name=data["name"],
+            base=Scenario.from_dict(data["base"]),
+            n_shards=data["n_shards"],
+            seed=data["seed"],
+            description=data.get("description", ""),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a JSON string (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=True, allow_nan=False) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        """Rebuild a campaign from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the campaign as a JSON file and return the path."""
+        target = Path(path)
+        target.write_text(self.to_json())
+        return target
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "CampaignSpec":
+        """Read a campaign JSON file written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())

@@ -7,6 +7,9 @@ One executable front door for every registered workload::
     python -m repro run scenario.json          # execute a scenario file
     python -m repro run scenario.json --out results.json
     python -m repro run scenario.json --seed 11 --scalar
+    python -m repro campaign run fleet.json --store fleet.sqlite \\
+        --workers 4                            # sharded campaigns
+    python -m repro campaign {status,resume,export} fleet.sqlite
 
 ``run`` prints the workload's summary and, with ``--out``, writes the
 replayable artifact — the seed-resolved scenario envelope plus the full
@@ -110,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
         "describe", help="show a workload's spec fields and example")
     describe_p.add_argument("workload", help="registered workload name")
     describe_p.set_defaults(func=_cmd_describe)
+
+    from repro.campaigns.cli import add_campaign_commands
+
+    add_campaign_commands(sub)
     return parser
 
 

@@ -1,0 +1,11 @@
+"""Tests as a real package.
+
+Per-directory ``__init__.py`` files give every test module a unique,
+package-qualified name (``tests.scenarios.test_cli`` vs
+``tests.experiments.test_cli``), so pytest's rootdir-based module
+naming never collides on basenames and new suites can use natural
+file names.  Keeping ``tests/`` itself a package also keeps the
+subdirectory packages (``core``, ``signal``, ...) from landing on
+``sys.path`` as top-level names, where they would shadow stdlib
+modules of the same name.
+"""

@@ -1,0 +1,1 @@
+"""Test package (unique module names; see tests/__init__.py)."""

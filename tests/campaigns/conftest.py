@@ -1,0 +1,41 @@
+"""Shared campaign fixtures: tiny-but-real shard workloads.
+
+Every fixture scenario runs the full engine path in a few
+milliseconds, so campaign tests exercise real multi-process execution
+without slow suites.  ``reference_export`` builds the uninterrupted
+ground-truth export the crash/resume tests compare against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns import ArtifactStore, CampaignSpec, run_campaign
+from repro.scenarios import Scenario
+
+
+@pytest.fixture(scope="session")
+def monitor_base() -> Scenario:
+    """A ~3 ms two-patient, six-hour glucose wear scenario (unseeded)."""
+    return Scenario(
+        workload="monitor", name="wear",
+        spec={"cohort": {"sensor": "glucose/this-work",
+                         "analyte": "glucose", "n_patients": 2},
+              "duration_h": 6.0, "sample_period_s": 300.0,
+              "keep_traces": False})
+
+
+@pytest.fixture(scope="session")
+def small_campaign(monitor_base) -> CampaignSpec:
+    """An eight-shard monitor campaign — small, fast, fully seeded."""
+    return CampaignSpec(name="fleet", base=monitor_base,
+                        n_shards=8, seed=2012)
+
+
+@pytest.fixture(scope="session")
+def reference_export(small_campaign, tmp_path_factory) -> str:
+    """Canonical export of `small_campaign` run uninterrupted, in-process."""
+    store_path = tmp_path_factory.mktemp("reference") / "ref.sqlite"
+    run_campaign(small_campaign, store_path, workers=1)
+    with ArtifactStore.open(store_path) as store:
+        return store.export_json()

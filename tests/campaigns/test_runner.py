@@ -1,0 +1,105 @@
+"""Campaign runner: every workload shards; workers never change results.
+
+``run_campaign`` must produce the identical store content whether
+shards run in-process or across a worker pool, for every registered
+workload — the per-shard seeds are position-stable and each shard's
+scenario is fully resolved, so parallelism is pure mechanism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns import (
+    ArtifactStore,
+    CampaignSpec,
+    execute_shard,
+    run_campaign,
+)
+from repro.scenarios import Scenario, run_scenario
+
+#: One tiny-but-real base scenario per registered workload.
+WORKLOAD_BASES = {
+    "calibration": Scenario(
+        workload="calibration", name="calib",
+        spec={"sensors": ["glucose/this-work"],
+              "n_blanks": 2, "n_replicates": 2}),
+    "monitor": Scenario(
+        workload="monitor", name="wear",
+        spec={"cohort": {"sensor": "glucose/this-work",
+                         "analyte": "glucose", "n_patients": 2},
+              "duration_h": 6.0, "sample_period_s": 300.0,
+              "keep_traces": False}),
+    "therapy": Scenario(
+        workload="therapy", name="course",
+        spec={"drug": "cyclosporine", "n_patients": 2, "cohort_seed": 7,
+              "controller": {"kind": "fixed", "dose_mg": 200.0},
+              "n_doses": 2, "sample_period_s": 1800.0,
+              "keep_traces": False}),
+    "estimation": Scenario(
+        workload="estimation", name="reconstruct",
+        spec={"cohort": {"sensor": "glucose/this-work",
+                         "analyte": "glucose", "n_patients": 2},
+              "duration_h": 6.0, "sample_period_s": 600.0}),
+}
+
+
+class TestEveryWorkloadShards:
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_BASES))
+    def test_campaign_rows_match_direct_scenario_runs(self, workload,
+                                                      tmp_path):
+        """Stored rows equal run_scenario(...)'s own summary_row."""
+        spec = CampaignSpec(name=f"{workload}-fleet",
+                            base=WORKLOAD_BASES[workload],
+                            n_shards=3, seed=99)
+        report = run_campaign(spec, tmp_path / "c.sqlite", workers=1)
+        assert report.counts == {"pending": 0, "running": 0,
+                                 "done": 3, "failed": 0}
+        assert report.n_executed == 3
+        with ArtifactStore.open(tmp_path / "c.sqlite") as store:
+            rows = store.export_rows()
+        for index, row in enumerate(rows):
+            shard = spec.shard(index)
+            assert row["scenario"] == shard.to_dict()
+            assert row["result"] == run_scenario(shard).summary_row()
+
+
+class TestWorkerInvariance:
+    def test_two_workers_export_identically(self, small_campaign,
+                                            reference_export,
+                                            tmp_path):
+        run_campaign(small_campaign, tmp_path / "mw.sqlite", workers=2)
+        with ArtifactStore.open(tmp_path / "mw.sqlite") as store:
+            assert store.export_json() == reference_export
+
+    def test_bad_worker_count_rejected(self, small_campaign, tmp_path):
+        with pytest.raises(ValueError, match="workers"):
+            run_campaign(small_campaign, tmp_path / "c.sqlite",
+                         workers=0)
+
+
+class TestFailureIsolation:
+    def test_bad_shard_is_recorded_not_raised(self, tmp_path):
+        """A shard whose plan cannot build fails as data, not a crash."""
+        base = Scenario(
+            workload="monitor", name="broken",
+            spec={"cohort": {"sensor": "no-such/sensor",
+                             "analyte": "glucose", "n_patients": 2},
+                  "duration_h": 6.0})
+        spec = CampaignSpec(name="doomed", base=base, n_shards=2, seed=1)
+        report = run_campaign(spec, tmp_path / "d.sqlite", workers=1)
+        assert report.counts["failed"] == 2
+        assert report.counts["done"] == 0
+        with ArtifactStore.open(tmp_path / "d.sqlite") as store:
+            rows = store.export_rows()
+        assert all(row["status"] == "failed" for row in rows)
+        assert all("no-such/sensor" in row["error"] for row in rows)
+
+    def test_execute_shard_reports_final_status(self, small_campaign,
+                                                tmp_path):
+        path = tmp_path / "one.sqlite"
+        ArtifactStore.create(path, small_campaign).close()
+        assert execute_shard(path, 5) == (5, "done")
+        with ArtifactStore.open(path) as store:
+            assert store.counts()["done"] == 1
+            assert store.pending_indices() == (0, 1, 2, 3, 4, 6, 7)

@@ -1,0 +1,162 @@
+"""CampaignSpec: property-based round trips and seed-spawning laws.
+
+The Hypothesis suites pin the two contracts campaigns rest on:
+
+* serialization is lossless — ``from_dict(to_dict())`` /
+  ``from_json(to_json())`` rebuild an equal spec for *any* valid
+  campaign, not just the examples we thought of;
+* shard seeding is position-stable — shard ``i``'s seed depends only
+  on ``(campaign seed, i)``, never on ``n_shards``, access order or
+  worker count, which is what makes resumed campaigns bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns import SCHEMA_VERSION, CampaignSpec
+from repro.scenarios import Scenario
+
+# JSON-clean scalar values a workload spec mapping might carry.
+_json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+
+_spec_mappings = st.dictionaries(
+    st.text(min_size=1, max_size=10), _json_scalars, max_size=4)
+
+_base_scenarios = st.builds(
+    Scenario,
+    workload=st.sampled_from(
+        ["calibration", "monitor", "therapy", "estimation"]),
+    name=st.text(min_size=1, max_size=16),
+    spec=_spec_mappings,
+    description=st.text(max_size=16),
+)
+
+_campaigns = st.builds(
+    CampaignSpec,
+    name=st.text(min_size=1, max_size=16),
+    base=_base_scenarios,
+    n_shards=st.integers(min_value=1, max_value=128),
+    seed=st.integers(min_value=0, max_value=2**63 - 1),
+    description=st.text(max_size=16),
+)
+
+
+class TestRoundTrip:
+    @given(spec=_campaigns)
+    @settings(max_examples=60)
+    def test_dict_round_trip_is_lossless(self, spec):
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=_campaigns)
+    @settings(max_examples=60)
+    def test_json_round_trip_is_lossless(self, spec):
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
+    @given(spec=_campaigns)
+    @settings(max_examples=30)
+    def test_spec_hash_is_stable_and_content_addressed(self, spec):
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert rebuilt.spec_hash() == spec.spec_hash()
+        bumped = CampaignSpec(
+            name=spec.name, base=spec.base, n_shards=spec.n_shards,
+            seed=spec.seed + 1, description=spec.description)
+        assert bumped.spec_hash() != spec.spec_hash()
+
+    def test_file_round_trip(self, small_campaign, tmp_path):
+        path = small_campaign.save(tmp_path / "fleet.json")
+        assert CampaignSpec.load(path) == small_campaign
+
+
+class TestShardSeeding:
+    @given(seed=st.integers(min_value=0, max_value=2**63 - 1),
+           n_small=st.integers(min_value=1, max_value=48),
+           n_large=st.integers(min_value=1, max_value=48))
+    @settings(max_examples=40)
+    def test_seeds_are_a_stable_prefix(self, monitor_base, seed,
+                                       n_small, n_large):
+        """Growing a campaign never changes existing shards' seeds."""
+        if n_small > n_large:
+            n_small, n_large = n_large, n_small
+        small = CampaignSpec(name="c", base=monitor_base,
+                             n_shards=n_small, seed=seed)
+        large = CampaignSpec(name="c", base=monitor_base,
+                             n_shards=n_large, seed=seed)
+        assert small.shard_seeds() == large.shard_seeds()[:n_small]
+
+    @given(seed=st.integers(min_value=0, max_value=2**63 - 1),
+           order=st.permutations(list(range(12))))
+    @settings(max_examples=25)
+    def test_shard_lookup_is_order_independent(self, monitor_base,
+                                               seed, order):
+        """shard(i) equals shards()[i] regardless of access order."""
+        spec = CampaignSpec(name="c", base=monitor_base,
+                            n_shards=12, seed=seed)
+        expanded = spec.shards()
+        for index in order:
+            assert spec.shard(index) == expanded[index]
+
+    def test_shards_are_resolved_named_scenarios(self, small_campaign):
+        shards = small_campaign.shards()
+        assert len(shards) == small_campaign.n_shards
+        assert [s.name for s in shards] == [
+            f"fleet/{i:05d}" for i in range(small_campaign.n_shards)]
+        seeds = [s.seed for s in shards]
+        assert all(isinstance(seed, int) for seed in seeds)
+        assert len(set(seeds)) == len(seeds), "shard seeds collide"
+
+    def test_shard_index_out_of_range(self, small_campaign):
+        with pytest.raises(ValueError, match="out of range"):
+            small_campaign.shard(small_campaign.n_shards)
+        with pytest.raises(ValueError, match="out of range"):
+            small_campaign.shard(-1)
+
+
+class TestValidation:
+    def test_seeded_base_is_rejected(self, monitor_base):
+        with pytest.raises(ValueError, match="unseeded"):
+            CampaignSpec(name="c", base=monitor_base.with_seed(3),
+                         n_shards=4, seed=1)
+
+    @pytest.mark.parametrize("n_shards", [0, -1, 2.0, True, "8"])
+    def test_bad_n_shards_rejected(self, monitor_base, n_shards):
+        with pytest.raises(ValueError, match="n_shards"):
+            CampaignSpec(name="c", base=monitor_base,
+                         n_shards=n_shards, seed=1)
+
+    @pytest.mark.parametrize("seed", [-1, 1.5, True, None, "7"])
+    def test_bad_seed_rejected(self, monitor_base, seed):
+        with pytest.raises(ValueError, match="seed"):
+            CampaignSpec(name="c", base=monitor_base,
+                         n_shards=4, seed=seed)
+
+    def test_base_must_be_scenario(self):
+        with pytest.raises(ValueError, match="Scenario"):
+            CampaignSpec(name="c", base={"workload": "monitor"},
+                         n_shards=4, seed=1)
+
+    def test_unknown_envelope_keys_rejected(self, small_campaign):
+        data = small_campaign.to_dict()
+        data["shards"] = []
+        with pytest.raises(ValueError, match="unknown campaign keys"):
+            CampaignSpec.from_dict(data)
+
+    def test_schema_version_mismatch_rejected(self, small_campaign):
+        data = small_campaign.to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            CampaignSpec.from_dict(data)
+
+    def test_missing_fields_rejected(self, small_campaign):
+        data = small_campaign.to_dict()
+        del data["base"], data["seed"]
+        with pytest.raises(ValueError, match="missing"):
+            CampaignSpec.from_dict(data)

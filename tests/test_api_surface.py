@@ -16,10 +16,10 @@ import repro
 
 
 SUBPACKAGES = [
-    "analytes", "bio", "chem", "classification", "core", "electrodes",
-    "engine", "enzymes", "experiments", "inference", "instrument",
-    "nano", "pk", "scenarios", "signal", "system", "techniques",
-    "therapy", "transducers",
+    "analytes", "bio", "campaigns", "chem", "classification", "core",
+    "electrodes", "engine", "enzymes", "experiments", "inference",
+    "instrument", "nano", "pk", "scenarios", "signal", "system",
+    "techniques", "therapy", "transducers",
 ]
 
 
@@ -77,6 +77,9 @@ class TestDocstrings:
         "repro.scenarios", "repro.scenarios.spec",
         "repro.scenarios.protocols", "repro.scenarios.workloads",
         "repro.scenarios.runner", "repro.scenarios.cli",
+        "repro.campaigns", "repro.campaigns.spec",
+        "repro.campaigns.store", "repro.campaigns.runner",
+        "repro.campaigns.cli",
         "repro.inference", "repro.inference.observation",
         "repro.inference.kalman", "repro.inference.fusion",
         "repro.inference.evaluate",

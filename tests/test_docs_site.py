@@ -63,6 +63,10 @@ class TestSiteSkeleton:
                          "repro.therapy.controllers",
                          "repro.scenarios", "repro.scenarios.spec",
                          "repro.scenarios.workloads",
+                         "repro.campaigns", "repro.campaigns.spec",
+                         "repro.campaigns.store",
+                         "repro.campaigns.runner",
+                         "repro.campaigns.cli",
                          "repro.inference", "repro.inference.kalman",
                          "repro.inference.observation",
                          "repro.inference.fusion",
