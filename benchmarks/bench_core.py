@@ -21,6 +21,11 @@ Baselines are chosen per workload to keep the claim honest:
   so timing it would dilute the filter claim).
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -143,3 +148,86 @@ def test_registered_workload_speedups(bench_json, historical_point,
              for workload, payload in unified.items()
              if payload["speedup"] < payload["speedup_floor"]}
     assert not below, f"speedups below their floors: {below}"
+
+
+def _loop_uninstrumented(kernels, plan):
+    """Byte-for-byte replica of the executor's pre-telemetry loop.
+
+    This is the honest baseline for the overhead gate: the exact
+    compile -> init_state -> segment/chunk -> finalize sequence with no
+    recorder lookup at all.  If :func:`repro.engine.core.executor.execute`
+    ever grows per-chunk telemetry work on its disabled branch, the
+    ratio against this loop catches it.
+    """
+    compiled = kernels.compile(plan)
+    state = kernels.init_state(plan)
+    for segment in compiled.segments:
+        kernels.begin_segment(plan, state, segment)
+        for start in range(segment.start, segment.stop,
+                           compiled.chunk_samples):
+            stop = min(start + compiled.chunk_samples, segment.stop)
+            kernels.run_chunk(plan, state, segment, start, stop)
+        kernels.end_segment(plan, state, segment)
+    return kernels.finalize(plan, state)
+
+
+def _interleaved_min_wall_s(fn_a, fn_b, repeats):
+    """Best-of-N wall time for two contenders, sampled interleaved.
+
+    Alternating A and B within every round means slow drift (thermal,
+    another process waking up) hits both sides equally instead of
+    biasing whichever ran second; the min over rounds then discards
+    the noise.
+    """
+    best_a = best_b = float("inf")
+    for __ in range(repeats):
+        t0 = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, best_b
+
+
+def test_disabled_telemetry_overhead(bench_json, monitor_week_plan):
+    """The telemetry zero-cost gate: with the recorder disabled,
+    ``execute()`` must match the raw uninstrumented loop to within
+    ``TELEMETRY_OVERHEAD_CEILING`` (3 % by default, relaxed in CI).
+
+    The delta is merged into ``BENCH_core.json`` under
+    ``telemetry_overhead`` so the cost of the disabled branch is
+    tracked across PRs alongside the workload speedups.
+    """
+    from repro.engine.core.executor import execute
+    from repro.telemetry import set_recorder
+
+    ceiling = float(os.environ.get("TELEMETRY_OVERHEAD_CEILING", "0.03"))
+    kernels = kernels_for("monitor")
+    plan = monitor_week_plan(keep_traces=False)
+    previous = set_recorder(None)  # the disabled default, explicitly
+    try:
+        execute(kernels, plan)  # warm kernel caches for both paths
+        _loop_uninstrumented(kernels, plan)
+        raw_s, instrumented_s = _interleaved_min_wall_s(
+            lambda: _loop_uninstrumented(kernels, plan),
+            lambda: execute(kernels, plan), repeats=20)
+    finally:
+        set_recorder(previous)
+    overhead = instrumented_s / raw_s - 1.0
+
+    directory = Path(os.environ.get("BENCH_JSON_DIR",
+                                    Path(__file__).resolve().parent))
+    core_path = directory / "BENCH_core.json"
+    merged = (json.loads(core_path.read_text())
+              if core_path.is_file() else {})
+    merged["telemetry_overhead"] = {
+        "raw_wall_s": raw_s, "disabled_wall_s": instrumented_s,
+        "overhead": overhead, "ceiling": ceiling}
+    print(f"\ntelemetry off: raw {raw_s * 1e3:.1f} ms, execute() "
+          f"{instrumented_s * 1e3:.1f} ms -> {overhead * 100:+.2f}% "
+          f"(ceiling {ceiling * 100:.0f}%) -> "
+          f"{bench_json('core', **merged)}")
+    assert overhead <= ceiling, (
+        f"disabled-telemetry overhead {overhead * 100:.2f}% exceeds "
+        f"ceiling {ceiling * 100:.0f}%")

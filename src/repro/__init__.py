@@ -54,6 +54,7 @@ from repro import (  # noqa: F401  (re-exported subpackages)
     signal,
     system,
     techniques,
+    telemetry,
     therapy,
     transducers,
     units,
@@ -80,6 +81,7 @@ __all__ = [
     "signal",
     "system",
     "techniques",
+    "telemetry",
     "therapy",
     "transducers",
     "units",

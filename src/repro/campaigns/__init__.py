@@ -17,8 +17,15 @@ artifact to populations:
   ``ProcessPoolExecutor`` fan-out (``workers > 1``) or the identical
   in-process loop (``workers=1``), with every worker writing its own
   rows so results hit disk as they finish;
-* the ``python -m repro campaign {run,status,resume,export}`` command
-  line (:mod:`repro.campaigns.cli`).
+* the ``python -m repro campaign {run,status,resume,export,report}``
+  command line (:mod:`repro.campaigns.cli`);
+* shard-lifecycle telemetry — the runner records every
+  ``queued -> running -> done/failed`` transition (worker pid,
+  duration) into the store's schema-versioned ``telemetry`` table, and
+  :mod:`repro.campaigns.report` renders straggler percentiles, worker
+  utilization, the merged slowest-span breakdown and a
+  Perfetto-loadable shard timeline from it.  Telemetry is wall-clock
+  and never part of the deterministic export.
 
 The design center is **crash-safe resumability**: a campaign killed at
 any instant — ``SIGKILL`` mid-shard included — reopens from its store,
@@ -44,6 +51,16 @@ Quickstart::
     print(report.summary())
 """
 
+from repro.campaigns.report import (
+    ShardTiming,
+    duration_stats,
+    perfetto_trace,
+    render_report,
+    shard_timings,
+    span_breakdown,
+    worker_utilization,
+    write_report_perfetto,
+)
 from repro.campaigns.runner import (
     CampaignReport,
     execute_shard,
@@ -55,6 +72,8 @@ from repro.campaigns.store import (
     ArtifactStore,
     SHARD_STATUSES,
     STORE_SCHEMA_VERSION,
+    TELEMETRY_EVENTS,
+    TELEMETRY_SCHEMA_VERSION,
 )
 
 __all__ = [
@@ -64,7 +83,17 @@ __all__ = [
     "SCHEMA_VERSION",
     "SHARD_STATUSES",
     "STORE_SCHEMA_VERSION",
+    "ShardTiming",
+    "TELEMETRY_EVENTS",
+    "TELEMETRY_SCHEMA_VERSION",
+    "duration_stats",
     "execute_shard",
+    "perfetto_trace",
+    "render_report",
     "resume_campaign",
     "run_campaign",
+    "shard_timings",
+    "span_breakdown",
+    "worker_utilization",
+    "write_report_perfetto",
 ]

@@ -1,17 +1,22 @@
 """The campaign command line: ``python -m repro campaign ...``.
 
-Four subcommands over one SQLite artifact store::
+Five subcommands over one SQLite artifact store::
 
     python -m repro campaign run fleet.json --store fleet.sqlite \\
         --workers 4                          # expand + run all shards
-    python -m repro campaign status fleet.sqlite   # progress counts
+    python -m repro campaign status fleet.sqlite   # progress + ETA
     python -m repro campaign resume fleet.sqlite --workers 4
     python -m repro campaign export fleet.sqlite --out rows.json
+    python -m repro campaign report fleet.sqlite \\
+        --perfetto-out fleet_trace.json      # telemetry breakdown
 
 ``run`` refuses an existing store (resume it instead); ``resume``
 requeues interrupted shards and skips finished ones; ``export`` writes
-the deterministic manifest+rows JSON (stdout without ``--out``).  The
-subcommands are registered onto the main ``python -m repro`` parser by
+the deterministic manifest+rows JSON (stdout without ``--out``);
+``report`` renders the telemetry table — per-shard duration
+percentiles, throughput, worker utilization, slowest spans — and can
+write the shard timeline as a Perfetto trace.  The subcommands are
+registered onto the main ``python -m repro`` parser by
 :func:`add_campaign_commands`.
 """
 
@@ -86,6 +91,23 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a store's telemetry report, optionally with a trace."""
+    from repro.campaigns.report import render_report, write_report_perfetto
+    from repro.campaigns.store import ArtifactStore
+
+    try:
+        with ArtifactStore.open(args.store, readonly=True) as store:
+            print(render_report(store))
+            if args.perfetto_out is not None:
+                path = write_report_perfetto(store, args.perfetto_out)
+                print(f"perfetto trace -> {path}")
+    except _USAGE_ERRORS as error:
+        print(error)
+        return 2
+    return 0
+
+
 def add_campaign_commands(subparsers) -> None:
     """Register the ``campaign`` subcommand tree on the main CLI parser."""
     campaign = subparsers.add_parser(
@@ -127,3 +149,14 @@ def add_campaign_commands(subparsers) -> None:
     export_p.add_argument("--out", type=Path, default=None,
                           help="output JSON path (default: stdout)")
     export_p.set_defaults(func=_cmd_export)
+
+    report_p = commands.add_parser(
+        "report", help="render a store's telemetry: shard duration "
+                       "percentiles, throughput, worker utilization, "
+                       "slowest spans")
+    report_p.add_argument("store", type=Path,
+                          help="path to an existing campaign store")
+    report_p.add_argument("--perfetto-out", type=Path, default=None,
+                          help="also write the shard timeline as a "
+                               "Chrome/Perfetto trace_event JSON file")
+    report_p.set_defaults(func=_cmd_report)

@@ -1,0 +1,258 @@
+"""Campaign telemetry reporting: stragglers, workers, slowest spans.
+
+The read side of the artifact store's ``telemetry`` table.  The runner
+records shard lifecycle events (``queued -> running -> done/failed``
+with worker pid and duration) unconditionally, and span summaries when
+the process recorder is enabled; this module turns those rows into
+
+* :func:`shard_timings` — one start/duration/worker record per
+  finished shard attempt;
+* :func:`duration_stats` — count / p50 / p95 / min / max over the
+  shard durations (the straggler view);
+* :func:`worker_utilization` — per-worker shard counts, busy seconds
+  and utilization over the campaign's wall-clock span;
+* :func:`span_breakdown` — the merged slowest-span table across every
+  shard that recorded spans;
+* :func:`render_report` — the text block ``python -m repro campaign
+  report`` prints;
+* :func:`perfetto_trace` / :func:`write_report_perfetto` — a
+  Chrome/Perfetto ``trace_event`` timeline, one track per worker
+  process, loadable as-is at https://ui.perfetto.dev.
+
+Everything here reads wall-clock telemetry and is therefore strictly
+outside the deterministic export surface: ``campaign export`` never
+includes these rows, and two byte-identical exports may carry entirely
+different telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.campaigns.store import ArtifactStore
+from repro.telemetry.aggregate import percentile
+from repro.telemetry.perfetto import (
+    complete_event,
+    process_name_event,
+    thread_name_event,
+)
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """One finished shard attempt on the campaign's wall-clock line.
+
+    Attributes:
+        shard_index: which shard ran.
+        worker: the recording worker's identity (``pid:<n>``).
+        started_wall_s: wall-clock start (``time.time`` seconds),
+            back-computed as the terminal event's timestamp minus the
+            measured duration so start and duration stay consistent.
+        duration_s: measured shard duration (monotonic-clock based).
+        status: terminal status, ``done`` or ``failed``.
+    """
+
+    shard_index: int
+    worker: str | None
+    started_wall_s: float
+    duration_s: float
+    status: str
+
+
+def shard_timings(events: Iterable[Mapping]) -> list[ShardTiming]:
+    """Extract one :class:`ShardTiming` per terminal telemetry event.
+
+    Args:
+        events: rows from
+            :meth:`~repro.campaigns.ArtifactStore.telemetry_events`.
+
+    Shards that were queued or interrupted but never finished have no
+    terminal event and simply do not appear — the report reflects work
+    actually completed.
+    """
+    timings = []
+    for event in events:
+        if event["event"] in ("done", "failed") \
+                and event["duration_s"] is not None:
+            timings.append(ShardTiming(
+                shard_index=event["shard_index"],
+                worker=event["worker"],
+                started_wall_s=event["wall_s"] - event["duration_s"],
+                duration_s=event["duration_s"],
+                status=event["event"]))
+    return timings
+
+
+def duration_stats(timings: Iterable[ShardTiming]) -> dict | None:
+    """Straggler statistics over finished-shard durations.
+
+    Returns:
+        ``{"count", "p50_s", "p95_s", "min_s", "max_s", "total_s"}``,
+        or None when no shard has finished yet.
+    """
+    durations = [timing.duration_s for timing in timings]
+    if not durations:
+        return None
+    return {
+        "count": len(durations),
+        "p50_s": percentile(durations, 0.50),
+        "p95_s": percentile(durations, 0.95),
+        "min_s": min(durations),
+        "max_s": max(durations),
+        "total_s": sum(durations),
+    }
+
+
+def worker_utilization(timings: Iterable[ShardTiming]) -> dict[str, dict]:
+    """Per-worker shard counts, busy time, and utilization.
+
+    Utilization is each worker's busy seconds divided by the
+    campaign's overall wall-clock span (first shard start to last
+    shard end) — on an evenly loaded pool every worker sits near 1.0,
+    and a worker that went idle early (straggler imbalance) shows the
+    gap directly.
+
+    Returns:
+        ``{worker: {"shards", "busy_s", "utilization"}}`` sorted by
+        worker name; empty when nothing finished.
+    """
+    timings = list(timings)
+    if not timings:
+        return {}
+    start = min(timing.started_wall_s for timing in timings)
+    end = max(timing.started_wall_s + timing.duration_s
+              for timing in timings)
+    span = end - start
+    table: dict[str, dict] = {}
+    for timing in timings:
+        worker = timing.worker or "?"
+        row = table.setdefault(worker, {"shards": 0, "busy_s": 0.0})
+        row["shards"] += 1
+        row["busy_s"] += timing.duration_s
+    for row in table.values():
+        row["utilization"] = (row["busy_s"] / span if span > 0.0
+                              else 1.0)
+    return dict(sorted(table.items()))
+
+
+def span_breakdown(events: Iterable[Mapping]) -> dict[str, dict]:
+    """Merge every shard's span summary into one slowest-span table.
+
+    Each ``spans`` telemetry event carries one shard's per-span-name
+    ``{count, total_s, p50_s, p95_s}``; counts and totals add exactly
+    across shards, and ``max_p95_s`` keeps the worst per-shard p95 as
+    the tail indicator (per-shard percentiles cannot be merged into an
+    exact campaign percentile without the raw durations).
+
+    Returns:
+        ``{span_name: {"count", "total_s", "mean_s", "max_p95_s"}}``
+        sorted slowest-first by ``total_s``; empty when no shard
+        recorded spans (telemetry was off in the workers).
+    """
+    merged: dict[str, dict] = {}
+    for event in events:
+        if event["event"] != "spans" or not event["payload"]:
+            continue
+        for name, stats in event["payload"].get("summary", {}).items():
+            row = merged.setdefault(
+                name, {"count": 0, "total_s": 0.0, "max_p95_s": 0.0})
+            row["count"] += int(stats["count"])
+            row["total_s"] += float(stats["total_s"])
+            row["max_p95_s"] = max(row["max_p95_s"],
+                                   float(stats["p95_s"]))
+    for row in merged.values():
+        row["mean_s"] = row["total_s"] / row["count"]
+    return dict(sorted(merged.items(),
+                       key=lambda item: -item[1]["total_s"]))
+
+
+def render_report(store: ArtifactStore) -> str:
+    """The full ``campaign report`` text block for one store.
+
+    Status header, per-shard duration percentiles, throughput,
+    per-worker utilization, and the merged slowest-span breakdown
+    (with a pointer to ``REPRO_TELEMETRY=1`` when no worker recorded
+    spans).
+    """
+    events = store.telemetry_events()
+    timings = shard_timings(events)
+    lines = [store.status_summary(), ""]
+    stats = duration_stats(timings)
+    if stats is None:
+        lines.append("no finished shards yet — run or resume the "
+                     "campaign first")
+        return "\n".join(lines)
+    lines.append(
+        f"shard durations ({stats['count']} finished): "
+        f"p50 {stats['p50_s'] * 1e3:.0f} ms, "
+        f"p95 {stats['p95_s'] * 1e3:.0f} ms, "
+        f"min {stats['min_s'] * 1e3:.0f} ms, "
+        f"max {stats['max_s'] * 1e3:.0f} ms")
+    rate = store.completion_rate_per_s()
+    if rate is not None:
+        lines.append(f"throughput: {rate * 60.0:.1f} shards/min")
+    workers = worker_utilization(timings)
+    lines.append(f"workers ({len(workers)}):")
+    for worker, row in workers.items():
+        lines.append(
+            f"  {worker:<12} {row['shards']:>4} shards  "
+            f"{row['busy_s']:>8.2f} s busy  "
+            f"{100.0 * row['utilization']:>5.1f} % utilized")
+    spans = span_breakdown(events)
+    if spans:
+        lines.append("slowest spans (all shards):")
+        lines.append(f"  {'span':<28} {'count':>7} {'total':>10} "
+                     f"{'mean':>10} {'max p95':>10}")
+        for name, row in spans.items():
+            lines.append(
+                f"  {name:<28} {row['count']:>7d} "
+                f"{row['total_s'] * 1e3:>8.1f}ms "
+                f"{row['mean_s'] * 1e3:>8.2f}ms "
+                f"{row['max_p95_s'] * 1e3:>8.2f}ms")
+    else:
+        lines.append("no span telemetry recorded — run the campaign "
+                     "with REPRO_TELEMETRY=1 for a span breakdown")
+    return "\n".join(lines)
+
+
+def perfetto_trace(store: ArtifactStore) -> dict:
+    """The campaign's shard timeline as a Perfetto ``trace_event`` dict.
+
+    One process (the campaign), one track per worker, one complete
+    event per finished shard; failed shards carry ``args.status`` so
+    they stand out in the UI.  Timestamps are normalized so the first
+    shard starts at 0 — the trace is a relative timeline, not a
+    wall-clock artifact.
+    """
+    events = store.telemetry_events()
+    timings = shard_timings(events)
+    name = f"campaign {store.spec.name}"
+    trace_events = [process_name_event(1, name)]
+    workers = sorted({timing.worker or "?" for timing in timings})
+    tids = {worker: tid for tid, worker in enumerate(workers, start=1)}
+    for worker, tid in tids.items():
+        trace_events.append(thread_name_event(1, tid, worker))
+    if timings:
+        t0 = min(timing.started_wall_s for timing in timings)
+        for timing in timings:
+            trace_events.append(complete_event(
+                f"shard {timing.shard_index}",
+                timing.started_wall_s - t0, timing.duration_s,
+                pid=1, tid=tids[timing.worker or "?"],
+                args={"shard": timing.shard_index,
+                      "status": timing.status}))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_report_perfetto(store: ArtifactStore,
+                          path: "str | Path") -> Path:
+    """Serialize :func:`perfetto_trace` to ``path`` and return it."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(perfetto_trace(store), indent=2, sort_keys=True)
+        + "\n", encoding="utf-8")
+    return target

@@ -29,6 +29,7 @@ code path, one crash model.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -44,6 +45,11 @@ from repro.campaigns.store import ArtifactStore
 #: it to guarantee the SIGKILL lands mid-campaign — and is harmless
 #: (default 0) in production runs.
 THROTTLE_ENV = "REPRO_CAMPAIGN_THROTTLE_S"
+
+#: Worker-path logger under the single ``repro`` root (wired to the
+#: console by the CLI's ``--log-level`` / ``-v`` flags) — never bare
+#: prints, so library embedders keep control of the output stream.
+_LOG = logging.getLogger("repro.campaigns.runner")
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,45 @@ class CampaignReport:
             f"  store -> {self.store_path}")
 
 
+def _run_shard_scenario(scenario):
+    """Run one shard's scenario, capturing telemetry when enabled.
+
+    With the process recorder disabled this is exactly
+    ``run_scenario(scenario)``.  Enabled, the shard runs under its own
+    private :class:`~repro.telemetry.InMemoryRecorder` (so spans from
+    concurrent shards in one process never mix), whose events are
+    replayed into the process recorder afterwards — the JSONL trace
+    named by ``REPRO_TELEMETRY_TRACE`` still sees everything.
+
+    Returns:
+        ``(result, span_payload)`` where ``span_payload`` is the
+        shard's span summary + counters dict (None when disabled).
+    """
+    from repro.scenarios.runner import run_scenario
+    from repro.telemetry import (
+        InMemoryRecorder,
+        get_recorder,
+        set_recorder,
+    )
+
+    parent = get_recorder()
+    if not parent.enabled:
+        return run_scenario(scenario), None
+    shard_recorder = InMemoryRecorder()
+    set_recorder(shard_recorder)
+    try:
+        result = run_scenario(scenario)
+    finally:
+        set_recorder(parent)
+        for record in shard_recorder.spans:
+            parent.record_span(record)
+        for name, value in shard_recorder.counters.items():
+            parent.count(name, value)
+    payload = {"summary": shard_recorder.summary(),
+               "counters": shard_recorder.counters}
+    return result, payload
+
+
 def execute_shard(store_path: "str | Path",
                   shard_index: int) -> tuple[int, str]:
     """Run one shard against the store at ``store_path``.
@@ -98,7 +143,10 @@ def execute_shard(store_path: "str | Path",
     marks the shard ``running``, runs its stored scenario, records the
     ``summary_row()`` (or the failure).  Opens its own store connection
     and holds write transactions only for the status flips, never
-    across the engine run.
+    across the engine run.  Every lifecycle transition also lands in
+    the store's telemetry table (``running`` / ``done`` / ``failed``
+    with the worker's pid and the shard duration), which is what
+    ``python -m repro campaign {status,report}`` read back.
 
     Returns:
         ``(shard_index, final_status)`` with status ``"done"`` or
@@ -106,25 +154,38 @@ def execute_shard(store_path: "str | Path",
         raised, so one bad shard cannot take down a million-shard
         campaign.
     """
+    worker = f"pid:{os.getpid()}"
     with ArtifactStore.open(store_path) as store:
         scenario = store.shard_scenario(shard_index)
         store.mark_running(shard_index)
+        store.record_event("running", shard_index, worker=worker)
+    _LOG.info("shard %d running on %s", shard_index, worker)
     throttle = float(os.environ.get(THROTTLE_ENV, "0") or "0")
     if throttle > 0.0:
         time.sleep(throttle)
-    from repro.scenarios.runner import run_scenario
-
     start = time.perf_counter()
     try:
-        row = run_scenario(scenario).summary_row()
+        result, span_payload = _run_shard_scenario(scenario)
+        row = result.summary_row()
     except Exception as error:  # one shard's failure is campaign data
+        elapsed = time.perf_counter() - start
+        message = f"{type(error).__name__}: {error}"
+        _LOG.warning("shard %d failed after %.2f s: %s",
+                     shard_index, elapsed, message)
         with ArtifactStore.open(store_path) as store:
-            store.record_failure(
-                shard_index, f"{type(error).__name__}: {error}")
+            store.record_failure(shard_index, message)
+            store.record_event("failed", shard_index, worker=worker,
+                               duration_s=elapsed)
         return shard_index, "failed"
     elapsed = time.perf_counter() - start
+    _LOG.info("shard %d done in %.2f s", shard_index, elapsed)
     with ArtifactStore.open(store_path) as store:
         store.record_result(shard_index, row, elapsed_s=elapsed)
+        store.record_event("done", shard_index, worker=worker,
+                           duration_s=elapsed)
+        if span_payload is not None:
+            store.record_event("spans", shard_index, worker=worker,
+                               payload=span_payload)
     return shard_index, "done"
 
 
@@ -136,6 +197,8 @@ def _drive(store_path: Path, workers: int) -> CampaignReport:
         indices = store.pending_indices()
         name = store.spec.name
         n_shards = store.n_shards()
+    _LOG.info("campaign %r: driving %d pending of %d shards on %d "
+              "worker(s)", name, len(indices), n_shards, workers)
     start = time.perf_counter()
     if workers == 1 or len(indices) <= 1:
         for index in indices:
@@ -194,5 +257,7 @@ def resume_campaign(store_path: "str | Path",
         The :class:`CampaignReport` for the resumed portion.
     """
     with ArtifactStore.open(store_path) as store:
-        store.reset_running()
+        requeued = store.reset_running()
+    if requeued:
+        _LOG.info("resume: requeued %d interrupted shard(s)", requeued)
     return _drive(Path(store_path), workers)

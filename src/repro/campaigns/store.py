@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -35,10 +36,22 @@ from repro.scenarios.spec import Scenario
 
 #: Version stamp of the on-disk SQLite layout.  Bump on any table /
 #: column change; ``ArtifactStore.open`` rejects mismatches.
-STORE_SCHEMA_VERSION = 1
+#: v2 added the ``telemetry`` event table.
+STORE_SCHEMA_VERSION = 2
+
+#: Version stamp of the ``telemetry`` table's row layout, tracked
+#: separately so telemetry readers (``campaign report``, ``status``)
+#: can refuse rows they would misread without invalidating the shard
+#: data next to them.
+TELEMETRY_SCHEMA_VERSION = 1
 
 #: Legal shard lifecycle states, in order.
 SHARD_STATUSES = ("pending", "running", "done", "failed")
+
+#: Legal telemetry event kinds: the shard lifecycle transitions plus
+#: ``spans`` (a finished shard's span-summary payload, recorded when
+#: the worker ran with telemetry enabled).
+TELEMETRY_EVENTS = ("queued", "running", "done", "failed", "spans")
 
 _SCHEMA = """
 CREATE TABLE meta (
@@ -54,6 +67,17 @@ CREATE TABLE shards (
     result      TEXT,
     error       TEXT,
     elapsed_s   REAL
+);
+CREATE TABLE telemetry (
+    event_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+    shard_index INTEGER,
+    event       TEXT NOT NULL
+                CHECK (event IN
+                       ('queued', 'running', 'done', 'failed', 'spans')),
+    worker      TEXT,
+    wall_s      REAL NOT NULL,
+    duration_s  REAL,
+    payload     TEXT
 );
 """
 
@@ -118,6 +142,7 @@ class ArtifactStore:
             import repro
             manifest = {
                 "store_schema_version": str(STORE_SCHEMA_VERSION),
+                "telemetry_schema_version": str(TELEMETRY_SCHEMA_VERSION),
                 "campaign": spec.to_json(indent=0),
                 "spec_hash": spec.spec_hash(),
                 "workload": spec.base.workload,
@@ -131,6 +156,11 @@ class ArtifactStore:
                 "VALUES (?, ?, ?)",
                 [(index, shard.seed, shard.to_json(indent=0))
                  for index, shard in enumerate(spec.shards())])
+            queued_at = time.time()
+            conn.executemany(
+                "INSERT INTO telemetry (shard_index, event, wall_s) "
+                "VALUES (?, 'queued', ?)",
+                [(index, queued_at) for index in range(spec.n_shards)])
         return cls(target, conn)
 
     @classmethod
@@ -289,9 +319,103 @@ class ArtifactStore:
         """
         with self._conn:
             cursor = self._conn.execute(
+                "SELECT shard_index FROM shards WHERE status = 'running'")
+            interrupted = [row["shard_index"] for row in cursor]
+            self._conn.execute(
                 "UPDATE shards SET status = 'pending' "
                 "WHERE status = 'running'")
-            return cursor.rowcount
+            requeued_at = time.time()
+            self._conn.executemany(
+                "INSERT INTO telemetry (shard_index, event, wall_s) "
+                "VALUES (?, 'queued', ?)",
+                [(index, requeued_at) for index in interrupted])
+            return len(interrupted)
+
+    # -- telemetry -----------------------------------------------------
+
+    def record_event(self, event: str, shard_index: int | None = None,
+                     worker: str | None = None,
+                     duration_s: float | None = None,
+                     payload: Mapping[str, Any] | None = None) -> None:
+        """Append one telemetry event row.
+
+        Args:
+            event: one of :data:`TELEMETRY_EVENTS`.
+            shard_index: the shard the event concerns (None for
+                campaign-level events).
+            worker: worker identity (the runner uses ``pid:<n>``).
+            duration_s: wall-clock duration for terminal events.
+            payload: JSON-serializable extra data (``spans`` events
+                carry the shard's span summary here).
+
+        Telemetry rows are wall-clock by nature and therefore **never**
+        part of :meth:`export_json` — the deterministic export stays
+        byte-identical whether or not a run was instrumented.
+        """
+        if event not in TELEMETRY_EVENTS:
+            raise ValueError(
+                f"unknown telemetry event {event!r}; expected one of "
+                f"{TELEMETRY_EVENTS}")
+        encoded = (json.dumps(payload, sort_keys=True)
+                   if payload is not None else None)
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO telemetry "
+                "(shard_index, event, worker, wall_s, duration_s, "
+                "payload) VALUES (?, ?, ?, ?, ?, ?)",
+                (shard_index, event, worker, time.time(), duration_s,
+                 encoded))
+
+    def telemetry_events(self) -> list[dict]:
+        """All telemetry rows as dicts, in recording order.
+
+        Each row carries ``shard_index``, ``event``, ``worker``,
+        ``wall_s``, ``duration_s`` and the decoded ``payload`` (or
+        None).  Raises ``ValueError`` if the store's telemetry table
+        was written under a different :data:`TELEMETRY_SCHEMA_VERSION`
+        — the shard data stays readable, only the telemetry readers
+        refuse.
+        """
+        version = self.meta("telemetry_schema_version")
+        if version != str(TELEMETRY_SCHEMA_VERSION):
+            raise ValueError(
+                f"{self.path} holds telemetry schema version {version} "
+                f"(this build reads version {TELEMETRY_SCHEMA_VERSION});"
+                " shard rows are unaffected, but re-run the campaign "
+                "with a matching repro version to read its telemetry")
+        rows = []
+        for row in self._conn.execute(
+                "SELECT shard_index, event, worker, wall_s, duration_s, "
+                "payload FROM telemetry ORDER BY event_id"):
+            rows.append({
+                "shard_index": (int(row["shard_index"])
+                                if row["shard_index"] is not None
+                                else None),
+                "event": row["event"],
+                "worker": row["worker"],
+                "wall_s": float(row["wall_s"]),
+                "duration_s": (float(row["duration_s"])
+                               if row["duration_s"] is not None
+                               else None),
+                "payload": (json.loads(row["payload"])
+                            if row["payload"] is not None else None),
+            })
+        return rows
+
+    def completion_rate_per_s(self) -> float | None:
+        """Finished shards per second, from telemetry timestamps.
+
+        The rate behind ``campaign status``'s throughput and ETA
+        columns: terminal events (``done``/``failed``) per second of
+        wall time between the first and the last one.  None until two
+        terminal events exist (no meaningful rate yet).
+        """
+        walls = [row["wall_s"] for row in self._conn.execute(
+            "SELECT wall_s FROM telemetry "
+            "WHERE event IN ('done', 'failed') ORDER BY wall_s")]
+        if len(walls) < 2 or walls[-1] <= walls[0]:
+            return None
+        return (len(walls) - 1) / (walls[-1] - walls[0])
 
     # -- export --------------------------------------------------------
 
@@ -338,7 +462,15 @@ class ArtifactStore:
                           allow_nan=False) + "\n"
 
     def status_summary(self) -> str:
-        """One human-readable block: campaign, progress, per-status counts."""
+        """One human-readable block: campaign, progress, counts, rate.
+
+        The throughput and ETA lines are the telemetry table's first
+        consumer: shards/min comes from the wall-clock spacing of the
+        recorded ``done``/``failed`` events, and the ETA divides the
+        outstanding shard count by that rate.  Both degrade gracefully
+        — fewer than two finished shards means no rate, and a finished
+        campaign shows no ETA.
+        """
         counts = self.counts()
         total = self.n_shards()
         spec = self.spec
@@ -354,4 +486,14 @@ class ArtifactStore:
         done = counts["done"] + counts["failed"]
         lines.append(f"  progress: {done}/{total} "
                      f"({100.0 * done / total:.0f} %)")
+        rate = self.completion_rate_per_s()
+        remaining = counts["pending"] + counts["running"]
+        if rate is not None:
+            lines.append(f"  throughput: {rate * 60.0:.1f} shards/min")
+            if remaining:
+                lines.append(f"  eta: {remaining / rate:.0f} s "
+                             f"({remaining} shards remaining)")
+        elif remaining:
+            lines.append("  throughput: n/a (fewer than two finished "
+                         "shards)")
         return "\n".join(lines)

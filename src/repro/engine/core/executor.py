@@ -17,11 +17,24 @@ Because all cross-chunk information lives in the carry state and each
 kernel consumes its random streams strictly in sample order, results
 depend only on the plan (and its seed), never on the chunking policy —
 the property the shared contract suite gates for every workload.
+
+Telemetry rides on this one loop, so every workload — and any future
+fifth kernel set — gets timing for free: when the process-local
+recorder is enabled (:func:`repro.telemetry.get_recorder`), the
+executor emits per-phase spans (``core.compile`` / ``core.init_state``
+/ ``core.segment`` / ``core.run_chunk`` / ``core.finalize``), a
+``core.samples`` cells-times-samples throughput counter, and the kernel
+set's optional :meth:`~repro.engine.core.kernelset.KernelSet.describe_metrics`
+counters.  When the recorder is disabled — the default — :func:`execute`
+takes a branch that never touches telemetry at all, so the hot loop is
+byte-for-byte the uninstrumented one (gated to <= 3 % overhead in
+``benchmarks/bench_core.py``).
 """
 
 from __future__ import annotations
 
 from repro.engine.core.kernelset import KernelSet
+from repro.telemetry import get_recorder
 
 
 def execute(kernels: KernelSet, plan):
@@ -43,13 +56,51 @@ def execute(kernels: KernelSet, plan):
         raise TypeError(
             f"{kernels.name} kernels expect {kernels.plan_type.__name__}, "
             f"got {type(plan).__name__}")
-    compiled = kernels.compile(plan)
-    state = kernels.init_state(plan)
-    for segment in compiled.segments:
-        kernels.begin_segment(plan, state, segment)
-        for start in range(segment.start, segment.stop,
-                           compiled.chunk_samples):
-            stop = min(start + compiled.chunk_samples, segment.stop)
-            kernels.run_chunk(plan, state, segment, start, stop)
-        kernels.end_segment(plan, state, segment)
-    return kernels.finalize(plan, state)
+    recorder = get_recorder()
+    if not recorder.enabled:
+        # The zero-cost default: identical to the pre-telemetry loop,
+        # no per-chunk telemetry calls or allocations of any kind.
+        compiled = kernels.compile(plan)
+        state = kernels.init_state(plan)
+        for segment in compiled.segments:
+            kernels.begin_segment(plan, state, segment)
+            for start in range(segment.start, segment.stop,
+                               compiled.chunk_samples):
+                stop = min(start + compiled.chunk_samples, segment.stop)
+                kernels.run_chunk(plan, state, segment, start, stop)
+            kernels.end_segment(plan, state, segment)
+        return kernels.finalize(plan, state)
+    return _execute_instrumented(kernels, plan, recorder)
+
+
+def _execute_instrumented(kernels: KernelSet, plan, recorder):
+    """The same loop with spans and counters around every phase."""
+    workload = kernels.name
+    with recorder.span("core.execute", workload=workload):
+        with recorder.span("core.compile", workload=workload):
+            compiled = kernels.compile(plan)
+        with recorder.span("core.init_state", workload=workload):
+            state = kernels.init_state(plan)
+        n_channels = compiled.n_channels
+        for segment in compiled.segments:
+            with recorder.span("core.segment", workload=workload,
+                               segment=segment.index):
+                kernels.begin_segment(plan, state, segment)
+                for start in range(segment.start, segment.stop,
+                                   compiled.chunk_samples):
+                    stop = min(start + compiled.chunk_samples,
+                               segment.stop)
+                    with recorder.span("core.run_chunk",
+                                       workload=workload,
+                                       segment=segment.index):
+                        kernels.run_chunk(plan, state, segment, start,
+                                          stop)
+                    recorder.count("core.chunks")
+                    recorder.count("core.samples",
+                                   n_channels * (stop - start))
+                kernels.end_segment(plan, state, segment)
+        with recorder.span("core.finalize", workload=workload):
+            result = kernels.finalize(plan, state)
+    for metric, value in kernels.describe_metrics(plan, result).items():
+        recorder.count(f"{workload}.{metric}", float(value))
+    return result

@@ -91,6 +91,20 @@ class KernelSet(abc.ABC):
     def finalize(self, plan, state):
         """Assemble the workload's result object from the carry state."""
 
+    # -- telemetry surface -------------------------------------------------
+
+    def describe_metrics(self, plan, result) -> "dict[str, float]":
+        """Workload-specific telemetry counters for one finished run.
+
+        Called by the executor *only when telemetry is enabled*, after
+        ``finalize``; each ``{metric: value}`` entry lands on the active
+        recorder as the counter ``<workload>.<metric>`` (e.g.
+        ``monitor.recalibrations``).  Values must be plain numbers.
+        The default is no workload-specific counters — the core's
+        spans and throughput counters still apply.
+        """
+        return {}
+
     # -- reference surface -------------------------------------------------
 
     @abc.abstractmethod

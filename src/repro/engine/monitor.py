@@ -913,6 +913,26 @@ class MonitorKernels(KernelSet):
         """Assemble the :class:`MonitorResult`."""
         return _finalize_monitor(plan, state)
 
+    def describe_metrics(self, plan: MonitorPlan,
+                         result: MonitorResult) -> dict:
+        """Monitoring health counters: recalibrations fired, readings
+        taken, and TIA-rail-censored samples (readings pinned at a rail
+        carry no amplitude information — the estimation layer treats
+        them as missing).  The censoring count needs the current trace,
+        so it is only reported when ``plan.keep_traces``."""
+        metrics = {
+            "recalibrations": int(np.sum(result.n_recalibrations)),
+            "readings": plan.n_channels * plan.n_samples,
+        }
+        if result.measured_current_a is not None:
+            from repro.inference.observation import rail_censored_mask
+
+            censored = rail_censored_mask(
+                [channel.sensor for channel in plan.channels],
+                result.measured_current_a)
+            metrics["rail_censored_samples"] = int(np.sum(censored))
+        return metrics
+
     def run_scalar(self, plan: MonitorPlan) -> MonitorResult:
         """Per-(channel, sample) reference through the scalar APIs."""
         return _run_monitor_scalar(plan)

@@ -991,6 +991,18 @@ class TherapyKernels(KernelSet):
         """Assemble the :class:`TherapyResult`."""
         return _finalize_therapy(plan, state)
 
+    def describe_metrics(self, plan: TherapyPlan,
+                         result: TherapyResult) -> dict:
+        """Closed-loop health counters: doses administered, doses the
+        controller actually changed between consecutive intervals, and
+        recalibrations fired on the sensing side."""
+        adjusted = np.diff(result.doses_mol, axis=1) != 0.0
+        return {
+            "doses": int(result.doses_mol.size),
+            "doses_adjusted": int(np.sum(adjusted)),
+            "recalibrations": int(np.sum(result.n_recalibrations)),
+        }
+
     def run_scalar(self, plan: TherapyPlan) -> TherapyResult:
         """Per-(patient, sample) reference through the scalar APIs."""
         return _run_therapy_scalar(plan)

@@ -7,21 +7,68 @@ One executable front door for every registered workload::
     python -m repro run scenario.json          # execute a scenario file
     python -m repro run scenario.json --out results.json
     python -m repro run scenario.json --seed 11 --scalar
+    python -m repro run scenario.json --telemetry \\
+        --perfetto-out trace.json              # spans + flame graph
     python -m repro campaign run fleet.json --store fleet.sqlite \\
         --workers 4                            # sharded campaigns
-    python -m repro campaign {status,resume,export} fleet.sqlite
+    python -m repro campaign {status,resume,export,report} fleet.sqlite
 
 ``run`` prints the workload's summary and, with ``--out``, writes the
 replayable artifact — the seed-resolved scenario envelope plus the full
-result export — as JSON.  Checked-in starter scenarios live under
-``examples/scenarios/`` and are smoke-run in CI.
+result export — as JSON.  ``--telemetry`` (or ``REPRO_TELEMETRY=1``)
+records executor spans and counters, printing the per-span summary
+after the run; ``--trace-out`` streams the events to a JSONL file and
+``--perfetto-out`` writes a flame-graph trace the Perfetto UI opens
+directly.  The global ``--log-level`` / ``-v`` flags configure the
+single ``repro`` stdlib logger (worker progress, resume decisions).
+Checked-in starter scenarios live under ``examples/scenarios/`` and
+are smoke-run in CI.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 from pathlib import Path
+
+
+def configure_logging(level_name: str | None = None,
+                      verbosity: int = 0) -> int:
+    """Wire the single ``repro`` root logger to the console.
+
+    Every module in the package logs under ``repro.*`` (e.g.
+    ``repro.campaigns.runner``), so one handler here covers them all
+    and embedding applications that configure logging themselves are
+    never fought over — the handler is only attached once, and only by
+    the CLI.
+
+    Args:
+        level_name: explicit level (``--log-level``), wins over
+            ``verbosity``.
+        verbosity: ``-v`` count — 0 keeps WARNING, 1 means INFO,
+            2+ means DEBUG.
+
+    Returns:
+        The numeric level that was applied.
+    """
+    if level_name is not None:
+        level = getattr(logging, level_name.upper())
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s: %(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+    return level
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -32,6 +79,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spawn_scenario_seeds,
     )
     from repro.scenarios.spec import Scenario
+    from repro.telemetry import telemetry_env_enabled
 
     scenario = Scenario.load(args.scenario)
     if args.seed is not None:
@@ -40,9 +88,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # An unseeded file still yields a replayable --out artifact:
         # materialize an entropy-derived seed before running.
         scenario = scenario.with_seed(spawn_scenario_seeds(None, 1)[0])
-    result = run_scenario(scenario, scalar=args.scalar)
+    telemetry_on = (args.telemetry or args.trace_out is not None
+                    or args.perfetto_out is not None
+                    or telemetry_env_enabled())
+    recorder = previous = None
+    if telemetry_on:
+        from repro.telemetry import (
+            InMemoryRecorder,
+            JsonlSink,
+            set_recorder,
+        )
+
+        sinks = ([JsonlSink(args.trace_out)]
+                 if args.trace_out is not None else [])
+        recorder = InMemoryRecorder(sinks=sinks)
+        previous = set_recorder(recorder)
+    try:
+        result = run_scenario(scenario, scalar=args.scalar)
+    finally:
+        if recorder is not None:
+            from repro.telemetry import set_recorder
+
+            set_recorder(previous)
+            recorder.close()
     run = ScenarioRun(scenario=scenario, result=result)
     print(run.summary())
+    if recorder is not None:
+        print(recorder.render_summary())
+        if args.trace_out is not None:
+            print(f"trace -> {args.trace_out}")
+        if args.perfetto_out is not None:
+            from repro.telemetry import write_perfetto
+
+            path = write_perfetto(args.perfetto_out, recorder.spans,
+                                  counters=recorder.counters)
+            print(f"perfetto trace -> {path}")
     if args.out is not None:
         payload = run.to_dict(include_traces=args.traces)
         args.out.write_text(
@@ -88,6 +168,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}",
                         help="print the repro package version and exit")
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="level for the 'repro' stdlib logger "
+                             "(default: warning)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="increase log verbosity (-v info, "
+                             "-vv debug); --log-level wins if given")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser(
@@ -104,6 +191,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "engine path (slow)")
     run_p.add_argument("--traces", action="store_true",
                        help="include full per-sample traces in --out")
+    run_p.add_argument("--telemetry", action="store_true",
+                       help="record executor spans/counters and print "
+                            "the telemetry summary after the run")
+    run_p.add_argument("--trace-out", type=Path, default=None,
+                       help="stream telemetry events to this JSONL "
+                            "file (implies --telemetry)")
+    run_p.add_argument("--perfetto-out", type=Path, default=None,
+                       help="write a Chrome/Perfetto trace_event JSON "
+                            "flame graph (implies --telemetry)")
     run_p.set_defaults(func=_cmd_run)
 
     list_p = sub.add_parser("list", help="list registered workloads")
@@ -123,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level, args.verbose)
     return args.func(args)
 
 

@@ -1,0 +1,96 @@
+"""Telemetry: spans, counters, and trace export for every execution layer.
+
+The observability subsystem the execution core, the campaign runner and
+the CLI all share.  Four small modules:
+
+* :mod:`~repro.telemetry.recorder` — the instrumentation API:
+  ``span()`` context managers, monotonic counters, gauges, and the
+  process-local active recorder.  **Disabled is a strict no-op**: the
+  default :data:`NULL_RECORDER` allocates nothing, and hot paths branch
+  once on :attr:`Recorder.enabled` (the disabled executor path is gated
+  to within 3 % of the uninstrumented loop in
+  ``benchmarks/bench_core.py``).
+* :mod:`~repro.telemetry.aggregate` — :class:`InMemoryRecorder`, the
+  enabled recorder: keeps every span, accumulates counters, renders
+  ``summary()`` (count / total / p50 / p95 per span name).
+* :mod:`~repro.telemetry.sinks` — :class:`JsonlSink`, the streaming
+  JSONL trace writer (and :func:`read_jsonl` to load traces back).
+* :mod:`~repro.telemetry.perfetto` — the Chrome/Perfetto
+  ``trace_event`` exporter: open the written file in
+  https://ui.perfetto.dev for a flame graph of any run.
+
+Enable with ``REPRO_TELEMETRY=1`` (plus optional
+``REPRO_TELEMETRY_TRACE=/path.jsonl``), the ``--telemetry`` flag on
+``python -m repro run``, or programmatically::
+
+    from repro.telemetry import InMemoryRecorder, set_recorder
+
+    recorder = InMemoryRecorder()
+    set_recorder(recorder)
+    run_workload("monitor", plan)          # spans land in the recorder
+    print(recorder.render_summary())
+
+Campaign-side telemetry (shard lifecycle events, worker utilization,
+`python -m repro campaign report`) persists in the artifact store's
+schema-versioned ``telemetry`` table — see
+:mod:`repro.campaigns.report`.  Wall-clock telemetry never leaks into
+deterministic exports: ``export_json`` stays byte-identical across
+interrupted/resumed runs, instrumented or not.
+"""
+
+from repro.telemetry.aggregate import (
+    InMemoryRecorder,
+    percentile,
+    summarize_spans,
+)
+from repro.telemetry.perfetto import (
+    complete_event,
+    perfetto_json,
+    process_name_event,
+    span_trace_events,
+    thread_name_event,
+    write_perfetto,
+)
+from repro.telemetry.recorder import (
+    ENABLE_ENV,
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    SpanRecord,
+    TRACE_ENV,
+    count,
+    gauge,
+    get_recorder,
+    recorder_from_env,
+    set_recorder,
+    span,
+    telemetry_env_enabled,
+)
+from repro.telemetry.sinks import JsonlSink, read_jsonl
+
+__all__ = [
+    "ENABLE_ENV",
+    "InMemoryRecorder",
+    "JsonlSink",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SpanRecord",
+    "TRACE_ENV",
+    "complete_event",
+    "count",
+    "gauge",
+    "get_recorder",
+    "percentile",
+    "perfetto_json",
+    "process_name_event",
+    "read_jsonl",
+    "recorder_from_env",
+    "set_recorder",
+    "span",
+    "span_trace_events",
+    "summarize_spans",
+    "telemetry_env_enabled",
+    "thread_name_event",
+    "write_perfetto",
+]

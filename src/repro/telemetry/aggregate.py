@@ -1,0 +1,174 @@
+"""The in-memory aggregator: spans and counters a process can report on.
+
+:class:`InMemoryRecorder` is the enabled recorder everything else
+composes with: it keeps every completed :class:`~repro.telemetry.SpanRecord`,
+accumulates counters and gauges, forwards each event to any attached
+sinks (JSONL trace files), and renders the per-span-name statistics —
+count / total / p50 / p95 — that ``python -m repro run --telemetry``
+prints and campaign workers embed in their shard rows.
+
+The aggregation here is process-local and single-threaded by design
+(one engine run, one recorder); cross-process aggregation is the
+campaign store's job (:mod:`repro.campaigns.report`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.telemetry.recorder import Recorder, SpanRecord
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of ``values`` (``q`` in [0, 1]).
+
+    The same estimator as ``numpy.percentile``'s default, implemented
+    on plain floats so the telemetry layer stays dependency-light.
+
+    Raises:
+        ValueError: on an empty sequence or ``q`` outside [0, 1].
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    position = q * (len(ordered) - 1)
+    below = math.floor(position)
+    above = min(below + 1, len(ordered) - 1)
+    weight = position - below
+    return ordered[below] * (1.0 - weight) + ordered[above] * weight
+
+
+def summarize_spans(spans: Iterable[SpanRecord]) -> dict[str, dict]:
+    """Per-span-name statistics: count, total and p50/p95 durations.
+
+    Returns:
+        ``{name: {"count", "total_s", "p50_s", "p95_s"}}``, names
+        sorted by descending ``total_s`` (slowest first).
+    """
+    durations: dict[str, list[float]] = {}
+    for record in spans:
+        durations.setdefault(record.name, []).append(record.duration_s)
+    stats = {
+        name: {
+            "count": len(values),
+            "total_s": sum(values),
+            "p50_s": percentile(values, 0.50),
+            "p95_s": percentile(values, 0.95),
+        }
+        for name, values in durations.items()
+    }
+    return dict(sorted(stats.items(),
+                       key=lambda item: -item[1]["total_s"]))
+
+
+class InMemoryRecorder(Recorder):
+    """The enabled recorder: aggregate in memory, forward to sinks.
+
+    Args:
+        sinks: objects with ``emit(event: dict)`` / ``close()`` (e.g.
+            :class:`~repro.telemetry.JsonlSink`); every span, counter
+            and gauge event is forwarded as it is recorded.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Iterable = ()) -> None:
+        """Start with empty aggregates and the given sinks."""
+        super().__init__()
+        self.spans: list[SpanRecord] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._sinks = list(sinks)
+
+    # -- recorder hooks --------------------------------------------------
+
+    def _on_span(self, record: SpanRecord) -> None:
+        """Keep the span and forward its trace event to every sink."""
+        self.spans.append(record)
+        if self._sinks:
+            self._emit(record.to_event())
+
+    def _on_count(self, name: str, value: float) -> None:
+        """Accumulate the counter and forward the increment event."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+        if self._sinks:
+            self._emit({"type": "counter", "name": name, "value": value})
+
+    def _on_gauge(self, name: str, value: float) -> None:
+        """Latest-wins gauge update, forwarded to every sink."""
+        self.gauges[name] = value
+        if self._sinks:
+            self._emit({"type": "gauge", "name": name, "value": value})
+
+    def _emit(self, event: dict) -> None:
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        """Close every attached sink (flushes JSONL trace files)."""
+        for sink in self._sinks:
+            sink.close()
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict[str, dict]:
+        """Count / total / p50 / p95 seconds per span name
+        (:func:`summarize_spans` over everything recorded so far)."""
+        return summarize_spans(self.spans)
+
+    def render_summary(self) -> str:
+        """The summary plus counters/gauges as an aligned text block."""
+        lines = ["telemetry summary"]
+        stats = self.summary()
+        if stats:
+            lines.append(f"  {'span':<24} {'count':>7} {'total':>10} "
+                         f"{'p50':>10} {'p95':>10}")
+            for name, row in stats.items():
+                lines.append(
+                    f"  {name:<24} {row['count']:>7d} "
+                    f"{row['total_s'] * 1e3:>8.1f}ms "
+                    f"{row['p50_s'] * 1e3:>8.2f}ms "
+                    f"{row['p95_s'] * 1e3:>8.2f}ms")
+        else:
+            lines.append("  (no spans recorded)")
+        for label, table in (("counter", self.counters),
+                             ("gauge", self.gauges)):
+            for name in sorted(table):
+                lines.append(f"  {label} {name} = {table[name]:g}")
+        return "\n".join(lines)
+
+    def write_jsonl(self, path: "str | Path") -> Path:
+        """Dump everything recorded so far as a JSONL trace file.
+
+        One JSON object per line: every span (in completion order),
+        then final counter totals and gauge values.  Equivalent to the
+        stream a live :class:`~repro.telemetry.JsonlSink` would have
+        captured, for recorders that aggregated first.
+        """
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for record in self.spans:
+                handle.write(json.dumps(record.to_event(),
+                                        sort_keys=True) + "\n")
+            for name in sorted(self.counters):
+                handle.write(json.dumps(
+                    {"type": "counter", "name": name,
+                     "value": self.counters[name]}, sort_keys=True) + "\n")
+            for name in sorted(self.gauges):
+                handle.write(json.dumps(
+                    {"type": "gauge", "name": name,
+                     "value": self.gauges[name]}, sort_keys=True) + "\n")
+        return target
+
+    def to_perfetto(self) -> dict:
+        """The recorded spans as a Chrome/Perfetto ``trace_event`` dict
+        (:func:`repro.telemetry.perfetto.perfetto_json`)."""
+        from repro.telemetry.perfetto import perfetto_json
+
+        return perfetto_json(self.spans)

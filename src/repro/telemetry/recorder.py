@@ -1,0 +1,292 @@
+"""The instrumentation primitives: spans, counters, and the active recorder.
+
+Everything the rest of the codebase touches to emit telemetry lives
+here, built around one invariant: **disabled telemetry is a strict
+no-op**.  The default process-local recorder is :data:`NULL_RECORDER`,
+whose ``span()`` hands back one shared, allocation-free context manager
+and whose ``count()``/``gauge()`` bodies are empty — and the hot paths
+(:func:`repro.engine.core.executor.execute`) additionally branch on
+:attr:`Recorder.enabled` so a disabled run never constructs a single
+telemetry object per chunk (gated by the overhead benchmark in
+``benchmarks/bench_core.py`` and the counting-stub test in
+``tests/telemetry/test_recorder.py``).
+
+Telemetry turns on either programmatically (:func:`set_recorder` with
+an :class:`~repro.telemetry.InMemoryRecorder`) or from the environment:
+``REPRO_TELEMETRY=1`` makes :func:`get_recorder` build an in-memory
+recorder on first use, and ``REPRO_TELEMETRY_TRACE=/path.jsonl``
+additionally streams every event to a JSONL trace sink
+(:mod:`repro.telemetry.sinks`).
+
+Span timestamps come from ``time.perf_counter`` — monotonic and
+comparable within one process, which is all a flame graph needs.  The
+wall-clock side of telemetry (campaign shard lifecycle) lives in the
+campaign store and is deliberately excluded from deterministic exports,
+exactly like ``elapsed_s``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Environment switch: a truthy value ("1", "true", "yes", "on")
+#: makes :func:`get_recorder` start an in-memory recorder.
+ENABLE_ENV = "REPRO_TELEMETRY"
+
+#: Environment knob: a JSONL file path; when telemetry is enabled the
+#: env-built recorder streams every event there as it is recorded.
+TRACE_ENV = "REPRO_TELEMETRY_TRACE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def telemetry_env_enabled(environ: Mapping[str, str] | None = None) -> bool:
+    """Whether the environment asks for telemetry (``REPRO_TELEMETRY``).
+
+    Args:
+        environ: mapping to consult (default ``os.environ``).
+
+    Returns:
+        True for the truthy spellings ``1``/``true``/``yes``/``on``
+        (case-insensitive); False for anything else, including unset.
+    """
+    if environ is None:
+        environ = os.environ
+    return environ.get(ENABLE_ENV, "").strip().lower() in _TRUTHY
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span: a named, timed stretch of work.
+
+    Attributes:
+        name: span name (dotted, e.g. ``core.run_chunk``).
+        start_s: ``time.perf_counter()`` at entry — monotonic,
+            process-local seconds; use deltas, never wall-clock.
+        duration_s: elapsed seconds between entry and exit.
+        depth: nesting depth at entry (0 for a root span).
+        error: exception class name if the span body raised, else None
+            (the exception itself always propagates).
+        attrs: caller-supplied key/value annotations.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    depth: int
+    error: str | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def to_event(self) -> dict:
+        """The span as a flat JSONL trace event dict."""
+        event = {"type": "span", "name": self.name, "ts_s": self.start_s,
+                 "dur_s": self.duration_s, "depth": self.depth}
+        if self.error is not None:
+            event["error"] = self.error
+        if self.attrs:
+            event["attrs"] = self.attrs
+        return event
+
+
+class _Span:
+    """Context manager timing one span on an enabled recorder.
+
+    Exception-safe by construction: ``__exit__`` records the span with
+    the exception's class name and returns False, so the error both
+    shows up in the trace and propagates to the caller unchanged.
+    """
+
+    __slots__ = ("_recorder", "_name", "_attrs", "_start", "_depth")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: dict):
+        self._recorder = recorder
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        """Start the clock and push one nesting level."""
+        self._depth = self._recorder._depth
+        self._recorder._depth = self._depth + 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Record the span (error-annotated if raising); never swallow."""
+        duration = time.perf_counter() - self._start
+        self._recorder._depth = self._depth
+        self._recorder._on_span(SpanRecord(
+            name=self._name, start_s=self._start, duration_s=duration,
+            depth=self._depth,
+            error=exc_type.__name__ if exc_type is not None else None,
+            attrs=self._attrs))
+        return False
+
+
+class _NullSpan:
+    """The shared no-op span: enter/exit do nothing, allocate nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        """No-op entry."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """No-op exit; exceptions propagate."""
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Base recorder: the three instrumentation verbs.
+
+    Subclasses override the ``_on_*`` hooks to aggregate or stream the
+    events; callers only ever use :meth:`span`, :meth:`count` and
+    :meth:`gauge` (or the module-level conveniences that dispatch to
+    the active recorder).
+
+    Attributes:
+        enabled: hot paths may branch on this once and skip
+            instrumentation entirely when False.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        """Initialize the nesting-depth counter."""
+        self._depth = 0
+
+    def span(self, name: str, **attrs: Any) -> "_Span | _NullSpan":
+        """A context manager timing ``name`` around its ``with`` body."""
+        return _Span(self, name, attrs)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the monotonic counter ``name``."""
+        self._on_count(name, float(value))
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest ``value``."""
+        self._on_gauge(name, float(value))
+
+    def record_span(self, record: SpanRecord) -> None:
+        """Feed an externally produced, already-completed span in.
+
+        The replay path: a campaign worker aggregates one shard's spans
+        in a private recorder, then replays them into the process-level
+        recorder (and through it, any attached trace sinks) once the
+        shard finishes.
+        """
+        self._on_span(record)
+
+    def close(self) -> None:
+        """Flush/close any attached sinks (default: nothing to do)."""
+
+    # -- subclass hooks ------------------------------------------------
+
+    def _on_span(self, record: SpanRecord) -> None:
+        """Receive one completed span (default: drop it)."""
+
+    def _on_count(self, name: str, value: float) -> None:
+        """Receive one counter increment (default: drop it)."""
+
+    def _on_gauge(self, name: str, value: float) -> None:
+        """Receive one gauge update (default: drop it)."""
+
+
+class NullRecorder(Recorder):
+    """The disabled recorder: every verb is a strict no-op.
+
+    ``span()`` returns one shared, slotted context manager, so even
+    code that does not branch on :attr:`enabled` pays no allocation
+    when telemetry is off.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        """The shared no-op span (no allocation, no timing)."""
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """No-op."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """No-op."""
+
+
+#: The process-wide disabled recorder (the default active recorder).
+NULL_RECORDER = NullRecorder()
+
+_ACTIVE: Recorder | None = None
+
+
+def recorder_from_env(environ: Mapping[str, str] | None = None) -> Recorder:
+    """Build the recorder the environment asks for.
+
+    ``REPRO_TELEMETRY`` truthy yields an
+    :class:`~repro.telemetry.InMemoryRecorder` (with a JSONL sink
+    attached when ``REPRO_TELEMETRY_TRACE`` names a path); anything
+    else yields :data:`NULL_RECORDER`.
+    """
+    if environ is None:
+        environ = os.environ
+    if not telemetry_env_enabled(environ):
+        return NULL_RECORDER
+    from repro.telemetry.aggregate import InMemoryRecorder
+    from repro.telemetry.sinks import JsonlSink
+
+    trace_path = environ.get(TRACE_ENV, "").strip()
+    sinks = (JsonlSink(trace_path),) if trace_path else ()
+    return InMemoryRecorder(sinks=sinks)
+
+
+def get_recorder() -> Recorder:
+    """The process-local active recorder.
+
+    Lazily initialized from the environment on first call
+    (:func:`recorder_from_env`); :data:`NULL_RECORDER` unless telemetry
+    was enabled.  Hot paths call this once per operation and branch on
+    :attr:`Recorder.enabled`.
+    """
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = recorder_from_env()
+    return _ACTIVE
+
+
+def set_recorder(recorder: Recorder | None) -> Recorder | None:
+    """Install ``recorder`` as the process-local active recorder.
+
+    Args:
+        recorder: the new active recorder, or None to fall back to
+            lazy re-initialization from the environment on the next
+            :func:`get_recorder` call.
+
+    Returns:
+        The previously active recorder (None if never initialized) —
+        hand it back to ``set_recorder`` to restore the prior state.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    return previous
+
+
+def span(name: str, **attrs: Any):
+    """Module-level convenience: a span on the active recorder."""
+    return get_recorder().span(name, **attrs)
+
+
+def count(name: str, value: float = 1.0) -> None:
+    """Module-level convenience: a counter add on the active recorder."""
+    get_recorder().count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Module-level convenience: a gauge set on the active recorder."""
+    get_recorder().gauge(name, value)

@@ -116,6 +116,89 @@ class TestRun:
             main([])
 
 
+class TestTelemetryFlags:
+    def test_run_with_telemetry_prints_span_summary(self, capsys,
+                                                    scenario_file):
+        assert main(["run", str(scenario_file), "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "core.execute" in out
+
+    def test_run_without_telemetry_prints_no_summary(self, capsys,
+                                                     scenario_file):
+        assert main(["run", str(scenario_file)]) == 0
+        assert "telemetry summary" not in capsys.readouterr().out
+
+    def test_trace_out_writes_loadable_jsonl(self, capsys, tmp_path,
+                                             scenario_file):
+        from repro.telemetry import read_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", str(scenario_file),
+                     "--trace-out", str(trace)]) == 0
+        events = read_jsonl(trace)
+        assert any(e["type"] == "span" and e["name"] == "core.execute"
+                   for e in events)
+        assert any(e["type"] == "counter" for e in events)
+
+    def test_perfetto_out_writes_loadable_trace(self, capsys, tmp_path,
+                                                scenario_file):
+        trace = tmp_path / "trace.json"
+        assert main(["run", str(scenario_file),
+                     "--perfetto-out", str(trace)]) == 0
+        loaded = json.loads(trace.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in loaded["traceEvents"])
+
+    def test_telemetry_flags_do_not_change_results(self, capsys,
+                                                   tmp_path,
+                                                   scenario_file):
+        plain = tmp_path / "plain.json"
+        instrumented = tmp_path / "instrumented.json"
+        main(["run", str(scenario_file), "--out", str(plain)])
+        main(["run", str(scenario_file), "--telemetry",
+              "--out", str(instrumented)])
+        assert json.loads(plain.read_text()) \
+            == json.loads(instrumented.read_text())
+
+
+class TestLoggingFlags:
+    def teardown_method(self):
+        import logging
+
+        root = logging.getLogger("repro")
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+
+    def test_verbose_flag_sets_info_level(self, capsys, scenario_file):
+        import logging
+
+        assert main(["-v", "run", str(scenario_file)]) == 0
+        assert logging.getLogger("repro").level == logging.INFO
+
+    def test_double_verbose_sets_debug_level(self, capsys,
+                                             scenario_file):
+        import logging
+
+        assert main(["-vv", "run", str(scenario_file)]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_log_level_flag_wins_over_verbosity(self, capsys,
+                                                scenario_file):
+        import logging
+
+        assert main(["--log-level", "error", "-vv",
+                     "run", str(scenario_file)]) == 0
+        assert logging.getLogger("repro").level == logging.ERROR
+
+    def test_default_level_is_warning(self, capsys, scenario_file):
+        import logging
+
+        assert main(["run", str(scenario_file)]) == 0
+        assert logging.getLogger("repro").level == logging.WARNING
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro_wires_to_the_cli(self):
         import repro.__main__ as entry

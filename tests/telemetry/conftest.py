@@ -1,0 +1,20 @@
+"""Telemetry test fixtures: an installed recorder that always restores.
+
+The active recorder is process-global state, so every test that
+enables telemetry must restore whatever was active before it — the
+fixture owns that contract so no failing assertion can leak an enabled
+recorder into unrelated tests.
+"""
+
+import pytest
+
+from repro.telemetry import InMemoryRecorder, set_recorder
+
+
+@pytest.fixture()
+def recorder():
+    """An installed InMemoryRecorder, uninstalled on teardown."""
+    active = InMemoryRecorder()
+    previous = set_recorder(active)
+    yield active
+    set_recorder(previous)

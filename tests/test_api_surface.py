@@ -19,7 +19,7 @@ SUBPACKAGES = [
     "analytes", "bio", "campaigns", "chem", "classification", "core",
     "electrodes", "engine", "enzymes", "experiments", "inference",
     "instrument", "nano", "pk", "scenarios", "signal", "system",
-    "techniques", "therapy", "transducers",
+    "techniques", "telemetry", "therapy", "transducers",
 ]
 
 
@@ -79,10 +79,13 @@ class TestDocstrings:
         "repro.scenarios.runner", "repro.scenarios.cli",
         "repro.campaigns", "repro.campaigns.spec",
         "repro.campaigns.store", "repro.campaigns.runner",
-        "repro.campaigns.cli",
+        "repro.campaigns.cli", "repro.campaigns.report",
         "repro.inference", "repro.inference.observation",
         "repro.inference.kalman", "repro.inference.fusion",
         "repro.inference.evaluate",
+        "repro.telemetry", "repro.telemetry.recorder",
+        "repro.telemetry.aggregate", "repro.telemetry.sinks",
+        "repro.telemetry.perfetto",
     ])
     def test_engine_modules_documented(self, module_name):
         """The engine is the documented flagship: every module, public

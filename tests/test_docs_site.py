@@ -67,10 +67,15 @@ class TestSiteSkeleton:
                          "repro.campaigns.store",
                          "repro.campaigns.runner",
                          "repro.campaigns.cli",
+                         "repro.campaigns.report",
                          "repro.inference", "repro.inference.kalman",
                          "repro.inference.observation",
                          "repro.inference.fusion",
                          "repro.inference.evaluate",
+                         "repro.telemetry", "repro.telemetry.recorder",
+                         "repro.telemetry.aggregate",
+                         "repro.telemetry.sinks",
+                         "repro.telemetry.perfetto",
                          "repro.core", "repro.instrument"):
             assert required in identifiers, f"no API page renders {required}"
 
