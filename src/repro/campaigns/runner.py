@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import logging
 import os
+import random
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -45,6 +46,14 @@ from repro.campaigns.store import ArtifactStore
 #: it to guarantee the SIGKILL lands mid-campaign — and is harmless
 #: (default 0) in production runs.
 THROTTLE_ENV = "REPRO_CAMPAIGN_THROTTLE_S"
+
+#: Environment knob: base delay [s] of the shard-retry exponential
+#: backoff (round ``r`` waits ``base * 2**(r-1)`` +- 50 % jitter).
+#: Tests set it to 0 so retry rounds run immediately.
+RETRY_BASE_ENV = "REPRO_CAMPAIGN_RETRY_BASE_S"
+
+#: Default retry-backoff base delay [s] when the env knob is unset.
+DEFAULT_RETRY_BASE_S = 0.5
 
 #: Worker-path logger under the single ``repro`` root (wired to the
 #: console by the CLI's ``--log-level`` / ``-v`` flags) — never bare
@@ -189,39 +198,77 @@ def execute_shard(store_path: "str | Path",
     return shard_index, "done"
 
 
+def _dispatch(store_path: Path, indices: "tuple[int, ...]",
+              workers: int) -> None:
+    """Fan one batch of shard indices across the workers."""
+    if workers == 1 or len(indices) <= 1:
+        for index in indices:
+            execute_shard(store_path, index)
+        return
+    # fork (where available) shares the already-imported numpy/scipy
+    # stack with the workers instead of re-importing it per process;
+    # the parent's store connections are all closed by this point,
+    # so no SQLite handle crosses the fork.
+    context = (get_context("fork")
+               if "fork" in get_all_start_methods() else None)
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=context) as pool:
+        futures = [pool.submit(execute_shard, str(store_path), index)
+                   for index in indices]
+        for future in as_completed(futures):
+            future.result()  # surface worker infrastructure errors
+
+
+def _retry_backoff_s(round_index: int) -> float:
+    """Jittered exponential backoff before retry round ``round_index``.
+
+    ``base * 2**(round_index - 1)`` scaled by a uniform factor in
+    [0.5, 1.5) — the jitter decorrelates retry storms when several
+    campaigns share a host.  The base comes from
+    :data:`RETRY_BASE_ENV` (tests set it to 0 for immediate retries).
+    """
+    base = float(os.environ.get(RETRY_BASE_ENV, "") or
+                 DEFAULT_RETRY_BASE_S)
+    return base * 2.0 ** (round_index - 1) * random.uniform(0.5, 1.5)
+
+
 def _drive(store_path: Path, workers: int) -> CampaignReport:
-    """Run every pending shard, then assemble the report."""
+    """Run every pending shard (retrying failures), assemble the report."""
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     with ArtifactStore.open(store_path) as store:
         indices = store.pending_indices()
         name = store.spec.name
+        max_retries = store.spec.max_retries
         n_shards = store.n_shards()
     _LOG.info("campaign %r: driving %d pending of %d shards on %d "
               "worker(s)", name, len(indices), n_shards, workers)
     start = time.perf_counter()
-    if workers == 1 or len(indices) <= 1:
-        for index in indices:
-            execute_shard(store_path, index)
-    else:
-        # fork (where available) shares the already-imported numpy/scipy
-        # stack with the workers instead of re-importing it per process;
-        # the parent's store connections are all closed by this point,
-        # so no SQLite handle crosses the fork.
-        context = (get_context("fork")
-                   if "fork" in get_all_start_methods() else None)
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as pool:
-            futures = [pool.submit(execute_shard, str(store_path), index)
-                       for index in indices]
-            for future in as_completed(futures):
-                future.result()  # surface worker infrastructure errors
+    _dispatch(store_path, indices, workers)
+    n_executed = len(indices)
+    for round_index in range(1, max_retries + 1):
+        with ArtifactStore.open(store_path) as store:
+            failed = store.failed_indices()
+        if not failed:
+            break
+        backoff = _retry_backoff_s(round_index)
+        _LOG.warning(
+            "campaign %r: retry %d/%d re-queues %d failed shard(s) "
+            "after %.2f s backoff", name, round_index, max_retries,
+            len(failed), backoff)
+        if backoff > 0.0:
+            time.sleep(backoff)
+        with ArtifactStore.open(store_path) as store:
+            store.reset_failed(failed, retry=round_index,
+                               backoff_s=backoff)
+        _dispatch(store_path, failed, workers)
+        n_executed += len(failed)
     elapsed = time.perf_counter() - start
     with ArtifactStore.open(store_path) as store:
         counts = store.counts()
     return CampaignReport(
         name=name, store_path=Path(store_path), workers=workers,
-        n_shards=n_shards, n_executed=len(indices), counts=counts,
+        n_shards=n_shards, n_executed=n_executed, counts=counts,
         elapsed_s=elapsed)
 
 

@@ -46,7 +46,8 @@ SCHEMA_VERSION = 1
 
 #: Keys a serialized campaign envelope may carry.
 _ENVELOPE_KEYS = frozenset(
-    {"schema_version", "name", "description", "seed", "n_shards", "base"})
+    {"schema_version", "name", "description", "seed", "n_shards", "base",
+     "max_retries"})
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,12 @@ class CampaignSpec:
             campaign exists to be resumed and replayed, so an entropy
             root would defeat its purpose.
         description: free-text note carried through serialization.
+        max_retries: times a failed shard is re-queued (with jittered
+            exponential backoff) before the campaign gives up on it;
+            0 — the default — fails fast.  Retries only re-run shards
+            whose execution *raised*; a shard's result is seed-
+            deterministic, so retrying is only useful against
+            environmental failures (OOM kills, transient I/O).
     """
 
     name: str
@@ -72,6 +79,7 @@ class CampaignSpec:
     n_shards: int
     seed: int
     description: str = ""
+    max_retries: int = 0
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -93,6 +101,11 @@ class CampaignSpec:
                 or self.seed < 0:
             raise ValueError(
                 f"seed must be an int >= 0, got {self.seed!r}")
+        if isinstance(self.max_retries, bool) or not isinstance(
+                self.max_retries, int) or self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be an int >= 0, "
+                f"got {self.max_retries!r}")
 
     def shard_seeds(self) -> tuple[int, ...]:
         """The per-shard seeds, spawned position-stable from ``seed``.
@@ -147,6 +160,7 @@ class CampaignSpec:
             "description": self.description,
             "seed": self.seed,
             "n_shards": self.n_shards,
+            "max_retries": self.max_retries,
             "base": self.base.to_dict(),
         }
 
@@ -180,6 +194,7 @@ class CampaignSpec:
             n_shards=data["n_shards"],
             seed=data["seed"],
             description=data.get("description", ""),
+            max_retries=data.get("max_retries", 0),
         )
 
     def to_json(self, indent: int = 2) -> str:

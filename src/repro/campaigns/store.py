@@ -274,6 +274,12 @@ class ArtifactStore:
             "SELECT shard_index FROM shards WHERE status = 'pending' "
             "ORDER BY shard_index"))
 
+    def failed_indices(self) -> tuple[int, ...]:
+        """Indices whose execution raised (status ``failed``), ascending."""
+        return tuple(row["shard_index"] for row in self._conn.execute(
+            "SELECT shard_index FROM shards WHERE status = 'failed' "
+            "ORDER BY shard_index"))
+
     def mark_running(self, index: int) -> None:
         """Transition shard ``index`` to ``running``."""
         with self._conn:
@@ -330,6 +336,35 @@ class ArtifactStore:
                 "VALUES (?, 'queued', ?)",
                 [(index, requeued_at) for index in interrupted])
             return len(interrupted)
+
+    def reset_failed(self, indices: "tuple[int, ...] | list[int]",
+                     retry: int, backoff_s: float) -> int:
+        """Re-queue failed shards for retry round ``retry``.
+
+        Flips each listed ``failed`` row back to ``pending`` (clearing
+        its error) and records a ``queued`` telemetry event carrying
+        the retry round and the backoff that preceded it — the audit
+        trail ``campaign report`` and the retry tests read.  Returns
+        the number of rows re-queued.
+        """
+        requeued = 0
+        with self._conn:
+            requeued_at = time.time()
+            for index in indices:
+                cursor = self._conn.execute(
+                    "UPDATE shards SET status = 'pending', "
+                    "error = NULL WHERE shard_index = ? "
+                    "AND status = 'failed'", (index,))
+                if cursor.rowcount:
+                    requeued += 1
+                    self._conn.execute(
+                        "INSERT INTO telemetry "
+                        "(shard_index, event, wall_s, payload) "
+                        "VALUES (?, 'queued', ?, ?)",
+                        (index, requeued_at, json.dumps(
+                            {"retry": retry, "backoff_s": backoff_s},
+                            sort_keys=True)))
+        return requeued
 
     # -- telemetry -----------------------------------------------------
 

@@ -56,6 +56,17 @@ from repro.engine.core.registry import (
     run_scalar,
     run_workload,
 )
+from repro.engine.core.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    decode_array,
+    decode_rng,
+    encode_array,
+    encode_rng,
+    load_snapshot,
+    require_snapshot,
+    save_snapshot,
+    snapshot_envelope,
+)
 
 __all__ = [
     "Check",
@@ -63,18 +74,27 @@ __all__ = [
     "ExecutionPlan",
     "KernelSet",
     "PlanBase",
+    "SNAPSHOT_SCHEMA_VERSION",
     "Segment",
     "assert_fields_match",
     "best_of",
     "check_chunk_invariance",
     "check_deterministic_replay",
     "check_scalar_equivalence",
+    "decode_array",
+    "decode_rng",
+    "encode_array",
+    "encode_rng",
     "execute",
     "floor_from_env",
     "kernels_for",
+    "load_snapshot",
     "measure_speedup",
     "register_kernels",
     "registered_workloads",
+    "require_snapshot",
+    "save_snapshot",
+    "snapshot_envelope",
     "require_at_least",
     "require_in_open_unit_interval",
     "require_non_empty",

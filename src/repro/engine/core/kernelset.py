@@ -19,6 +19,14 @@ and registering one instance.  The subclass supplies three surfaces:
   invariance, scalar equivalence, and deterministic replay for every
   registered workload from one parametrized test, with each field's
   tolerance declared as a :class:`Check`.
+
+* **Snapshot** (optional) — a kernel set that declares
+  ``snapshot_version`` additionally supports incremental execution:
+  ``export_state`` serializes the carry state at sample *k* as a
+  schema-versioned snapshot (:mod:`repro.engine.core.snapshot` wire
+  format), ``restore_state`` rebuilds it, and ``stream_update`` yields
+  the incremental per-chunk outputs a live consumer (a
+  :class:`repro.serve.StreamSession`) reads as readings arrive.
 """
 
 from __future__ import annotations
@@ -59,12 +67,17 @@ class KernelSet(abc.ABC):
             shared harness writes (``BENCH_<bench_record>.json``).
         floor_env: environment variable holding this workload's
             speedup floor (read by the shared bench harness).
+        snapshot_version: version stamp of this kernel set's snapshot
+            content (``None`` — the default — means the workload does
+            not support suspend/resume; see the snapshot surface
+            below).
     """
 
     name: ClassVar[str]
     plan_type: ClassVar[type]
     bench_record: ClassVar[str]
     floor_env: ClassVar[str]
+    snapshot_version: ClassVar["int | None"] = None
 
     # -- execution surface -------------------------------------------------
 
@@ -90,6 +103,51 @@ class KernelSet(abc.ABC):
     @abc.abstractmethod
     def finalize(self, plan, state):
         """Assemble the workload's result object from the carry state."""
+
+    # -- snapshot surface --------------------------------------------------
+
+    def export_state(self, plan, state, cursor: int) -> dict:
+        """Serialize the carry state after ``cursor`` completed samples.
+
+        Returns a schema-versioned, JSON-serializable snapshot dict
+        (see :mod:`repro.engine.core.snapshot` for the wire format and
+        the envelope helpers).  Restoring it with :meth:`restore_state`
+        and finishing the run must reproduce the uninterrupted result
+        bit-identically (<= 1e-9, property-tested in
+        ``tests/serve/test_snapshot_property.py``).  Only kernel sets
+        declaring ``snapshot_version`` implement this.
+        """
+        raise NotImplementedError(
+            f"{self.name} kernels do not support state snapshots "
+            f"(snapshot_version is None)")
+
+    def restore_state(self, plan, snapshot) -> "tuple[Any, int]":
+        """Rebuild ``(state, cursor)`` from an :meth:`export_state` dict.
+
+        The returned state must be indistinguishable from one that ran
+        ``[0, cursor)`` in-process: generator streams repositioned,
+        accumulators and live calibration restored, trace prefixes
+        filled.  Raises ``ValueError`` for snapshots of another
+        workload, schema or plan shape.
+        """
+        raise NotImplementedError(
+            f"{self.name} kernels do not support state snapshots "
+            f"(snapshot_version is None)")
+
+    def stream_update(self, plan, state, start: int, stop: int) -> dict:
+        """Incremental outputs of the chunk that just ran.
+
+        Called by a :class:`repro.serve.StreamSession` immediately
+        after ``run_chunk(plan, state, segment, start, stop)`` with the
+        same bounds; returns ``{field: (n_channels, stop - start)
+        array}`` of the per-sample quantities a live consumer wants
+        (filtered estimates, measured currents, truth where the
+        simulator knows it).  Only kernel sets declaring
+        ``snapshot_version`` implement this.
+        """
+        raise NotImplementedError(
+            f"{self.name} kernels do not support streaming "
+            f"(snapshot_version is None)")
 
     # -- telemetry surface -------------------------------------------------
 

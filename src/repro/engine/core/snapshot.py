@@ -1,0 +1,249 @@
+"""State snapshots: suspend a run at sample *k*, serialize, resume.
+
+The incremental-execution half of the serving subsystem
+(:mod:`repro.serve`) rests on one contract: a kernel set that declares
+``snapshot_version`` can export its carry state as a *snapshot* — a
+schema-versioned, JSON-serializable dict — and rebuild an equivalent
+state from it later, in another process, on another machine.  This
+module owns the snapshot wire format; the per-workload content lives on
+the kernel sets themselves
+(:meth:`~repro.engine.core.kernelset.KernelSet.export_state` /
+:meth:`~repro.engine.core.kernelset.KernelSet.restore_state`).
+
+Wire format:
+
+* NumPy arrays travel as ``{"__ndarray__": true, "dtype", "shape",
+  "data"}`` mappings (:func:`encode_array` / :func:`decode_array`).
+  ``float64`` survives the JSON round trip exactly — Python serializes
+  floats as shortest-round-trip ``repr`` — so a restored run is
+  bit-identical, not merely close.
+* Generator streams travel as their ``bit_generator`` state dict
+  (:func:`encode_rng` / :func:`decode_rng`), which NumPy defines to be
+  JSON-safe (plain ints and strings) and settable.
+* The envelope carries ``schema_version`` (this module's
+  :data:`SNAPSHOT_SCHEMA_VERSION`), the ``workload`` name, the kernel
+  set's own ``snapshot_version`` and the suspension ``cursor``
+  (samples completed); :func:`require_snapshot` validates all four.
+
+:func:`save_snapshot` / :func:`load_snapshot` put snapshots on disk as
+``.json`` (human-readable, exact) or ``.npz`` (arrays stored natively —
+compact for large cursors).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+#: Version stamp of the snapshot envelope and array/rng wire format.
+#: Bump when the envelope changes shape; :func:`require_snapshot`
+#: rejects versions it does not understand instead of misreading them.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Envelope keys every snapshot must carry (validated by
+#: :func:`require_snapshot`).
+ENVELOPE_KEYS = ("schema_version", "workload", "snapshot_version",
+                 "cursor")
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """Encode one array as a JSON-safe mapping.
+
+    Args:
+        array: any numeric NumPy array (or something ``np.asarray``
+            accepts).
+
+    Returns:
+        ``{"__ndarray__": True, "dtype", "shape", "data"}`` with the
+        values flattened to a plain list.  ``float64`` values survive
+        the JSON round trip exactly.
+    """
+    array = np.asarray(array)
+    return {
+        "__ndarray__": True,
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data": array.ravel().tolist(),
+    }
+
+
+def decode_array(data: Mapping[str, Any]) -> np.ndarray:
+    """Rebuild an array from :func:`encode_array` output."""
+    if not (isinstance(data, Mapping) and data.get("__ndarray__")):
+        raise ValueError(
+            f"not an encoded array: {type(data).__name__}")
+    return np.asarray(data["data"],
+                      dtype=np.dtype(data["dtype"])).reshape(
+                          tuple(data["shape"]))
+
+
+def encode_rng(generator: np.random.Generator) -> dict:
+    """Encode a generator's position as its bit-generator state dict.
+
+    The returned mapping is exactly
+    ``generator.bit_generator.state`` — NumPy defines it to be a plain,
+    JSON-safe dict (the bit-generator name plus integer state words),
+    and assigning it back advances a fresh generator to the identical
+    stream position.
+    """
+    return dict(generator.bit_generator.state)
+
+
+def decode_rng(state: Mapping[str, Any]) -> np.random.Generator:
+    """Rebuild a generator at the position :func:`encode_rng` captured.
+
+    Raises:
+        ValueError: unknown bit-generator name (a snapshot from a NumPy
+            build this one does not have).
+    """
+    name = state.get("bit_generator")
+    try:
+        bit_generator = getattr(np.random, name)()
+    except (TypeError, AttributeError):
+        raise ValueError(
+            f"unknown bit generator {name!r} in rng snapshot") from None
+    bit_generator.state = dict(state)
+    return np.random.Generator(bit_generator)
+
+
+def snapshot_envelope(workload: str, snapshot_version: int,
+                      cursor: int) -> dict:
+    """The common envelope every kernel-set snapshot starts from.
+
+    Args:
+        workload: registry name of the exporting kernel set.
+        snapshot_version: the kernel set's declared
+            ``snapshot_version``.
+        cursor: samples completed at suspension time.
+
+    Returns:
+        A dict carrying :data:`ENVELOPE_KEYS`; the kernel set adds its
+        state fields next to them.
+    """
+    return {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "workload": workload,
+        "snapshot_version": int(snapshot_version),
+        "cursor": int(cursor),
+    }
+
+
+def require_snapshot(snapshot: Mapping[str, Any], workload: str,
+                     snapshot_version: int, n_samples: int) -> int:
+    """Validate a snapshot envelope and return its cursor.
+
+    Args:
+        snapshot: the mapping to validate.
+        workload: the restoring kernel set's registry name.
+        snapshot_version: the restoring kernel set's declared version.
+        n_samples: the restoring plan's sample-axis length (the cursor
+            must lie in ``[0, n_samples]``).
+
+    Raises:
+        ValueError: missing envelope keys, a schema or workload or
+            version mismatch, or an out-of-range cursor — each named
+            explicitly so a stale snapshot fails loudly.
+    """
+    if not isinstance(snapshot, Mapping):
+        raise ValueError(
+            f"snapshot must be a mapping, got {type(snapshot).__name__}")
+    missing = [key for key in ENVELOPE_KEYS if key not in snapshot]
+    if missing:
+        raise ValueError(f"snapshot is missing {missing}")
+    if snapshot["schema_version"] != SNAPSHOT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported snapshot schema_version "
+            f"{snapshot['schema_version']!r} (this build reads version "
+            f"{SNAPSHOT_SCHEMA_VERSION})")
+    if snapshot["workload"] != workload:
+        raise ValueError(
+            f"snapshot belongs to workload {snapshot['workload']!r}, "
+            f"not {workload!r}")
+    if snapshot["snapshot_version"] != snapshot_version:
+        raise ValueError(
+            f"unsupported {workload} snapshot_version "
+            f"{snapshot['snapshot_version']!r} (this build reads "
+            f"version {snapshot_version})")
+    cursor = snapshot["cursor"]
+    if not isinstance(cursor, int) or not 0 <= cursor <= n_samples:
+        raise ValueError(
+            f"snapshot cursor {cursor!r} outside [0, {n_samples}]")
+    return cursor
+
+
+def _extract_arrays(node: Any, arrays: dict, prefix: str) -> Any:
+    """Replace encoded arrays with ``{"__npz__": key}`` placeholders."""
+    if isinstance(node, Mapping):
+        if node.get("__ndarray__"):
+            key = f"arr_{len(arrays)}"
+            arrays[key] = decode_array(node)
+            return {"__npz__": key}
+        return {key: _extract_arrays(value, arrays, f"{prefix}.{key}")
+                for key, value in node.items()}
+    if isinstance(node, list):
+        return [_extract_arrays(item, arrays, f"{prefix}[{i}]")
+                for i, item in enumerate(node)]
+    return node
+
+
+def _restore_arrays(node: Any, arrays: Mapping[str, np.ndarray]) -> Any:
+    """Inverse of :func:`_extract_arrays`: placeholders back to arrays."""
+    if isinstance(node, Mapping):
+        if "__npz__" in node:
+            return encode_array(arrays[node["__npz__"]])
+        return {key: _restore_arrays(value, arrays)
+                for key, value in node.items()}
+    if isinstance(node, list):
+        return [_restore_arrays(item, arrays) for item in node]
+    return node
+
+
+def save_snapshot(snapshot: Mapping[str, Any],
+                  path: "str | Path") -> Path:
+    """Write a snapshot to disk and return the path.
+
+    ``.json`` targets get the snapshot verbatim (exact float64 round
+    trip, human-readable).  ``.npz`` targets store every encoded array
+    natively (binary, compact) next to a JSON skeleton — the format for
+    week-long cursors where a list-of-floats JSON would be bulky.
+
+    Args:
+        snapshot: a kernel set's ``export_state`` output.
+        path: target file; the suffix selects the format.
+    """
+    target = Path(path)
+    if target.suffix == ".npz":
+        arrays: dict[str, np.ndarray] = {}
+        skeleton = _extract_arrays(dict(snapshot), arrays, "snapshot")
+        buffer = io.BytesIO()
+        np.savez(buffer, __snapshot__=np.frombuffer(
+            json.dumps(skeleton, sort_keys=True).encode(),
+            dtype=np.uint8), **arrays)
+        target.write_bytes(buffer.getvalue())
+    else:
+        target.write_text(json.dumps(snapshot, indent=2,
+                                     sort_keys=True) + "\n")
+    return target
+
+
+def load_snapshot(path: "str | Path") -> dict:
+    """Read a snapshot written by :func:`save_snapshot`.
+
+    Returns:
+        The snapshot dict, with ``.npz`` arrays re-encoded into the
+        JSON-safe :func:`encode_array` form so both formats restore
+        through one code path.
+    """
+    source = Path(path)
+    if source.suffix == ".npz":
+        with np.load(source) as archive:
+            skeleton = json.loads(
+                archive["__snapshot__"].tobytes().decode())
+            arrays = {key: archive[key] for key in archive.files
+                      if key != "__snapshot__"}
+        return _restore_arrays(skeleton, arrays)
+    return json.loads(source.read_text())

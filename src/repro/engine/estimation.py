@@ -38,13 +38,21 @@ from repro.engine.core import (
     Check,
     KernelSet,
     PlanBase,
+    decode_array,
+    encode_array,
     execute,
     register_kernels,
+    require_snapshot,
     single_segment,
+    snapshot_envelope,
 )
 from repro.engine.monitor import (
+    MONITOR_KERNELS,
     MonitorPlan,
     MonitorResult,
+    _finalize_monitor,
+    _init_monitor_state,
+    _monitor_chunk,
     glucose_cohort,
     run_monitor,
 )
@@ -56,6 +64,8 @@ from repro.inference.evaluate import (
     reconstruction_rmse,
 )
 from repro.inference.kalman import (
+    KalmanState,
+    KalmanTrace,
     kalman_filter_batch,
     kalman_filter_scalar,
     rts_smoother_batch,
@@ -443,51 +453,153 @@ def _run_estimation_scalar(plan: EstimationPlan) -> EstimationResult:
     return _assemble(plan, monitor_result, model, trace, smoothed)
 
 
+#: Forward-pass trace fields carried chunk to chunk (and snapshotted).
+_TRACE_FIELDS = ("m1", "m2", "p11", "p12", "p22",
+                 "pm1", "pm2", "pp11", "pp12", "pp22")
+
+
 class EstimationKernels(KernelSet):
     """The estimation workload as a kernel set on the execution core.
 
-    The Kalman recursion is inherently sequential, so the execution
-    plan is a single segment processed in one chunk spanning the whole
-    sample axis; what *is* chunked is the wear simulation feeding it
-    (the wrapped monitor plan's own chunking), which is also the knob
-    the chunk-invariance contract turns.
+    The wear simulation and the Kalman filter advance *together*, chunk
+    by chunk: each chunk runs the wrapped monitor's physics over
+    ``[start, stop)``, inverts the freshly digitized currents through
+    the observation model, and carries the filtered belief
+    (:meth:`KalmanState.from_trace`) into the next chunk — bit-identical
+    to one uninterrupted pass, which is what makes the workload
+    suspendable (``export_state`` / ``restore_state``) and streamable
+    (:class:`repro.serve.StreamSession`).  The smoother, inherently
+    offline, runs once in ``finalize`` over the full forward trace.
     """
 
     name = "estimation"
     plan_type = EstimationPlan
     bench_record = "inference"
     floor_env = "INFERENCE_SPEEDUP_FLOOR"
+    snapshot_version = 1
 
     def compile(self, plan: EstimationPlan):
-        """One segment, one chunk: the filter runs the full horizon."""
+        """One segment chunked like the wrapped wear simulation."""
         return single_segment(self.name, plan.n_channels,
-                              plan.n_samples, plan.n_samples)
+                              plan.n_samples,
+                              plan.monitor.chunk_samples)
 
     def init_state(self, plan: EstimationPlan) -> SimpleNamespace:
-        """Run the wear simulation and derive the observation model."""
-        monitor_result = run_monitor(plan.monitor)
-        model, r = _observation_inputs(plan, monitor_result)
-        return SimpleNamespace(monitor_result=monitor_result,
-                               model=model, r=r, trace=None,
-                               smoothed=None)
+        """Monitor carry state, observation model, and filter carry."""
+        n, t = plan.n_channels, plan.n_samples
+        return SimpleNamespace(
+            monitor=_init_monitor_state(plan.monitor),
+            model=monitor_observation_model(plan.monitor),
+            sensors=[channel.sensor
+                     for channel in plan.monitor.channels],
+            trace=KalmanTrace(*(np.empty((n, t)) for _ in range(10))),
+            carry=KalmanState.zeros(n),
+        )
 
     def run_chunk(self, plan: EstimationPlan, state, segment,
                   start: int, stop: int) -> None:
-        """Filter (and optionally smooth) the cohort's currents."""
+        """Simulate and filter the cohort over samples ``[start, stop)``.
+
+        Rail-saturated readings carry no amplitude information: they
+        are censored per chunk (infinite variance -> pure prediction),
+        sample for sample the same mask the batch path applies.
+        """
+        _monitor_chunk(plan.monitor, state.monitor, start, stop)
         model = state.model
-        state.trace = kalman_filter_batch(
-            state.monitor_result.measured_current_a[:, start:stop],
-            model.gain_a_per_molar, model.offset_a,
-            state.r[:, start:stop], model.a_signal, model.q_signal,
-            model.a_wander, model.q_wander)
-        if plan.smooth:
-            state.smoothed = rts_smoother_batch(
-                state.trace, model.a_signal, model.a_wander)
+        measured = state.monitor.last_update["measured_current_a"]
+        censored = rail_censored_mask(state.sensors, measured)
+        r_chunk = np.where(censored, np.inf,
+                           model.measurement_variance_a2[:, None])
+        chunk = kalman_filter_batch(
+            measured, model.gain_a_per_molar[:, start:stop],
+            model.offset_a[:, start:stop], r_chunk,
+            model.a_signal, model.q_signal,
+            model.a_wander, model.q_wander, initial=state.carry)
+        for name in _TRACE_FIELDS:
+            getattr(state.trace, name)[:, start:stop] = getattr(chunk,
+                                                               name)
+        state.carry = KalmanState.from_trace(chunk)
 
     def finalize(self, plan: EstimationPlan, state) -> EstimationResult:
-        """Score the traces into the :class:`EstimationResult`."""
-        return _assemble(plan, state.monitor_result, state.model,
-                         state.trace, state.smoothed)
+        """Smooth (optionally) and score the :class:`EstimationResult`."""
+        monitor_result = _finalize_monitor(plan.monitor, state.monitor)
+        smoothed = (rts_smoother_batch(state.trace, state.model.a_signal,
+                                       state.model.a_wander)
+                    if plan.smooth else None)
+        return _assemble(plan, monitor_result, state.model,
+                         state.trace, smoothed)
+
+    def export_state(self, plan: EstimationPlan, state,
+                     cursor: int) -> dict:
+        """Serialize the estimation carry state after ``cursor`` samples.
+
+        Nests the wrapped monitor's own snapshot, the filtered belief
+        entering the next sample, and the forward-trace prefixes
+        ``[:, :cursor]`` (the smoother needs the full forward pass, so
+        an estimation snapshot grows with the cursor — unlike a
+        trace-free monitor snapshot).
+        """
+        snapshot = snapshot_envelope(self.name, self.snapshot_version,
+                                     cursor)
+        snapshot.update({
+            "n_channels": plan.n_channels,
+            "monitor": MONITOR_KERNELS.export_state(
+                plan.monitor, state.monitor, cursor),
+            "kalman": {name: encode_array(getattr(state.carry, name))
+                       for name in ("m1", "m2", "p11", "p12", "p22")},
+            "trace": {name: encode_array(
+                getattr(state.trace, name)[:, :cursor])
+                for name in _TRACE_FIELDS},
+        })
+        return snapshot
+
+    def restore_state(self, plan: EstimationPlan, snapshot):
+        """Rebuild ``(state, cursor)`` from an exported snapshot.
+
+        Restores the wrapped monitor's carry state through its own
+        kernel set, recomputes the observation model from the plan
+        (snapshots never store derived physics), and refills the
+        forward-trace prefixes and filtered belief.
+        """
+        cursor = require_snapshot(snapshot, self.name,
+                                  self.snapshot_version, plan.n_samples)
+        if snapshot["n_channels"] != plan.n_channels:
+            raise ValueError(
+                f"snapshot holds {snapshot['n_channels']} channels, "
+                f"plan has {plan.n_channels}")
+        state = self.init_state(plan)
+        monitor_state, monitor_cursor = MONITOR_KERNELS.restore_state(
+            plan.monitor, snapshot["monitor"])
+        if monitor_cursor != cursor:
+            raise ValueError(
+                f"nested monitor snapshot is at sample {monitor_cursor},"
+                f" estimation snapshot at {cursor}")
+        state.monitor = monitor_state
+        state.carry = KalmanState(
+            *(decode_array(snapshot["kalman"][name])
+              for name in ("m1", "m2", "p11", "p12", "p22")))
+        for name in _TRACE_FIELDS:
+            getattr(state.trace, name)[:, :cursor] = decode_array(
+                snapshot["trace"][name])
+        return state, cursor
+
+    def stream_update(self, plan: EstimationPlan, state, start: int,
+                      stop: int) -> dict:
+        """The chunk that just ran, as incremental per-sample outputs.
+
+        The monitor's truth / measurement block plus the causal
+        reconstruction — the filtered concentration and its posterior
+        standard deviation — for ``[start, stop)``.  The smoothed pass
+        is offline by nature and only exists in the final result.
+        """
+        update = dict(MONITOR_KERNELS.stream_update(
+            plan.monitor, state.monitor, start, stop))
+        mean = state.model.mean_molar[:, start:stop]
+        update["filtered_concentration_molar"] = np.maximum(
+            mean + state.trace.m1[:, start:stop], 0.0)
+        update["filtered_std_molar"] = np.sqrt(
+            np.maximum(state.trace.p11[:, start:stop], 0.0))
+        return update
 
     def run_scalar(self, plan: EstimationPlan) -> EstimationResult:
         """Per-channel reference through the scalar filter/smoother."""

@@ -59,6 +59,10 @@ from repro.engine.core import (
     Check,
     KernelSet,
     PlanBase,
+    decode_array,
+    decode_rng,
+    encode_array,
+    encode_rng,
     execute,
     register_kernels,
     require_at_least,
@@ -66,7 +70,9 @@ from repro.engine.core import (
     require_non_empty,
     require_non_negative,
     require_positive,
+    require_snapshot,
     single_segment,
+    snapshot_envelope,
 )
 from repro.enzymes.stability import EnzymeStability
 from repro.rng import spawn_generators
@@ -577,6 +583,7 @@ def _init_monitor_state(plan: MonitorPlan) -> SimpleNamespace:
         true_c=np.empty((n_channels, n_samples)) if keep else None,
         est_c=np.empty((n_channels, n_samples)) if keep else None,
         meas_i=np.empty((n_channels, n_samples)) if keep else None,
+        last_update=None,
     )
 
 
@@ -649,6 +656,14 @@ def _monitor_chunk(plan: MonitorPlan, state: SimpleNamespace,
         state.true_c[:, start:stop] = c
         state.est_c[:, start:stop] = estimates
         state.meas_i[:, start:stop] = measured
+    # References to this chunk's freshly allocated arrays — what
+    # stream_update hands to a live consumer without needing traces.
+    state.last_update = {
+        "time_h": t_h,
+        "true_concentration_molar": c,
+        "estimated_concentration_molar": estimates,
+        "measured_current_a": measured,
+    }
 
 
 def _finalize_monitor(plan: MonitorPlan,
@@ -894,6 +909,7 @@ class MonitorKernels(KernelSet):
     plan_type = MonitorPlan
     bench_record = "monitor"
     floor_env = "MONITOR_SPEEDUP_FLOOR"
+    snapshot_version = 1
 
     def compile(self, plan: MonitorPlan):
         """One segment spanning the wear horizon, chunked as planned."""
@@ -912,6 +928,109 @@ class MonitorKernels(KernelSet):
     def finalize(self, plan: MonitorPlan, state) -> MonitorResult:
         """Assemble the :class:`MonitorResult`."""
         return _finalize_monitor(plan, state)
+
+    def export_state(self, plan: MonitorPlan, state,
+                     cursor: int) -> dict:
+        """Serialize the monitor carry state after ``cursor`` samples.
+
+        The snapshot holds the three generator-stream positions per
+        channel, the live calibration (slopes), both OU states, the
+        accuracy accumulators and the recalibration record — plus the
+        trace prefixes ``[:, :cursor]`` when the plan keeps traces.
+        With ``keep_traces=False`` the snapshot size is independent of
+        the cursor (the bounded-memory property
+        ``benchmarks/bench_serve.py`` gates).
+        """
+        snapshot = snapshot_envelope(self.name, self.snapshot_version,
+                                     cursor)
+        snapshot.update({
+            "n_channels": plan.n_channels,
+            "rngs": {
+                "trajectory": [encode_rng(g)
+                               for g in state.trajectory_rngs],
+                "wander": [encode_rng(g) for g in state.wander_rngs],
+                "measurement": [encode_rng(g)
+                                for g in state.measurement_rngs],
+            },
+            "slopes": encode_array(state.slopes),
+            "trajectory_state": encode_array(state.trajectory_state),
+            "wander_state": encode_array(state.wander_state),
+            "abs_rel_error_sum": encode_array(state.abs_rel_error_sum),
+            "in_spec_count": encode_array(state.in_spec_count),
+            "valid_count": encode_array(state.valid_count),
+            "recal_times": [list(times) for times in state.recal_times],
+        })
+        if plan.keep_traces:
+            snapshot["traces"] = {
+                "true_concentration_molar": encode_array(
+                    state.true_c[:, :cursor]),
+                "estimated_concentration_molar": encode_array(
+                    state.est_c[:, :cursor]),
+                "measured_current_a": encode_array(
+                    state.meas_i[:, :cursor]),
+            }
+        return snapshot
+
+    def restore_state(self, plan: MonitorPlan, snapshot):
+        """Rebuild ``(state, cursor)`` from an exported snapshot.
+
+        The returned state is indistinguishable from one that streamed
+        ``[0, cursor)`` in-process: a fresh :func:`_init_monitor_state`
+        whose generator streams are repositioned and whose calibration,
+        OU states, accumulators and trace prefixes are overwritten from
+        the snapshot.
+        """
+        cursor = require_snapshot(snapshot, self.name,
+                                  self.snapshot_version, plan.n_samples)
+        if snapshot["n_channels"] != plan.n_channels:
+            raise ValueError(
+                f"snapshot holds {snapshot['n_channels']} channels, "
+                f"plan has {plan.n_channels}")
+        if plan.keep_traces and "traces" not in snapshot:
+            raise ValueError(
+                "plan keeps traces but the snapshot carries none "
+                "(exported with keep_traces=False)")
+        state = _init_monitor_state(plan)
+        rngs = snapshot["rngs"]
+        state.trajectory_rngs = [decode_rng(s)
+                                 for s in rngs["trajectory"]]
+        state.wander_rngs = [decode_rng(s) for s in rngs["wander"]]
+        state.measurement_rngs = [decode_rng(s)
+                                  for s in rngs["measurement"]]
+        state.slopes = decode_array(snapshot["slopes"])
+        state.trajectory_state = decode_array(
+            snapshot["trajectory_state"])
+        state.wander_state = decode_array(snapshot["wander_state"])
+        state.abs_rel_error_sum = decode_array(
+            snapshot["abs_rel_error_sum"])
+        state.in_spec_count = decode_array(snapshot["in_spec_count"])
+        state.valid_count = decode_array(snapshot["valid_count"])
+        state.recal_times = [list(times)
+                             for times in snapshot["recal_times"]]
+        if plan.keep_traces and cursor > 0:
+            traces = snapshot["traces"]
+            state.true_c[:, :cursor] = decode_array(
+                traces["true_concentration_molar"])
+            state.est_c[:, :cursor] = decode_array(
+                traces["estimated_concentration_molar"])
+            state.meas_i[:, :cursor] = decode_array(
+                traces["measured_current_a"])
+        return state, cursor
+
+    def stream_update(self, plan: MonitorPlan, state, start: int,
+                      stop: int) -> dict:
+        """The chunk that just ran, as incremental per-sample outputs.
+
+        Returns ``time_h`` plus the true / estimated concentration and
+        measured-current blocks for ``[start, stop)`` — available with
+        or without ``keep_traces`` (the chunk arrays are handed over
+        directly, so streaming never forces trace retention).
+        """
+        update = state.last_update
+        if update is None or update["time_h"].shape[0] != stop - start:
+            raise ValueError(
+                f"no pending chunk update for [{start}, {stop})")
+        return update
 
     def describe_metrics(self, plan: MonitorPlan,
                          result: MonitorResult) -> dict:

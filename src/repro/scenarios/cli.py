@@ -3,7 +3,9 @@
 One executable front door for every registered workload::
 
     python -m repro list                       # what can run
+    python -m repro list --json                # machine-readable rows
     python -m repro describe therapy           # spec fields + example
+    python -m repro serve --port 8750          # the async front door
     python -m repro run scenario.json          # execute a scenario file
     python -m repro run scenario.json --out results.json
     python -m repro run scenario.json --seed 11 --scalar
@@ -131,14 +133,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_list(args: argparse.Namespace) -> int:
-    """Print one line per registered workload."""
+def workload_rows() -> list[dict]:
+    """One machine-readable row per registered workload.
+
+    The shared payload behind ``python -m repro list --json`` and the
+    server's ``GET /workloads``: name, plan type, first doc line, and
+    whether the workload's kernel set supports incremental streaming
+    (``repro.serve``).
+    """
+    from repro.engine.core import kernels_for
     from repro.scenarios.protocols import available_workloads, workload_by_name
 
+    rows = []
     for name in available_workloads():
         workload = workload_by_name(name)
         doc = (type(workload).__doc__ or "").strip().splitlines()[0]
-        print(f"{name:<12} {workload.plan_type.__name__:<12} {doc}")
+        try:
+            streaming = kernels_for(name).snapshot_version is not None
+        except KeyError:
+            streaming = False
+        rows.append({
+            "name": name,
+            "plan_type": workload.plan_type.__name__,
+            "doc": doc,
+            "streaming": streaming,
+        })
+    return rows
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    """Print one line (or one JSON row) per registered workload."""
+    rows = workload_rows()
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    for row in rows:
+        print(f"{row['name']:<12} {row['plan_type']:<12} {row['doc']}")
     return 0
 
 
@@ -149,8 +179,19 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     try:
         workload = workload_by_name(args.workload)
     except KeyError as error:
-        print(error.args[0])
+        if args.json:
+            print(json.dumps({"error": error.args[0]}))
+        else:
+            print(error.args[0])
         return 2
+    if args.json:
+        row = next(r for r in workload_rows()
+                   if r["name"] == workload.name)
+        print(json.dumps({**row,
+                          "describe": workload.describe(),
+                          "example_spec": workload.example_spec()},
+                         indent=2, sort_keys=True))
+        return 0
     print(workload.describe())
     return 0
 
@@ -203,16 +244,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.set_defaults(func=_cmd_run)
 
     list_p = sub.add_parser("list", help="list registered workloads")
+    list_p.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON rows")
     list_p.set_defaults(func=_cmd_list)
 
     describe_p = sub.add_parser(
         "describe", help="show a workload's spec fields and example")
     describe_p.add_argument("workload", help="registered workload name")
+    describe_p.add_argument("--json", action="store_true",
+                            help="emit the workload row, docs and "
+                                 "example spec as JSON")
     describe_p.set_defaults(func=_cmd_describe)
 
     from repro.campaigns.cli import add_campaign_commands
+    from repro.serve.cli import add_serve_command
 
     add_campaign_commands(sub)
+    add_serve_command(sub)
     return parser
 
 

@@ -37,6 +37,48 @@ class TestList:
             assert name in output
 
 
+class TestListJson:
+    def test_json_rows_are_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        rows = {row["name"]: row
+                for row in json.loads(capsys.readouterr().out)}
+        assert set(rows) >= {"calibration", "estimation", "monitor",
+                             "therapy"}
+        for row in rows.values():
+            assert set(row) == {"name", "plan_type", "doc", "streaming"}
+            assert row["doc"]
+
+    def test_streaming_flag_tracks_snapshot_support(self, capsys):
+        assert main(["list", "--json"]) == 0
+        rows = {row["name"]: row["streaming"]
+                for row in json.loads(capsys.readouterr().out)}
+        assert rows["monitor"] is True
+        assert rows["estimation"] is True
+        assert rows["calibration"] is False
+        assert rows["therapy"] is False
+
+
+class TestDescribeJson:
+    def test_json_payload_carries_docs_and_example(self, capsys):
+        assert main(["describe", "monitor", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "monitor"
+        assert payload["streaming"] is True
+        assert "spec fields" in payload["describe"]
+        assert isinstance(payload["example_spec"], dict)
+        # the example spec must actually be runnable
+        from repro.scenarios import Scenario, run_scenario
+
+        scenario = Scenario(workload="monitor", name="example", seed=1,
+                            spec=payload["example_spec"])
+        assert run_scenario(scenario).mard.shape[0] >= 1
+
+    def test_unknown_workload_returns_json_error(self, capsys):
+        assert main(["describe", "petri-dish", "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert "petri-dish" in payload["error"]
+
+
 class TestDescribe:
     @pytest.mark.parametrize("name", ["calibration", "estimation",
                                       "monitor", "therapy"])

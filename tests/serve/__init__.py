@@ -1,0 +1,1 @@
+"""Online serving subsystem tests (repro.serve)."""

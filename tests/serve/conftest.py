@@ -1,0 +1,49 @@
+"""Shared serving fixtures: small streamable plans + batch baselines.
+
+Every fixture plan runs in a few milliseconds but still crosses
+multiple chunk boundaries (36 samples, chunk 8), so streaming tests
+exercise real mid-chunk and cross-chunk suspension points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.core import run_workload
+from repro.engine.estimation import EstimationPlan
+from repro.engine.monitor import MonitorPlan, glucose_cohort
+
+#: The workloads whose kernel sets declare a ``snapshot_version``.
+STREAMABLE_WORKLOADS = ("monitor", "estimation")
+
+
+def small_plan(workload: str, seed: int = 11):
+    """A tiny streamable plan: 2 channels x 36 samples, chunk 8."""
+    monitor = MonitorPlan(
+        channels=glucose_cohort(2), duration_h=6.0,
+        sample_period_s=600.0, chunk_samples=8, seed=seed)
+    if workload == "monitor":
+        return monitor
+    if workload == "estimation":
+        return EstimationPlan(monitor=monitor)
+    raise ValueError(f"no small plan for workload {workload!r}")
+
+
+@pytest.fixture(scope="session")
+def plan_for():
+    """Factory fixture: ``plan_for(workload)`` -> small plan."""
+    return small_plan
+
+
+@pytest.fixture(scope="session")
+def batch_result():
+    """Factory fixture: cached batch baseline per workload."""
+    cache: dict[str, object] = {}
+
+    def get(workload: str):
+        if workload not in cache:
+            cache[workload] = run_workload(workload,
+                                           small_plan(workload))
+        return cache[workload]
+
+    return get

@@ -18,7 +18,7 @@ import repro
 SUBPACKAGES = [
     "analytes", "bio", "campaigns", "chem", "classification", "core",
     "electrodes", "engine", "enzymes", "experiments", "inference",
-    "instrument", "nano", "pk", "scenarios", "signal", "system",
+    "instrument", "nano", "pk", "scenarios", "serve", "signal", "system",
     "techniques", "telemetry", "therapy", "transducers",
 ]
 
@@ -70,7 +70,9 @@ class TestDocstrings:
         "repro.engine.core", "repro.engine.core.plan",
         "repro.engine.core.kernelset", "repro.engine.core.executor",
         "repro.engine.core.registry", "repro.engine.core.contract",
-        "repro.engine.core.bench",
+        "repro.engine.core.bench", "repro.engine.core.snapshot",
+        "repro.serve", "repro.serve.session", "repro.serve.server",
+        "repro.serve.client", "repro.serve.cli",
         "repro.pk.models", "repro.pk.dosing",
         "repro.pk.population", "repro.pk.drugs",
         "repro.therapy.controllers", "repro.therapy.metrics",

@@ -58,7 +58,11 @@ class TestSiteSkeleton:
                          "repro.engine.core.executor",
                          "repro.engine.core.registry",
                          "repro.engine.core.contract",
-                         "repro.engine.core.bench", "repro.pk.models",
+                         "repro.engine.core.bench",
+                         "repro.engine.core.snapshot",
+                         "repro.serve", "repro.serve.session",
+                         "repro.serve.server", "repro.serve.client",
+                         "repro.serve.cli", "repro.pk.models",
                          "repro.pk.population",
                          "repro.therapy.controllers",
                          "repro.scenarios", "repro.scenarios.spec",
