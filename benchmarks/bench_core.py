@@ -200,12 +200,13 @@ def test_disabled_telemetry_overhead(bench_json, monitor_week_plan):
     tracked across PRs alongside the workload speedups.
     """
     from repro.engine.core.executor import execute
-    from repro.telemetry import set_recorder
+    from repro.telemetry import NULL_METRICS, set_metrics_registry, set_recorder
 
     ceiling = float(os.environ.get("TELEMETRY_OVERHEAD_CEILING", "0.03"))
     kernels = kernels_for("monitor")
     plan = monitor_week_plan(keep_traces=False)
     previous = set_recorder(None)  # the disabled default, explicitly
+    previous_registry = set_metrics_registry(NULL_METRICS)
     try:
         execute(kernels, plan)  # warm kernel caches for both paths
         _loop_uninstrumented(kernels, plan)
@@ -214,6 +215,7 @@ def test_disabled_telemetry_overhead(bench_json, monitor_week_plan):
             lambda: execute(kernels, plan), repeats=20)
     finally:
         set_recorder(previous)
+        set_metrics_registry(previous_registry)
     overhead = instrumented_s / raw_s - 1.0
 
     directory = Path(os.environ.get("BENCH_JSON_DIR",
@@ -230,4 +232,65 @@ def test_disabled_telemetry_overhead(bench_json, monitor_week_plan):
           f"{bench_json('core', **merged)}")
     assert overhead <= ceiling, (
         f"disabled-telemetry overhead {overhead * 100:.2f}% exceeds "
+        f"ceiling {ceiling * 100:.0f}%")
+
+
+def test_enabled_metrics_overhead(bench_json, monitor_week_plan):
+    """The metrics cheap-when-on gate: with a live
+    :class:`~repro.telemetry.MetricsRegistry` installed (recorder
+    still disabled), ``execute()`` must stay within
+    ``METRICS_OVERHEAD_CEILING`` (3 % by default, relaxed in CI) of
+    the raw uninstrumented loop.
+
+    This bounds the *enabled* cost — one ``perf_counter`` pair plus a
+    histogram observe and two counter incs per chunk — which is the
+    price every campaign worker and serving process pays when
+    ``REPRO_METRICS=1``.  The delta lands in ``BENCH_core.json`` under
+    ``metrics_overhead`` next to ``telemetry_overhead``.
+    """
+    from repro.engine.core.executor import execute
+    from repro.telemetry import (
+        MetricsRegistry,
+        set_metrics_registry,
+        set_recorder,
+    )
+
+    ceiling = float(os.environ.get("METRICS_OVERHEAD_CEILING", "0.03"))
+    kernels = kernels_for("monitor")
+    plan = monitor_week_plan(keep_traces=False)
+    registry = MetricsRegistry()
+    previous = set_recorder(None)
+    previous_registry = set_metrics_registry(registry)
+    try:
+        execute(kernels, plan)  # warm kernel caches and series lookup
+        _loop_uninstrumented(kernels, plan)
+        raw_s, enabled_s = _interleaved_min_wall_s(
+            lambda: _loop_uninstrumented(kernels, plan),
+            lambda: execute(kernels, plan), repeats=20)
+    finally:
+        set_recorder(previous)
+        set_metrics_registry(previous_registry)
+    overhead = enabled_s / raw_s - 1.0
+    snapshot = registry.snapshot()
+    n_chunks = sum(
+        row["value"]
+        for row in snapshot["instruments"].get(
+            "repro_core_chunks_total", {}).get("series", []))
+
+    directory = Path(os.environ.get("BENCH_JSON_DIR",
+                                    Path(__file__).resolve().parent))
+    core_path = directory / "BENCH_core.json"
+    merged = (json.loads(core_path.read_text())
+              if core_path.is_file() else {})
+    merged["metrics_overhead"] = {
+        "raw_wall_s": raw_s, "enabled_wall_s": enabled_s,
+        "overhead": overhead, "ceiling": ceiling,
+        "chunks_metered": n_chunks}
+    print(f"\nmetrics on: raw {raw_s * 1e3:.1f} ms, execute() "
+          f"{enabled_s * 1e3:.1f} ms -> {overhead * 100:+.2f}% "
+          f"(ceiling {ceiling * 100:.0f}%, {n_chunks:.0f} chunks "
+          f"metered) -> {bench_json('core', **merged)}")
+    assert n_chunks > 0, "enabled registry recorded no chunks"
+    assert overhead <= ceiling, (
+        f"enabled-metrics overhead {overhead * 100:.2f}% exceeds "
         f"ceiling {ceiling * 100:.0f}%")

@@ -93,15 +93,26 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render a store's telemetry report, optionally with a trace."""
-    from repro.campaigns.report import render_report, write_report_perfetto
+    import json
+
+    from repro.campaigns.report import (
+        render_report,
+        report_payload,
+        write_report_perfetto,
+    )
     from repro.campaigns.store import ArtifactStore
 
     try:
         with ArtifactStore.open(args.store, readonly=True) as store:
-            print(render_report(store))
+            if args.json:
+                print(json.dumps(report_payload(store), indent=2,
+                                 sort_keys=True))
+            else:
+                print(render_report(store))
             if args.perfetto_out is not None:
                 path = write_report_perfetto(store, args.perfetto_out)
-                print(f"perfetto trace -> {path}")
+                if not args.json:
+                    print(f"perfetto trace -> {path}")
     except _USAGE_ERRORS as error:
         print(error)
         return 2
@@ -156,6 +167,9 @@ def add_campaign_commands(subparsers) -> None:
                        "slowest spans")
     report_p.add_argument("store", type=Path,
                           help="path to an existing campaign store")
+    report_p.add_argument("--json", action="store_true",
+                          help="emit the report as machine-readable "
+                               "JSON instead of the rendered table")
     report_p.add_argument("--perfetto-out", type=Path, default=None,
                           help="also write the shard timeline as a "
                                "Chrome/Perfetto trace_event JSON file")

@@ -13,6 +13,13 @@ the process recorder is enabled; this module turns those rows into
   and utilization over the campaign's wall-clock span;
 * :func:`span_breakdown` — the merged slowest-span table across every
   shard that recorded spans;
+* :func:`merged_metrics` — every shard's
+  :class:`~repro.telemetry.MetricsRegistry` snapshot merged into one
+  fleet-wide snapshot (cross-worker latency histograms);
+* :func:`retry_budgets` — retry telemetry grouped by exception class:
+  failures, retries consumed vs ``max_retries``, recovered shards;
+* :func:`report_payload` — all of the above as one JSON-clean dict
+  (the ``campaign report --json`` output);
 * :func:`render_report` — the text block ``python -m repro campaign
   report`` prints;
 * :func:`perfetto_trace` / :func:`write_report_perfetto` — a
@@ -34,6 +41,10 @@ from typing import Iterable, Mapping
 
 from repro.campaigns.store import ArtifactStore
 from repro.telemetry.aggregate import percentile
+from repro.telemetry.metrics import (
+    merge_snapshots,
+    snapshot_histogram_rows,
+)
 from repro.telemetry.perfetto import (
     complete_event,
     process_name_event,
@@ -169,6 +180,137 @@ def span_breakdown(events: Iterable[Mapping]) -> dict[str, dict]:
                        key=lambda item: -item[1]["total_s"]))
 
 
+def merged_metrics(events: Iterable[Mapping]) -> dict | None:
+    """Merge every shard's metrics snapshot into one fleet-wide view.
+
+    Each ``metrics`` telemetry event carries one shard's
+    :meth:`~repro.telemetry.MetricsRegistry.snapshot`;
+    :func:`~repro.telemetry.merge_snapshots` adds them exactly
+    (counter values and histogram buckets sum, gauges keep the max),
+    so the campaign's ``repro_core_execute_seconds`` histogram is the
+    true cross-worker latency distribution, not an average of
+    averages.
+
+    Returns:
+        The merged snapshot dict, or None when no shard recorded
+        metrics (the campaign ran without ``REPRO_METRICS=1``).
+    """
+    snapshots = [event["payload"]["snapshot"] for event in events
+                 if event["event"] == "metrics" and event["payload"]
+                 and event["payload"].get("snapshot")]
+    if not snapshots:
+        return None
+    return merge_snapshots(snapshots)
+
+
+def retry_budgets(events: Iterable[Mapping],
+                  max_retries: int) -> dict[str, dict]:
+    """Group the retry telemetry by exception class.
+
+    For every ``failed`` event (whose payload carries the raising
+    exception's ``error_class`` since telemetry schema v2), counts the
+    class's total failures and distinct shards, how many of those
+    failures were re-queued by a retry round (a later ``queued`` event
+    with a ``retry`` payload on the same shard), the worst per-shard
+    retry consumption against the campaign's ``max_retries`` budget,
+    and how many of the class's shards ultimately recovered (final
+    terminal event ``done``).
+
+    Args:
+        events: rows from
+            :meth:`~repro.campaigns.ArtifactStore.telemetry_events`.
+        max_retries: the campaign's per-shard retry budget
+            (:attr:`~repro.campaigns.CampaignSpec.max_retries`).
+
+    Returns:
+        ``{error_class: {"failures", "shards", "retries_used",
+        "max_retries_used", "max_retries", "recovered_shards"}}``
+        sorted by descending failures; empty when nothing failed.
+        Pre-v2 ``failed`` events without a payload group under
+        ``"unknown"``.
+    """
+    per_shard: dict[int, list] = {}
+    for event in events:
+        if event["shard_index"] is not None:
+            per_shard.setdefault(event["shard_index"], []).append(event)
+    table: dict[str, dict] = {}
+    for shard, rows in per_shard.items():
+        terminal = [row for row in rows
+                    if row["event"] in ("done", "failed")]
+        recovered = bool(terminal) and terminal[-1]["event"] == "done"
+        shard_classes: dict[str, int] = {}
+        for position, event in enumerate(rows):
+            if event["event"] != "failed":
+                continue
+            error_class = ((event["payload"] or {})
+                           .get("error_class", "unknown"))
+            requeued = any(
+                later["event"] == "queued" and later["payload"]
+                and "retry" in later["payload"]
+                for later in rows[position + 1:])
+            row = table.setdefault(error_class, {
+                "failures": 0, "shards": set(), "retries_used": 0,
+                "max_retries_used": 0, "max_retries": max_retries,
+                "recovered_shards": set()})
+            row["failures"] += 1
+            row["shards"].add(shard)
+            if requeued:
+                row["retries_used"] += 1
+                shard_classes[error_class] = \
+                    shard_classes.get(error_class, 0) + 1
+            if recovered:
+                row["recovered_shards"].add(shard)
+        for error_class, used in shard_classes.items():
+            table[error_class]["max_retries_used"] = max(
+                table[error_class]["max_retries_used"], used)
+    result = {}
+    for error_class, row in sorted(table.items(),
+                                   key=lambda item:
+                                   (-item[1]["failures"], item[0])):
+        result[error_class] = {
+            "failures": row["failures"],
+            "shards": len(row["shards"]),
+            "retries_used": row["retries_used"],
+            "max_retries_used": row["max_retries_used"],
+            "max_retries": row["max_retries"],
+            "recovered_shards": len(row["recovered_shards"]),
+        }
+    return result
+
+
+def report_payload(store: ArtifactStore) -> dict:
+    """The full campaign report as one JSON-clean dict.
+
+    The machine-readable mirror of :func:`render_report` — the exact
+    payload ``python -m repro campaign report --json`` prints:
+    identity (name, workload, store path, spec hash), per-status
+    counts, shard-duration statistics, throughput, per-worker
+    utilization, the merged span breakdown, per-error-class
+    :func:`retry_budgets`, and the fleet-wide :func:`merged_metrics`
+    snapshot with its derived histogram quantile rows.
+    """
+    events = store.telemetry_events()
+    timings = shard_timings(events)
+    metrics = merged_metrics(events)
+    return {
+        "campaign": store.spec.name,
+        "workload": store.workload,
+        "store": str(store.path),
+        "spec_hash": store.spec_hash,
+        "n_shards": store.n_shards(),
+        "counts": store.counts(),
+        "duration_stats": duration_stats(timings),
+        "completion_rate_per_s": store.completion_rate_per_s(),
+        "workers": worker_utilization(timings),
+        "spans": span_breakdown(events),
+        "retry_budgets": retry_budgets(events,
+                                       store.spec.max_retries),
+        "metrics": metrics,
+        "metric_histograms": (snapshot_histogram_rows(metrics)
+                              if metrics is not None else []),
+    }
+
+
 def render_report(store: ArtifactStore) -> str:
     """The full ``campaign report`` text block for one store.
 
@@ -215,6 +357,38 @@ def render_report(store: ArtifactStore) -> str:
     else:
         lines.append("no span telemetry recorded — run the campaign "
                      "with REPRO_TELEMETRY=1 for a span breakdown")
+    budgets = retry_budgets(events, store.spec.max_retries)
+    if budgets:
+        lines.append(
+            f"retry budgets (max_retries={store.spec.max_retries}):")
+        lines.append(f"  {'error class':<24} {'failures':>8} "
+                     f"{'shards':>6} {'retries':>10} {'recovered':>9}")
+        for error_class, row in budgets.items():
+            lines.append(
+                f"  {error_class:<24} {row['failures']:>8d} "
+                f"{row['shards']:>6d} "
+                f"{row['max_retries_used']:>6d}/{row['max_retries']:<3d}"
+                f" {row['recovered_shards']:>8d}")
+    metrics = merged_metrics(events)
+    if metrics is not None:
+        histograms = snapshot_histogram_rows(metrics)
+        if histograms:
+            lines.append("fleet-wide latency histograms (all workers):")
+            lines.append(f"  {'histogram':<44} {'count':>7} "
+                         f"{'p50':>10} {'p95':>10} {'p99':>10}")
+            for row in histograms:
+                labels = ",".join(f"{key}={value}" for key, value
+                                  in sorted(row["labels"].items()))
+                label = row["name"] + (f"{{{labels}}}" if labels
+                                       else "")
+                lines.append(
+                    f"  {label:<44} {row['count']:>7d} "
+                    f"{row['p50'] * 1e3:>8.2f}ms "
+                    f"{row['p95'] * 1e3:>8.2f}ms "
+                    f"{row['p99'] * 1e3:>8.2f}ms")
+    else:
+        lines.append("no metrics snapshots recorded — run the campaign "
+                     "with REPRO_METRICS=1 for fleet-wide histograms")
     return "\n".join(lines)
 
 

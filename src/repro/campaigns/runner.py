@@ -108,40 +108,64 @@ class CampaignReport:
 def _run_shard_scenario(scenario):
     """Run one shard's scenario, capturing telemetry when enabled.
 
-    With the process recorder disabled this is exactly
-    ``run_scenario(scenario)``.  Enabled, the shard runs under its own
-    private :class:`~repro.telemetry.InMemoryRecorder` (so spans from
+    With the process recorder and metrics registry both disabled this
+    is exactly ``run_scenario(scenario)``.  With the recorder enabled,
+    the shard runs under its own private
+    :class:`~repro.telemetry.InMemoryRecorder` (so spans from
     concurrent shards in one process never mix), whose events are
     replayed into the process recorder afterwards — the JSONL trace
-    named by ``REPRO_TELEMETRY_TRACE`` still sees everything.
+    named by ``REPRO_TELEMETRY_TRACE`` still sees everything.  With
+    metrics enabled (``REPRO_METRICS=1``), the shard likewise runs
+    under a private :class:`~repro.telemetry.MetricsRegistry`, whose
+    snapshot is merged back into the process registry and returned for
+    persistence in the store's telemetry table.
 
     Returns:
-        ``(result, span_payload)`` where ``span_payload`` is the
-        shard's span summary + counters dict (None when disabled).
+        ``(result, span_payload, metrics_snapshot)`` —
+        ``span_payload`` is the shard's span summary + counters dict,
+        ``metrics_snapshot`` the shard's registry snapshot (each None
+        when its layer is disabled).
     """
     from repro.scenarios.runner import run_scenario
     from repro.telemetry import (
         InMemoryRecorder,
+        MetricsRegistry,
+        get_metrics_registry,
         get_recorder,
+        set_metrics_registry,
         set_recorder,
     )
 
     parent = get_recorder()
-    if not parent.enabled:
-        return run_scenario(scenario), None
-    shard_recorder = InMemoryRecorder()
-    set_recorder(shard_recorder)
+    parent_registry = get_metrics_registry()
+    if not parent.enabled and not parent_registry.enabled:
+        return run_scenario(scenario), None, None
+    shard_recorder = InMemoryRecorder() if parent.enabled else None
+    shard_registry = (MetricsRegistry()
+                      if parent_registry.enabled else None)
+    if shard_recorder is not None:
+        set_recorder(shard_recorder)
+    if shard_registry is not None:
+        set_metrics_registry(shard_registry)
     try:
         result = run_scenario(scenario)
     finally:
-        set_recorder(parent)
-        for record in shard_recorder.spans:
-            parent.record_span(record)
-        for name, value in shard_recorder.counters.items():
-            parent.count(name, value)
-    payload = {"summary": shard_recorder.summary(),
-               "counters": shard_recorder.counters}
-    return result, payload
+        if shard_recorder is not None:
+            set_recorder(parent)
+            for record in shard_recorder.spans:
+                parent.record_span(record)
+            for name, value in shard_recorder.counters.items():
+                parent.count(name, value)
+        if shard_registry is not None:
+            set_metrics_registry(parent_registry)
+            parent_registry.merge_snapshot(shard_registry.snapshot())
+    span_payload = metrics_snapshot = None
+    if shard_recorder is not None:
+        span_payload = {"summary": shard_recorder.summary(),
+                        "counters": shard_recorder.counters}
+    if shard_registry is not None:
+        metrics_snapshot = shard_registry.snapshot()
+    return result, span_payload, metrics_snapshot
 
 
 def execute_shard(store_path: "str | Path",
@@ -162,20 +186,35 @@ def execute_shard(store_path: "str | Path",
         ``"failed"`` — scenario failures are recorded as data, not
         raised, so one bad shard cannot take down a million-shard
         campaign.
+
+    Every shard runs under its own freshly minted trace id
+    (:func:`repro.telemetry.trace_context`): the id rides on the
+    shard's spans and metric exemplars and is stamped into the
+    ``done`` / ``failed`` / ``metrics`` telemetry payloads, so a slow
+    or failing shard in ``campaign report`` can be chased into the
+    Perfetto timeline.  ``failed`` payloads additionally carry the
+    exception's ``error_class`` — the grouping key of the report's
+    per-error-class retry-budget table.
     """
+    from repro.telemetry import new_trace_id, trace_context
+
     worker = f"pid:{os.getpid()}"
+    trace_id = new_trace_id()
     with ArtifactStore.open(store_path) as store:
         scenario = store.shard_scenario(shard_index)
         store.mark_running(shard_index)
-        store.record_event("running", shard_index, worker=worker)
+        store.record_event("running", shard_index, worker=worker,
+                           payload={"trace_id": trace_id})
     _LOG.info("shard %d running on %s", shard_index, worker)
     throttle = float(os.environ.get(THROTTLE_ENV, "0") or "0")
     if throttle > 0.0:
         time.sleep(throttle)
     start = time.perf_counter()
     try:
-        result, span_payload = _run_shard_scenario(scenario)
-        row = result.summary_row()
+        with trace_context(trace_id):
+            result, span_payload, metrics_snapshot = \
+                _run_shard_scenario(scenario)
+            row = result.summary_row()
     except Exception as error:  # one shard's failure is campaign data
         elapsed = time.perf_counter() - start
         message = f"{type(error).__name__}: {error}"
@@ -183,18 +222,27 @@ def execute_shard(store_path: "str | Path",
                      shard_index, elapsed, message)
         with ArtifactStore.open(store_path) as store:
             store.record_failure(shard_index, message)
-            store.record_event("failed", shard_index, worker=worker,
-                               duration_s=elapsed)
+            store.record_event(
+                "failed", shard_index, worker=worker,
+                duration_s=elapsed,
+                payload={"error_class": type(error).__name__,
+                         "trace_id": trace_id})
         return shard_index, "failed"
     elapsed = time.perf_counter() - start
     _LOG.info("shard %d done in %.2f s", shard_index, elapsed)
     with ArtifactStore.open(store_path) as store:
         store.record_result(shard_index, row, elapsed_s=elapsed)
         store.record_event("done", shard_index, worker=worker,
-                           duration_s=elapsed)
+                           duration_s=elapsed,
+                           payload={"trace_id": trace_id})
         if span_payload is not None:
             store.record_event("spans", shard_index, worker=worker,
                                payload=span_payload)
+        if metrics_snapshot is not None:
+            store.record_event(
+                "metrics", shard_index, worker=worker,
+                payload={"trace_id": trace_id,
+                         "snapshot": metrics_snapshot})
     return shard_index, "done"
 
 

@@ -36,22 +36,28 @@ from repro.scenarios.spec import Scenario
 
 #: Version stamp of the on-disk SQLite layout.  Bump on any table /
 #: column change; ``ArtifactStore.open`` rejects mismatches.
-#: v2 added the ``telemetry`` event table.
-STORE_SCHEMA_VERSION = 2
+#: v2 added the ``telemetry`` event table; v3 widened its event CHECK
+#: to admit ``metrics`` rows (per-shard registry snapshots).
+STORE_SCHEMA_VERSION = 3
 
 #: Version stamp of the ``telemetry`` table's row layout, tracked
 #: separately so telemetry readers (``campaign report``, ``status``)
 #: can refuse rows they would misread without invalidating the shard
-#: data next to them.
-TELEMETRY_SCHEMA_VERSION = 1
+#: data next to them.  v2 added ``metrics`` events and the
+#: ``trace_id`` / ``error_class`` payload keys on lifecycle events.
+TELEMETRY_SCHEMA_VERSION = 2
 
 #: Legal shard lifecycle states, in order.
 SHARD_STATUSES = ("pending", "running", "done", "failed")
 
 #: Legal telemetry event kinds: the shard lifecycle transitions plus
 #: ``spans`` (a finished shard's span-summary payload, recorded when
-#: the worker ran with telemetry enabled).
-TELEMETRY_EVENTS = ("queued", "running", "done", "failed", "spans")
+#: the worker ran with telemetry enabled) and ``metrics`` (the shard's
+#: :meth:`~repro.telemetry.MetricsRegistry.snapshot`, recorded when it
+#: ran with metrics enabled — ``campaign report`` and ``telemetry
+#: summary`` merge these into fleet-wide histograms).
+TELEMETRY_EVENTS = ("queued", "running", "done", "failed", "spans",
+                    "metrics")
 
 _SCHEMA = """
 CREATE TABLE meta (
@@ -73,7 +79,8 @@ CREATE TABLE telemetry (
     shard_index INTEGER,
     event       TEXT NOT NULL
                 CHECK (event IN
-                       ('queued', 'running', 'done', 'failed', 'spans')),
+                       ('queued', 'running', 'done', 'failed', 'spans',
+                        'metrics')),
     worker      TEXT,
     wall_s      REAL NOT NULL,
     duration_s  REAL,

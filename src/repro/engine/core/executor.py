@@ -18,23 +18,43 @@ kernel consumes its random streams strictly in sample order, results
 depend only on the plan (and its seed), never on the chunking policy —
 the property the shared contract suite gates for every workload.
 
-Telemetry rides on this one loop, so every workload — and any future
-fifth kernel set — gets timing for free: when the process-local
-recorder is enabled (:func:`repro.telemetry.get_recorder`), the
-executor emits per-phase spans (``core.compile`` / ``core.init_state``
-/ ``core.segment`` / ``core.run_chunk`` / ``core.finalize``), a
-``core.samples`` cells-times-samples throughput counter, and the kernel
-set's optional :meth:`~repro.engine.core.kernelset.KernelSet.describe_metrics`
-counters.  When the recorder is disabled — the default — :func:`execute`
-takes a branch that never touches telemetry at all, so the hot loop is
-byte-for-byte the uninstrumented one (gated to <= 3 % overhead in
-``benchmarks/bench_core.py``).
+Observability rides on this one loop, so every workload — and any
+future fifth kernel set — gets timing for free.  Two independent
+layers, each with its own on/off switch:
+
+* **Spans** (:func:`repro.telemetry.get_recorder` enabled): per-phase
+  spans (``core.compile`` / ``core.init_state`` / ``core.segment`` /
+  ``core.run_chunk`` / ``core.finalize``), a ``core.samples``
+  cells-times-samples throughput counter, and the kernel set's optional
+  :meth:`~repro.engine.core.kernelset.KernelSet.describe_metrics`
+  counters.
+* **Metrics** (:func:`repro.telemetry.get_metrics_registry` enabled):
+  per-workload ``repro_core_execute_seconds`` and
+  ``repro_core_chunk_seconds`` latency histograms plus
+  ``repro_core_chunks_total`` / ``repro_core_samples_total`` throughput
+  counters — the fleet-aggregable view ``campaign report`` and the
+  serve front door expose.
+
+When both are disabled — the default — :func:`execute` takes a branch
+that never touches telemetry at all, so the hot loop is byte-for-byte
+the uninstrumented one (gated to <= 3 % overhead in
+``benchmarks/bench_core.py``; the *enabled*-metrics path carries its
+own <= 3 % gate there too).
 """
 
 from __future__ import annotations
 
+import time
+
 from repro.engine.core.kernelset import KernelSet
-from repro.telemetry import get_recorder
+from repro.telemetry import get_metrics_registry, get_recorder
+from repro.telemetry.metrics import exponential_buckets
+
+#: Buckets for whole-``execute()`` latency: 1 ms doubling to ~65 s.
+EXECUTE_BUCKETS_S = exponential_buckets(1e-3, 2.0, 17)
+
+#: Buckets for per-chunk latency: 10 µs doubling to ~0.33 s.
+CHUNK_BUCKETS_S = exponential_buckets(1e-5, 2.0, 16)
 
 
 def execute(kernels: KernelSet, plan):
@@ -57,7 +77,8 @@ def execute(kernels: KernelSet, plan):
             f"{kernels.name} kernels expect {kernels.plan_type.__name__}, "
             f"got {type(plan).__name__}")
     recorder = get_recorder()
-    if not recorder.enabled:
+    registry = get_metrics_registry()
+    if not recorder.enabled and not registry.enabled:
         # The zero-cost default: identical to the pre-telemetry loop,
         # no per-chunk telemetry calls or allocations of any kind.
         compiled = kernels.compile(plan)
@@ -70,12 +91,40 @@ def execute(kernels: KernelSet, plan):
                 kernels.run_chunk(plan, state, segment, start, stop)
             kernels.end_segment(plan, state, segment)
         return kernels.finalize(plan, state)
-    return _execute_instrumented(kernels, plan, recorder)
+    return _execute_instrumented(kernels, plan, recorder, registry)
 
 
-def _execute_instrumented(kernels: KernelSet, plan, recorder):
-    """The same loop with spans and counters around every phase."""
+def _core_instruments(registry, workload: str):
+    """The executor's per-workload metric series (get-or-create)."""
+    labels = ("workload",)
+    return (
+        registry.histogram(
+            "repro_core_execute_seconds",
+            "End-to-end execute() latency per workload.",
+            labels, buckets=EXECUTE_BUCKETS_S).labels(workload=workload),
+        registry.histogram(
+            "repro_core_chunk_seconds",
+            "Per-chunk kernel latency per workload.",
+            labels, buckets=CHUNK_BUCKETS_S).labels(workload=workload),
+        registry.counter(
+            "repro_core_chunks_total",
+            "Chunks executed per workload.",
+            labels).labels(workload=workload),
+        registry.counter(
+            "repro_core_samples_total",
+            "Cells-times-samples processed per workload.",
+            labels).labels(workload=workload),
+    )
+
+
+def _execute_instrumented(kernels: KernelSet, plan, recorder, registry):
+    """The same loop with spans, counters and metrics around every phase."""
     workload = kernels.name
+    metrics_on = registry.enabled
+    if metrics_on:
+        (execute_seconds, chunk_seconds, chunks_total,
+         samples_total) = _core_instruments(registry, workload)
+    execute_start = time.perf_counter()
     with recorder.span("core.execute", workload=workload):
         with recorder.span("core.compile", workload=workload):
             compiled = kernels.compile(plan)
@@ -90,6 +139,7 @@ def _execute_instrumented(kernels: KernelSet, plan, recorder):
                                    compiled.chunk_samples):
                     stop = min(start + compiled.chunk_samples,
                                segment.stop)
+                    chunk_start = time.perf_counter()
                     with recorder.span("core.run_chunk",
                                        workload=workload,
                                        segment=segment.index):
@@ -98,9 +148,16 @@ def _execute_instrumented(kernels: KernelSet, plan, recorder):
                     recorder.count("core.chunks")
                     recorder.count("core.samples",
                                    n_channels * (stop - start))
+                    if metrics_on:
+                        chunk_seconds.observe(
+                            time.perf_counter() - chunk_start)
+                        chunks_total.inc()
+                        samples_total.inc(n_channels * (stop - start))
                 kernels.end_segment(plan, state, segment)
         with recorder.span("core.finalize", workload=workload):
             result = kernels.finalize(plan, state)
+    if metrics_on:
+        execute_seconds.observe(time.perf_counter() - execute_start)
     for metric, value in kernels.describe_metrics(plan, result).items():
         recorder.count(f"{workload}.{metric}", float(value))
     return result

@@ -14,6 +14,7 @@ One executable front door for every registered workload::
     python -m repro campaign run fleet.json --store fleet.sqlite \\
         --workers 4                            # sharded campaigns
     python -m repro campaign {status,resume,export,report} fleet.sqlite
+    python -m repro telemetry summary fleet.sqlite  # fleet-wide metrics
 
 ``run`` prints the workload's summary and, with ``--out``, writes the
 replayable artifact — the seed-resolved scenario envelope plus the full
@@ -258,9 +259,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.campaigns.cli import add_campaign_commands
     from repro.serve.cli import add_serve_command
+    from repro.telemetry.cli import add_telemetry_commands
 
     add_campaign_commands(sub)
     add_serve_command(sub)
+    add_telemetry_commands(sub)
     return parser
 
 

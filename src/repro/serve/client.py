@@ -89,6 +89,25 @@ class ServeClient:
         """``GET /metrics`` — counters, queue depth, live gauges."""
         return self._request("GET", "/metrics")
 
+    def metrics_prometheus(self) -> str:
+        """``GET /metrics?format=prometheus`` — raw text exposition.
+
+        Returns the exposition body (format 0.0.4) as a string; feed
+        it to :func:`repro.telemetry.parse_prometheus` to validate.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s)
+        try:
+            connection.request("GET", "/metrics?format=prometheus")
+            response = connection.getresponse()
+            body = response.read()
+            if response.status >= 400:
+                raise ServeError(response.status,
+                                 json.loads(body or b"{}"))
+            return body.decode("utf-8")
+        finally:
+            connection.close()
+
     def wait_until_healthy(self, timeout_s: float = 30.0) -> dict:
         """Poll ``/healthz`` until the server answers (boot helper)."""
         deadline = time.monotonic() + timeout_s

@@ -17,10 +17,22 @@ exposes the two serving modes of :mod:`repro.serve`:
   finally fetch the batch-identical result
   (``GET /streams/{id}/result``).
 
-Health and throughput counters are kept per endpoint and per workload
-(``GET /metrics``) and mirrored onto the active
-:mod:`repro.telemetry` recorder (``serve.*`` spans and counters — they
-land in the Perfetto export next to the engine spans).
+Observability is first-class.  The server meters itself through
+:mod:`repro.telemetry.metrics` instruments — per-endpoint request
+latency histograms, error counters by status class, per-workload
+in-flight gauges, queue depth, stream/readings throughput, plus
+periodic runtime collectors (RSS, GC counts, event-loop lag) — and
+exposes them two ways on ``GET /metrics``: the legacy JSON payload
+(counters derived from the same registry series) and Prometheus text
+exposition format 0.0.4 on ``GET /metrics?format=prometheus``.  Every
+request is assigned a ``trace_id`` at the front door
+(:func:`repro.telemetry.trace_context`, echoed back as an
+``X-Trace-Id`` header): the request's spans carry it into the JSONL
+trace, its latency observation stamps it as the histogram exemplar,
+and a job inherits its submitting request's id — so a slow bucket in
+the histogram leads straight to one request's Perfetto timeline.
+Recorder mirroring is unchanged: every counter also lands on the
+active :mod:`repro.telemetry` recorder as ``serve.*``.
 
 Endpoint reference: ``docs/serving.md``.  Run it with
 ``python -m repro serve``; tests drive an in-process
@@ -30,9 +42,11 @@ Endpoint reference: ``docs/serving.md``.  Run it with
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import logging
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
@@ -40,7 +54,14 @@ from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
-from repro.telemetry import get_recorder
+from repro.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    get_metrics_registry,
+    get_recorder,
+    set_metrics_registry,
+    trace_context,
+)
 
 _LOG = logging.getLogger("repro.serve.server")
 
@@ -66,6 +87,14 @@ class _HttpError(Exception):
 
 
 @dataclass
+class _Text:
+    """A non-JSON response body carrying its own content type."""
+
+    text: str
+    content_type: str = "text/plain; charset=utf-8"
+
+
+@dataclass
 class _Job:
     """One submitted scenario run moving through the work queue."""
 
@@ -74,6 +103,7 @@ class _Job:
     status: str = "queued"          # queued -> running -> done | failed
     result: Any = None
     error: "str | None" = None
+    trace_id: "str | None" = None   # inherited from the submit request
 
     def describe(self) -> dict:
         """Status payload for ``GET /scenarios/{id}``."""
@@ -134,24 +164,41 @@ class ReproServer:
             (a cohort-heavy estimation job cannot starve quick
             calibration runs).
         max_body_bytes: request-body size cap (413 beyond it).
+        registry: the :class:`~repro.telemetry.MetricsRegistry` to
+            meter into.  None (the default) adopts the process-active
+            registry when it is enabled (``REPRO_METRICS=1``) and
+            otherwise builds a private enabled one — the front door
+            always meters itself — installing it process-wide for the
+            server's lifetime so engine-core histograms from job runs
+            land in the same scrape (restored on :meth:`stop`).
+        collect_interval_s: period of the runtime collector task (RSS,
+            GC counts, event-loop lag, queue depth).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  queue_size: int = 16, workers: int = 2,
                  per_workload: int = 2,
-                 max_body_bytes: int = MAX_BODY_BYTES) -> None:
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 registry: "MetricsRegistry | None" = None,
+                 collect_interval_s: float = 5.0) -> None:
         if queue_size < 1 or workers < 1 or per_workload < 1:
             raise ValueError(
                 "queue_size, workers and per_workload must be >= 1")
+        if collect_interval_s <= 0.0:
+            raise ValueError("collect_interval_s must be > 0")
         self.host = host
         self.port = port
         self.queue_size = queue_size
         self.workers = workers
         self.per_workload = per_workload
         self.max_body_bytes = max_body_bytes
+        self.collect_interval_s = collect_interval_s
+        self.registry = registry
+        self._installed_registry = False
+        self._previous_registry: "MetricsRegistry | None" = None
+        self._m: "dict[str, Any] | None" = None
         self._jobs: "dict[str, _Job]" = {}
         self._streams: "dict[str, _Stream]" = {}
-        self._metrics: "dict[str, int]" = {}
         self._counter = 0
         self._queue: "asyncio.Queue[_Job] | None" = None
         self._semaphores: "dict[str, asyncio.Semaphore]" = {}
@@ -162,13 +209,23 @@ class ReproServer:
     # -- lifecycle -------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the listener and start the worker tasks."""
+        """Bind the listener and start the worker + collector tasks."""
+        if self.registry is None:
+            active = get_metrics_registry()
+            self.registry = (active if active.enabled
+                             else MetricsRegistry())
+        if get_metrics_registry() is not self.registry:
+            self._previous_registry = set_metrics_registry(self.registry)
+            self._installed_registry = True
+        self._build_instruments()
         self._queue = asyncio.Queue(maxsize=self.queue_size)
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers + 1,
             thread_name_prefix="repro-serve")
         self._tasks = [asyncio.create_task(self._worker(i))
                        for i in range(self.workers)]
+        self._tasks.append(asyncio.create_task(self._collector()))
+        self._collect_runtime()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -190,6 +247,9 @@ class ReproServer:
         self._tasks = []
         if self._pool is not None:
             self._pool.shutdown(wait=False)
+        if self._installed_registry:
+            set_metrics_registry(self._previous_registry)
+            self._installed_registry = False
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled."""
@@ -199,19 +259,115 @@ class ReproServer:
 
     # -- bookkeeping -----------------------------------------------------
 
-    def _bump(self, key: str, value: int = 1) -> None:
-        """Increment a local metric and mirror it to telemetry."""
-        self._metrics[key] = self._metrics.get(key, 0) + value
+    def _build_instruments(self) -> None:
+        """Register the server's instrument families on the registry."""
+        registry = self.registry
+        self._m = {
+            "requests": registry.counter(
+                "repro_serve_requests_total",
+                "Requests served, by method, endpoint and status class.",
+                ("method", "endpoint", "code_class")),
+            "request_seconds": registry.histogram(
+                "repro_serve_request_seconds",
+                "Request latency, by method and endpoint.",
+                ("method", "endpoint")),
+            "jobs": registry.counter(
+                "repro_serve_jobs_total",
+                "Job lifecycle events, by workload and outcome.",
+                ("workload", "outcome")),
+            "jobs_inflight": registry.gauge(
+                "repro_serve_jobs_inflight",
+                "Jobs currently executing, by workload.",
+                ("workload",)),
+            "queue_depth": registry.gauge(
+                "repro_serve_queue_depth",
+                "Jobs waiting in the bounded work queue."),
+            "streams_opened": registry.counter(
+                "repro_serve_streams_opened_total",
+                "Streams opened, by workload.", ("workload",)),
+            "streams_closed": registry.counter(
+                "repro_serve_streams_closed_total",
+                "Streams explicitly closed."),
+            "streams_open": registry.gauge(
+                "repro_serve_streams_open",
+                "Streams currently open."),
+            "readings": registry.counter(
+                "repro_serve_readings_total",
+                "Readings (cells x samples) pushed into live streams, "
+                "by workload.", ("workload",)),
+            "rss": registry.gauge(
+                "repro_process_resident_memory_bytes",
+                "Resident set size of the serving process."),
+            "gc": registry.gauge(
+                "repro_python_gc_collections",
+                "Cumulative garbage collections, by generation.",
+                ("generation",)),
+            "loop_lag": registry.gauge(
+                "repro_serve_event_loop_lag_seconds",
+                "Observed event-loop scheduling lag over the last "
+                "collector period."),
+        }
+
+    @staticmethod
+    def _mirror(key: str, value: float = 1) -> None:
+        """Mirror one counter to the active telemetry recorder."""
         get_recorder().count(f"serve.{key}", value)
+
+    @staticmethod
+    def _endpoint_pattern(path: str) -> str:
+        """Normalize a path to its route pattern (ids become ``*``)."""
+        parts = [part for part in path.split("/") if part]
+        return "/" + "/".join(parts[:1] + [
+            "*" if index % 2 == 0 else part
+            for index, part in enumerate(parts[1:])])
+
+    def _account_request(self, method: str, path: str, status: int,
+                         elapsed_s: float) -> None:
+        """Record one finished request on every metrics surface."""
+        endpoint = self._endpoint_pattern(path)
+        self._mirror(f"requests.{method} {endpoint}")
+        self._m["requests"].labels(
+            method=method, endpoint=endpoint,
+            code_class=f"{status // 100}xx").inc()
+        self._m["request_seconds"].labels(
+            method=method, endpoint=endpoint).observe(elapsed_s)
 
     def _next_id(self, prefix: str) -> str:
         self._counter += 1
         return f"{prefix}-{self._counter:04d}"
 
     def metrics(self) -> dict:
-        """The ``GET /metrics`` payload: counters plus live gauges."""
+        """The ``GET /metrics`` JSON payload: counters plus live gauges.
+
+        The flat ``counters`` dict is *derived* from the registry's
+        instrument series (summed over status class where the legacy
+        key did not distinguish), so the JSON and Prometheus views of
+        the same server always agree.
+        """
+        counters: "dict[str, int]" = {}
+        if self._m is not None:
+            for labels, series in self._m["requests"].items():
+                key = (f"requests.{labels['method']} "
+                       f"{labels['endpoint']}")
+                counters[key] = counters.get(key, 0) + int(series.value)
+            for labels, series in self._m["jobs"].items():
+                key = ("jobs.rejected"
+                       if labels["outcome"] == "rejected"
+                       else f"jobs.{labels['outcome']}."
+                            f"{labels['workload']}")
+                counters[key] = counters.get(key, 0) + int(series.value)
+            for labels, series in self._m["streams_opened"].items():
+                counters[f"streams.opened.{labels['workload']}"] = \
+                    int(series.value)
+            closed = self._m["streams_closed"].value
+            if closed:
+                counters["streams.closed"] = int(closed)
+            readings = sum(series.value for __, series
+                           in self._m["readings"].items())
+            if readings:
+                counters["readings.pushed"] = int(readings)
         return {
-            "counters": dict(sorted(self._metrics.items())),
+            "counters": dict(sorted(counters.items())),
             "queue_depth": (self._queue.qsize()
                             if self._queue is not None else 0),
             "jobs": {status: sum(1 for job in self._jobs.values()
@@ -220,6 +376,30 @@ class ReproServer:
                                     "failed")},
             "open_streams": len(self._streams),
         }
+
+    # -- runtime collectors ----------------------------------------------
+
+    def _collect_runtime(self) -> None:
+        """Refresh the process-level gauges (RSS, GC, queue depth)."""
+        from repro.telemetry import gc_collection_counts, rss_bytes
+
+        self._m["rss"].set(rss_bytes())
+        for generation, collections in enumerate(gc_collection_counts()):
+            self._m["gc"].labels(generation=str(generation)) \
+                .set(collections)
+        if self._queue is not None:
+            self._m["queue_depth"].set(self._queue.qsize())
+        self._m["streams_open"].set(len(self._streams))
+
+    async def _collector(self) -> None:
+        """Periodically refresh runtime gauges and event-loop lag."""
+        loop = asyncio.get_running_loop()
+        while True:
+            before = loop.time()
+            await asyncio.sleep(self.collect_interval_s)
+            lag = max(0.0, loop.time() - before - self.collect_interval_s)
+            self._m["loop_lag"].set(lag)
+            self._collect_runtime()
 
     # -- job execution ---------------------------------------------------
 
@@ -233,32 +413,52 @@ class ReproServer:
             semaphore = self._semaphores.setdefault(
                 job.scenario.workload,
                 asyncio.Semaphore(self.per_workload))
+            workload = job.scenario.workload
             async with semaphore:
                 job.status = "running"
                 recorder = get_recorder()
-                with recorder.span("serve.job",
-                                   workload=job.scenario.workload,
-                                   job_id=job.job_id):
-                    try:
-                        job.result = await loop.run_in_executor(
-                            self._pool, run_scenario, job.scenario)
-                        job.status = "done"
-                        self._bump(
-                            f"jobs.done.{job.scenario.workload}")
-                    except Exception as error:
-                        job.status = "failed"
-                        job.error = f"{type(error).__name__}: {error}"
-                        self._bump(
-                            f"jobs.failed.{job.scenario.workload}")
-                        _LOG.warning("job %s failed: %s", job.job_id,
-                                     job.error)
+                inflight = self._m["jobs_inflight"].labels(
+                    workload=workload)
+                inflight.inc()
+                try:
+                    # The job runs under its *submitting* request's
+                    # trace id, so its engine spans and histogram
+                    # exemplars correlate with the front-door request.
+                    # run_in_executor does not propagate contextvars;
+                    # copy_context().run carries the id into the pool.
+                    with trace_context(job.trace_id), \
+                            recorder.span("serve.job",
+                                          workload=workload,
+                                          job_id=job.job_id):
+                        context = contextvars.copy_context()
+                        try:
+                            job.result = await loop.run_in_executor(
+                                self._pool, context.run, run_scenario,
+                                job.scenario)
+                            job.status = "done"
+                            self._mirror(f"jobs.done.{workload}")
+                            self._m["jobs"].labels(
+                                workload=workload, outcome="done").inc()
+                        except Exception as error:
+                            job.status = "failed"
+                            job.error = (f"{type(error).__name__}: "
+                                         f"{error}")
+                            self._mirror(f"jobs.failed.{workload}")
+                            self._m["jobs"].labels(
+                                workload=workload,
+                                outcome="failed").inc()
+                            _LOG.warning("job %s failed: %s",
+                                         job.job_id, job.error)
+                finally:
+                    inflight.dec()
+                    self._m["queue_depth"].set(self._queue.qsize())
             self._queue.task_done()
 
     # -- HTTP plumbing ---------------------------------------------------
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-        """Read one request, route it, write one JSON response."""
+        """Read one request, route it under a fresh trace id, respond."""
         try:
             try:
                 request = await self._read_request(reader)
@@ -271,22 +471,28 @@ class ReproServer:
             if request is None:
                 return
             method, path, query, body = request
-            recorder = get_recorder()
-            with recorder.span("serve.request", method=method,
-                               path=path):
-                try:
-                    status, payload = await self._route(
-                        method, path, query, body)
-                except _HttpError as error:
-                    status = error.status
-                    payload = {"error": error.message}
-                except Exception as error:   # pragma: no cover - guard
-                    status = 500
-                    payload = {
-                        "error": f"{type(error).__name__}: {error}"}
-                    _LOG.exception("unhandled error on %s %s", method,
-                                   path)
-            await self._write_response(writer, status, payload)
+            with trace_context() as trace_id:
+                started = time.perf_counter()
+                recorder = get_recorder()
+                with recorder.span("serve.request", method=method,
+                                   path=path):
+                    try:
+                        status, payload = await self._route(
+                            method, path, query, body)
+                    except _HttpError as error:
+                        status = error.status
+                        payload = {"error": error.message}
+                    except Exception as error:  # pragma: no cover - guard
+                        status = 500
+                        payload = {
+                            "error": f"{type(error).__name__}: {error}"}
+                        _LOG.exception("unhandled error on %s %s",
+                                       method, path)
+                self._account_request(method, path, status,
+                                      time.perf_counter() - started)
+                await self._write_response(
+                    writer, status, payload,
+                    extra_headers={"X-Trace-Id": trace_id})
         except (asyncio.IncompleteReadError, ConnectionError):
             pass
         finally:
@@ -324,13 +530,22 @@ class ReproServer:
         return method, split.path, query, body
 
     async def _write_response(self, writer: asyncio.StreamWriter,
-                              status: int, payload: dict) -> None:
-        body = json.dumps(_jsonify(payload)).encode()
+                              status: int, payload,
+                              extra_headers: "dict | None" = None
+                              ) -> None:
+        if isinstance(payload, _Text):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(_jsonify(payload)).encode()
+            content_type = "application/json"
         text = _STATUS_TEXT.get(status, "Unknown")
         head = (f"HTTP/1.1 {status} {text}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                f"Connection: close\r\n\r\n")
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n")
+        for name, value in (extra_headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += "Connection: close\r\n\r\n"
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
@@ -360,10 +575,6 @@ class ReproServer:
                      body: bytes):
         """Dispatch one request; returns ``(status, payload)``."""
         parts = [part for part in path.split("/") if part]
-        endpoint = "/".join(parts[:1] + [
-            "*" if index % 2 == 0 else part
-            for index, part in enumerate(parts[1:])])
-        self._bump(f"requests.{method} /{endpoint or ''}")
         if parts == ["healthz"]:
             return self._get_only(method) or (200, {
                 "status": "ok", "queue_depth": self._queue.qsize()})
@@ -373,7 +584,17 @@ class ReproServer:
             return self._get_only(method) or (
                 200, {"workloads": workload_rows()})
         if parts == ["metrics"]:
-            return self._get_only(method) or (200, self.metrics())
+            self._get_only(method)
+            exposition = query.get("format")
+            if exposition == "prometheus":
+                self._collect_runtime()
+                return 200, _Text(self.registry.render_prometheus(),
+                                  PROMETHEUS_CONTENT_TYPE)
+            if exposition not in (None, "json"):
+                raise _HttpError(
+                    400, f"unknown format {exposition!r} "
+                         "(use 'json' or 'prometheus')")
+            return 200, self.metrics()
         if parts == ["scenarios"]:
             if method != "POST":
                 raise _HttpError(405, "use POST /scenarios")
@@ -398,16 +619,24 @@ class ReproServer:
     # -- job routes ------------------------------------------------------
 
     def _submit_job(self, scenario):
-        job = _Job(job_id=self._next_id("job"), scenario=scenario)
+        from repro.telemetry import current_trace_id
+
+        job = _Job(job_id=self._next_id("job"), scenario=scenario,
+                   trace_id=current_trace_id())
         try:
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
-            self._bump("jobs.rejected")
+            self._mirror("jobs.rejected")
+            self._m["jobs"].labels(workload=scenario.workload,
+                                   outcome="rejected").inc()
             raise _HttpError(
                 503, f"work queue full ({self.queue_size} jobs); "
                      f"retry later")
         self._jobs[job.job_id] = job
-        self._bump(f"jobs.submitted.{scenario.workload}")
+        self._mirror(f"jobs.submitted.{scenario.workload}")
+        self._m["jobs"].labels(workload=scenario.workload,
+                               outcome="submitted").inc()
+        self._m["queue_depth"].set(self._queue.qsize())
         return 202, job.describe()
 
     def _route_job(self, method: str, job_id: str, rest: "list[str]",
@@ -442,7 +671,10 @@ class ReproServer:
         stream = _Stream(stream_id=self._next_id("stream"),
                          scenario=scenario, session=session)
         self._streams[stream.stream_id] = stream
-        self._bump(f"streams.opened.{scenario.workload}")
+        self._mirror(f"streams.opened.{scenario.workload}")
+        self._m["streams_opened"].labels(
+            workload=scenario.workload).inc()
+        self._m["streams_open"].set(len(self._streams))
         return 201, stream.describe()
 
     async def _route_stream(self, method: str, stream_id: str,
@@ -454,7 +686,9 @@ class ReproServer:
         if not rest:
             if method == "DELETE":
                 del self._streams[stream_id]
-                self._bump("streams.closed")
+                self._mirror("streams.closed")
+                self._m["streams_closed"].inc()
+                self._m["streams_open"].set(len(self._streams))
                 return 200, {"stream_id": stream_id,
                              "status": "closed"}
             self._get_only(method)
@@ -497,10 +731,15 @@ class ReproServer:
             with recorder.span("serve.advance",
                                stream_id=stream.stream_id,
                                workload=stream.session.workload):
+                # carry the request's trace id into the pool thread
+                context = contextvars.copy_context()
                 update = await loop.run_in_executor(
-                    self._pool, stream.session.advance, count)
-            self._bump("readings.pushed",
-                       update.n_samples * stream.session.n_channels)
+                    self._pool, context.run, stream.session.advance,
+                    count)
+            pushed = update.n_samples * stream.session.n_channels
+            self._mirror("readings.pushed", pushed)
+            self._m["readings"].labels(
+                workload=stream.session.workload).inc(pushed)
             return 200, {
                 "stream_id": stream.stream_id,
                 "start": update.start,

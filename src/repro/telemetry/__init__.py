@@ -1,15 +1,26 @@
-"""Telemetry: spans, counters, and trace export for every execution layer.
+"""Telemetry: spans, counters, metrics, and trace export for every layer.
 
-The observability subsystem the execution core, the campaign runner and
-the CLI all share.  Four small modules:
+The observability subsystem the execution core, the serve front door,
+the campaign runner and the CLI all share.  Five small modules:
 
 * :mod:`~repro.telemetry.recorder` — the instrumentation API:
-  ``span()`` context managers, monotonic counters, gauges, and the
-  process-local active recorder.  **Disabled is a strict no-op**: the
+  ``span()`` context managers, monotonic counters, gauges, the
+  process-local active recorder, and trace correlation
+  (:func:`new_trace_id` / :func:`trace_context` /
+  :func:`current_trace_id`).  **Disabled is a strict no-op**: the
   default :data:`NULL_RECORDER` allocates nothing, and hot paths branch
   once on :attr:`Recorder.enabled` (the disabled executor path is gated
   to within 3 % of the uninstrumented loop in
   ``benchmarks/bench_core.py``).
+* :mod:`~repro.telemetry.metrics` — the SLO layer: typed
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments
+  with label sets and cardinality caps behind a process-wide
+  :class:`MetricsRegistry`, snapshot merge across processes, quantile
+  estimation, and Prometheus text exposition
+  (:func:`render_prometheus` / :func:`parse_prometheus`).  The same
+  null-object discipline: :data:`NULL_METRICS` by default, enabled via
+  ``REPRO_METRICS=1`` or :func:`set_metrics_registry`, gated <= 3 %
+  enabled overhead on the executor.
 * :mod:`~repro.telemetry.aggregate` — :class:`InMemoryRecorder`, the
   enabled recorder: keeps every span, accumulates counters, renders
   ``summary()`` (count / total / p50 / p95 per span name).
@@ -31,10 +42,10 @@ Enable with ``REPRO_TELEMETRY=1`` (plus optional
     print(recorder.render_summary())
 
 Campaign-side telemetry (shard lifecycle events, worker utilization,
-`python -m repro campaign report`) persists in the artifact store's
-schema-versioned ``telemetry`` table — see
-:mod:`repro.campaigns.report`.  Wall-clock telemetry never leaks into
-deterministic exports: ``export_json`` stays byte-identical across
+per-shard metrics snapshots, `python -m repro campaign report`)
+persists in the artifact store's schema-versioned ``telemetry`` table —
+see :mod:`repro.campaigns.report`.  Wall-clock telemetry never leaks
+into deterministic exports: ``export_json`` stays byte-identical across
 interrupted/resumed runs, instrumented or not.
 """
 
@@ -42,6 +53,35 @@ from repro.telemetry.aggregate import (
     InMemoryRecorder,
     percentile,
     summarize_spans,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_CARDINALITY_CAP,
+    DEFAULT_LATENCY_BUCKETS_S,
+    METRICS_ENV,
+    METRICS_SCHEMA_VERSION,
+    NULL_METRICS,
+    OVERFLOW_LABEL,
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    exponential_buckets,
+    format_metric_value,
+    gc_collection_counts,
+    get_metrics_registry,
+    histogram_quantile,
+    merge_snapshots,
+    metrics_env_enabled,
+    metrics_registry_from_env,
+    parse_prometheus,
+    render_prometheus,
+    render_snapshot,
+    require_snapshot,
+    rss_bytes,
+    set_metrics_registry,
+    snapshot_histogram_rows,
 )
 from repro.telemetry.perfetto import (
     complete_event,
@@ -59,38 +99,71 @@ from repro.telemetry.recorder import (
     SpanRecord,
     TRACE_ENV,
     count,
+    current_trace_id,
     gauge,
     get_recorder,
+    new_trace_id,
     recorder_from_env,
     set_recorder,
     span,
     telemetry_env_enabled,
+    trace_context,
 )
 from repro.telemetry.sinks import JsonlSink, read_jsonl
 
 __all__ = [
+    "Counter",
+    "DEFAULT_CARDINALITY_CAP",
+    "DEFAULT_LATENCY_BUCKETS_S",
     "ENABLE_ENV",
+    "Gauge",
+    "Histogram",
     "InMemoryRecorder",
     "JsonlSink",
+    "METRICS_ENV",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "NULL_METRICS",
     "NULL_RECORDER",
+    "NullMetricsRegistry",
     "NullRecorder",
+    "OVERFLOW_LABEL",
+    "PROMETHEUS_CONTENT_TYPE",
     "Recorder",
     "SpanRecord",
     "TRACE_ENV",
     "complete_event",
     "count",
+    "current_trace_id",
+    "exponential_buckets",
+    "format_metric_value",
     "gauge",
+    "gc_collection_counts",
+    "get_metrics_registry",
     "get_recorder",
+    "histogram_quantile",
+    "merge_snapshots",
+    "metrics_env_enabled",
+    "metrics_registry_from_env",
+    "new_trace_id",
+    "parse_prometheus",
     "percentile",
     "perfetto_json",
     "process_name_event",
     "read_jsonl",
     "recorder_from_env",
+    "render_prometheus",
+    "render_snapshot",
+    "require_snapshot",
+    "rss_bytes",
+    "set_metrics_registry",
     "set_recorder",
+    "snapshot_histogram_rows",
     "span",
     "span_trace_events",
     "summarize_spans",
     "telemetry_env_enabled",
     "thread_name_event",
+    "trace_context",
     "write_perfetto",
 ]

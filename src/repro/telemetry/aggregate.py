@@ -7,15 +7,19 @@ sinks (JSONL trace files), and renders the per-span-name statistics —
 count / total / p50 / p95 — that ``python -m repro run --telemetry``
 prints and campaign workers embed in their shard rows.
 
-The aggregation here is process-local and single-threaded by design
-(one engine run, one recorder); cross-process aggregation is the
-campaign store's job (:mod:`repro.campaigns.report`).
+The aggregation here is process-local but thread-safe: the recorder
+hooks serialize on one lock (covering both the in-memory aggregates
+and the sink fan-out), so the serve thread pool can record spans and
+counters concurrently without torn lines or lost increments.
+Cross-process aggregation is the campaign store's job
+(:mod:`repro.campaigns.report`).
 """
 
 from __future__ import annotations
 
 import json
 import math
+import threading
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -84,26 +88,35 @@ class InMemoryRecorder(Recorder):
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self._sinks = list(sinks)
+        # One lock covers aggregate mutation AND sink emission so a
+        # span's append and its JSONL line stay in the same order
+        # across threads (the serve pool records concurrently).
+        self._hook_lock = threading.Lock()
 
     # -- recorder hooks --------------------------------------------------
 
     def _on_span(self, record: SpanRecord) -> None:
         """Keep the span and forward its trace event to every sink."""
-        self.spans.append(record)
-        if self._sinks:
-            self._emit(record.to_event())
+        with self._hook_lock:
+            self.spans.append(record)
+            if self._sinks:
+                self._emit(record.to_event())
 
     def _on_count(self, name: str, value: float) -> None:
         """Accumulate the counter and forward the increment event."""
-        self.counters[name] = self.counters.get(name, 0.0) + value
-        if self._sinks:
-            self._emit({"type": "counter", "name": name, "value": value})
+        with self._hook_lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+            if self._sinks:
+                self._emit({"type": "counter", "name": name,
+                            "value": value})
 
     def _on_gauge(self, name: str, value: float) -> None:
         """Latest-wins gauge update, forwarded to every sink."""
-        self.gauges[name] = value
-        if self._sinks:
-            self._emit({"type": "gauge", "name": name, "value": value})
+        with self._hook_lock:
+            self.gauges[name] = value
+            if self._sinks:
+                self._emit({"type": "gauge", "name": name,
+                            "value": value})
 
     def _emit(self, event: dict) -> None:
         for sink in self._sinks:
@@ -111,8 +124,9 @@ class InMemoryRecorder(Recorder):
 
     def close(self) -> None:
         """Close every attached sink (flushes JSONL trace files)."""
-        for sink in self._sinks:
-            sink.close()
+        with self._hook_lock:
+            for sink in self._sinks:
+                sink.close()
 
     # -- reporting ---------------------------------------------------------
 

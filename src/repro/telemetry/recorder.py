@@ -23,14 +23,34 @@ comparable within one process, which is all a flame graph needs.  The
 wall-clock side of telemetry (campaign shard lifecycle) lives in the
 campaign store and is deliberately excluded from deterministic exports,
 exactly like ``elapsed_s``.
+
+**Trace correlation.**  :func:`new_trace_id` mints an opaque id and
+:func:`trace_context` scopes it over a stretch of work via
+``contextvars`` (the serve front door opens one per request, the
+campaign runner one per shard).  While a trace id is active, every
+completed span carries it in ``attrs["trace_id"]`` — so it lands in the
+JSONL trace and the Perfetto timeline — and every histogram observation
+in :mod:`repro.telemetry.metrics` stamps it as an exemplar, letting a
+slow bucket be chased back to one request's spans.
+
+**Thread-safety.**  The nesting-depth counter is thread-local (each
+serve worker thread nests independently), and the shipped recorders
+(:class:`~repro.telemetry.InMemoryRecorder`, with
+:class:`~repro.telemetry.JsonlSink` underneath) serialize their hooks
+with locks, so concurrent spans from a thread pool interleave without
+tearing lines or losing counts.
 """
 
 from __future__ import annotations
 
+import contextvars
 import os
+import threading
 import time
+import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 #: Environment switch: a truthy value ("1", "true", "yes", "on")
 #: makes :func:`get_recorder` start an in-memory recorder.
@@ -56,6 +76,48 @@ def telemetry_env_enabled(environ: Mapping[str, str] | None = None) -> bool:
     if environ is None:
         environ = os.environ
     return environ.get(ENABLE_ENV, "").strip().lower() in _TRUTHY
+
+
+_TRACE_ID: contextvars.ContextVar["str | None"] = contextvars.ContextVar(
+    "repro_trace_id", default=None)
+
+
+def new_trace_id() -> str:
+    """Mint an opaque 16-hex-digit trace id.
+
+    Random (uuid4-derived), not sequential: ids minted concurrently by
+    serve threads and campaign worker processes must not collide.
+    """
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> "str | None":
+    """The trace id active in this context, or None outside any trace."""
+    return _TRACE_ID.get()
+
+
+@contextmanager
+def trace_context(trace_id: "str | None" = None) -> Iterator[str]:
+    """Scope ``trace_id`` (minted if None) over the ``with`` body.
+
+    Every span completed inside the body carries the id in
+    ``attrs["trace_id"]``; histogram observations stamp it as their
+    exemplar.  Context-local (``contextvars``), so concurrent asyncio
+    tasks and threads each see only their own id.  Note that
+    ``loop.run_in_executor`` does **not** propagate context — wrap
+    executor calls with ``contextvars.copy_context().run`` to carry the
+    id across (the serve front door does exactly this).
+
+    Yields:
+        The active trace id.
+    """
+    if trace_id is None:
+        trace_id = new_trace_id()
+    token = _TRACE_ID.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE_ID.reset(token)
 
 
 @dataclass(frozen=True)
@@ -114,9 +176,18 @@ class _Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        """Record the span (error-annotated if raising); never swallow."""
+        """Record the span (error-annotated if raising); never swallow.
+
+        A :func:`current_trace_id` active at exit is stamped into the
+        span's attrs as ``trace_id`` (without clobbering an explicit
+        caller-supplied one), correlating the span — and the JSONL
+        line it becomes — with its request or shard.
+        """
         duration = time.perf_counter() - self._start
         self._recorder._depth = self._depth
+        trace_id = current_trace_id()
+        if trace_id is not None and "trace_id" not in self._attrs:
+            self._attrs["trace_id"] = trace_id
         self._recorder._on_span(SpanRecord(
             name=self._name, start_s=self._start, duration_s=duration,
             depth=self._depth,
@@ -158,8 +229,19 @@ class Recorder:
     enabled = True
 
     def __init__(self) -> None:
-        """Initialize the nesting-depth counter."""
-        self._depth = 0
+        """Initialize the (thread-local) nesting-depth counter."""
+        self._local = threading.local()
+
+    @property
+    def _depth(self) -> int:
+        # Depth is per *thread*: each serve worker nests its own spans
+        # independently, so a shared counter would let one thread's
+        # nesting leak into another's records.
+        return getattr(self._local, "depth", 0)
+
+    @_depth.setter
+    def _depth(self, value: int) -> None:
+        self._local.depth = value
 
     def span(self, name: str, **attrs: Any) -> "_Span | _NullSpan":
         """A context manager timing ``name`` around its ``with`` body."""

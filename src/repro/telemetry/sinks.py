@@ -12,6 +12,7 @@ unflushed tail); post-hoc dumps of an aggregated run go through
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
 
@@ -20,28 +21,32 @@ class JsonlSink:
 
     The file opens lazily on the first event, so constructing a sink
     (e.g. from ``REPRO_TELEMETRY_TRACE``) costs nothing if the run
-    never records.  Usable as a context manager; :meth:`close` is
-    idempotent.
+    never records.  Thread-safe: a lock serializes open/emit/close, so
+    events from a thread pool land as whole lines in arrival order.
+    Usable as a context manager; :meth:`close` is idempotent.
     """
 
     def __init__(self, path: "str | Path") -> None:
         """Remember the target path; the file opens on first emit."""
         self.path = Path(path)
         self._handle = None
+        self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
         """Write one event as a JSON line (keys sorted, flushed)."""
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("w", encoding="utf-8")
-        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
-        self._handle.flush()
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("w", encoding="utf-8")
+            self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+            self._handle.flush()
 
     def close(self) -> None:
         """Close the file if it was ever opened (safe to call twice)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "JsonlSink":
         """Context-manager entry: the sink itself."""

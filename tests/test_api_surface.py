@@ -87,7 +87,8 @@ class TestDocstrings:
         "repro.inference.evaluate",
         "repro.telemetry", "repro.telemetry.recorder",
         "repro.telemetry.aggregate", "repro.telemetry.sinks",
-        "repro.telemetry.perfetto",
+        "repro.telemetry.perfetto", "repro.telemetry.metrics",
+        "repro.telemetry.cli",
     ])
     def test_engine_modules_documented(self, module_name):
         """The engine is the documented flagship: every module, public

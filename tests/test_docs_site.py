@@ -80,6 +80,8 @@ class TestSiteSkeleton:
                          "repro.telemetry.aggregate",
                          "repro.telemetry.sinks",
                          "repro.telemetry.perfetto",
+                         "repro.telemetry.metrics",
+                         "repro.telemetry.cli",
                          "repro.core", "repro.instrument"):
             assert required in identifiers, f"no API page renders {required}"
 
